@@ -1,0 +1,123 @@
+// Figure 3: average throughput of original, LightZone-PAN, LightZone-TTBR,
+// Watchpoint, and simulated-lwC Nginx (1 worker, 1 KB HTTPS file) on
+// Carmel Host/Guest and Cortex Host/Guest, across client concurrency —
+// plus the §9.1 memory-overhead numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/httpd.h"
+
+namespace {
+
+using namespace lz;
+using namespace lz::workload;
+
+constexpr Mechanism kMechs[] = {Mechanism::kNone, Mechanism::kLzPan,
+                                Mechanism::kLzTtbr, Mechanism::kWatchpoint,
+                                Mechanism::kLwc};
+
+struct Combo {
+  const arch::Platform* plat;
+  Placement placement;
+  const char* label;
+  // Paper throughput losses in the same order as kMechs[1..]: PAN, TTBR,
+  // Watchpoint, lwC.
+  double paper[4];
+};
+
+const Combo kCombos[] = {
+    {&arch::Platform::carmel(), Placement::kHost, "Carmel Host",
+     {1.35, 5.65, 45.46, 59.03}},
+    {&arch::Platform::carmel(), Placement::kGuest, "Carmel Guest",
+     {25.24, 26.91, 23.58, 26.65}},
+    {&arch::Platform::cortex_a55(), Placement::kHost, "Cortex Host",
+     {0.91, 3.01, 6.14, 13.71}},
+    {&arch::Platform::cortex_a55(), Placement::kGuest, "Cortex Guest",
+     {1.98, 2.03, 6.04, 21.24}},
+};
+
+void print_fig3() {
+  std::printf(
+      "Figure 3: Nginx throughput (requests/s), 1 worker, 1 KB HTTPS file,\n"
+      "10 runs averaged by construction (deterministic model)\n\n");
+  for (const auto& combo : kCombos) {
+    HttpdParams params = HttpdParams::defaults(*combo.plat);
+    params.requests = 1500;
+
+    std::printf("%s\n  %-15s", combo.label, "concurrency:");
+    for (const int c : {1, 2, 4, 8, 16, 32, 64}) std::printf(" %8d", c);
+    std::printf(" %10s\n", "loss");
+
+    double base_rps = 0;
+    for (std::size_t m = 0; m < std::size(kMechs); ++m) {
+      const AppConfig config{combo.plat, combo.placement, kMechs[m], 42};
+      const auto result = run_httpd(config, params);
+      std::printf("  %-15s", to_string(kMechs[m]));
+      for (const int c : {1, 2, 4, 8, 16, 32, 64}) {
+        std::printf(" %8.0f", httpd_throughput_rps(result, params, config, c));
+      }
+      const double sat = httpd_throughput_rps(result, params, config, 64);
+      if (m == 0) {
+        base_rps = sat;
+        std::printf(" %10s\n", "(base)");
+      } else {
+        std::printf("  %5.2f%% (paper %.2f%%)\n",
+                    100.0 * (base_rps - sat) / base_rps, combo.paper[m - 1]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // §9.1 memory overheads.
+  HttpdParams params = HttpdParams::defaults(arch::Platform::carmel());
+  params.requests = 50;
+  const AppConfig pan_cfg{&arch::Platform::carmel(), Placement::kHost,
+                          Mechanism::kLzPan, 42};
+  const AppConfig ttbr_cfg{&arch::Platform::carmel(), Placement::kHost,
+                           Mechanism::kLzTtbr, 42};
+  const auto pan = run_httpd(pan_cfg, params);
+  const auto ttbr = run_httpd(ttbr_cfg, params);
+  // Baseline Nginx: 21.7 MB (paper). Fragmentation: one page per key.
+  const double base_mb = 21.7;
+  const double frag_pct =
+      100.0 * (pan.key_pages * kPageSize) / (base_mb * 1024 * 1024) ;
+  std::printf(
+      "Memory overheads (Section 9.1, paper: fragmentation 1.6%%, page "
+      "tables 1.2%% PAN / 22.2%% TTBR):\n"
+      "  key-page fragmentation %.1f%%; page tables: PAN %.1f%% (%llu "
+      "pages), TTBR %.1f%% (%llu pages)\n\n",
+      frag_pct,
+      100.0 * (pan.isolation_table_pages * kPageSize) /
+          (base_mb * 1024 * 1024),
+      static_cast<unsigned long long>(pan.isolation_table_pages),
+      100.0 * (ttbr.isolation_table_pages * kPageSize) /
+          (base_mb * 1024 * 1024),
+      static_cast<unsigned long long>(ttbr.isolation_table_pages));
+}
+
+void BM_HttpdRequest(benchmark::State& state) {
+  const auto mech = static_cast<Mechanism>(state.range(0));
+  HttpdParams params = HttpdParams::defaults(arch::Platform::cortex_a55());
+  params.requests = 100;
+  const AppConfig config{&arch::Platform::cortex_a55(), Placement::kHost,
+                         mech, 42};
+  double cycles = 0;
+  for (auto _ : state) {
+    cycles = run_httpd(config, params).cycles_per_request;
+  }
+  state.counters["sim_cycles_per_request"] = cycles;
+}
+BENCHMARK(BM_HttpdRequest)
+    ->Arg(static_cast<int>(Mechanism::kNone))
+    ->Arg(static_cast<int>(Mechanism::kLzTtbr))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 1: qualitative comparison of in-process isolation frameworks for
+// ARM64. The LightZone row's properties are demonstrated by this repo's
+// tests; the scalability and switch-cost figures for LightZone and the
+// two implemented baselines are measured live.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/microbench.h"
+
+namespace {
+
+using namespace lz;
+using namespace lz::workload;
+
+void print_table1() {
+  std::printf(
+      "Table 1: in-process isolation frameworks for ARM64 (paper, with the\n"
+      "implemented rows verified by this reproduction)\n\n");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "ARM64", "Scalability",
+              "Efficiency", "Security", "PCB");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "Watchpoint [23]", "x (16)",
+              "+-", "yes", "yes");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "PANIC [61]", "x (2)", "yes",
+              "no", "yes");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "Capacity [15]", "x (16)",
+              "no", "yes", "no");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "LFI [64]", "yes (2^16)",
+              "+-", "yes", "no");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "LightZone (this)",
+              "yes (2^16)", "yes", "yes", "yes");
+  std::printf("  %-18s %-12s %-10s %-8s %-4s\n", "lwC [31] (portable)",
+              "yes (inf)", "no", "yes", "yes");
+
+  // Live evidence on the Cortex-A55 model, host placement.
+  const auto& plat = arch::Platform::cortex_a55();
+  const double lz2 = lz_switch_avg_cycles(plat, Placement::kHost, 2, 2000);
+  const double lz128 =
+      lz_switch_avg_cycles(plat, Placement::kHost, 128, 2000);
+  const double pan = lz_switch_avg_cycles(plat, Placement::kHost, 1, 2000);
+  const double wp = watchpoint_switch_avg_cycles(plat, Placement::kHost, 3,
+                                                 1000);
+  const double lwc = lwc_switch_avg_cycles(plat, Placement::kHost, 3, 1000);
+  std::printf(
+      "\nMeasured on the %s model (host): LightZone PAN %.0f cyc/switch, "
+      "TTBR %.0f (2 domains) .. %.0f (128 domains); Watchpoint %.0f; lwC "
+      "%.0f.\n",
+      plat.name.data(), pan, lz2, lz128, wp, lwc);
+  std::printf(
+      "Scalability to 2^16 domains: lz_alloc ids are 16-bit (tested to "
+      "several hundred live tables); Watchpoint is capped at 16 by the 4\n"
+      "watchpoint register pairs; PCB holds because the sanitizer operates "
+      "on raw instruction encodings, not source.\n\n");
+}
+
+void BM_LzGateSwitch(benchmark::State& state) {
+  double avg = 0;
+  for (auto _ : state) {
+    avg = lz_switch_avg_cycles(arch::Platform::cortex_a55(),
+                               Placement::kHost, 2, 200);
+  }
+  state.counters["sim_cycles_per_switch"] = avg;
+}
+BENCHMARK(BM_LzGateSwitch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Table 4: cycles spent on empty trap-and-return round-trips, on both
+// evaluation SoCs, plus the §5.2 optimisation ablations. Every row is
+// measured by actually executing the trap path on the simulated machine
+// (real SVC/HVC instructions through the API stub for the LightZone rows).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/microbench.h"
+
+namespace {
+
+using namespace lz;
+using namespace lz::workload;
+
+struct PaperRow {
+  double carmel_lo, carmel_hi;
+  double cortex_lo, cortex_hi;
+};
+
+void print_row(const char* label, Cycles carmel, Cycles cortex,
+               const PaperRow& paper) {
+  std::printf("  %-46s %10llu %18s %8llu %12s\n", label,
+              static_cast<unsigned long long>(carmel),
+              paper.carmel_lo == paper.carmel_hi
+                  ? ("(paper " + std::to_string((long long)paper.carmel_lo) + ")").c_str()
+                  : ("(paper " + std::to_string((long long)paper.carmel_lo) +
+                     "~" + std::to_string((long long)paper.carmel_hi) + ")")
+                        .c_str(),
+              static_cast<unsigned long long>(cortex),
+              ("(paper " + std::to_string((long long)paper.cortex_lo) +
+               (paper.cortex_lo == paper.cortex_hi
+                    ? ""
+                    : "~" + std::to_string((long long)paper.cortex_hi)) +
+               ")")
+                  .c_str());
+}
+
+void print_table4() {
+  std::printf("Table 4: cycles on empty trap-and-return round-trips\n\n");
+  std::printf("  %-46s %10s %18s %8s %12s\n", "", "Carmel", "", "CortexA55",
+              "");
+  const auto carmel = measure_trap_costs(arch::Platform::carmel());
+  const auto cortex = measure_trap_costs(arch::Platform::cortex_a55());
+
+  print_row("host user mode -> host hypervisor mode", carmel.host_syscall,
+            cortex.host_syscall, {3848, 3848, 299, 299});
+  print_row("guest user mode -> guest kernel mode", carmel.guest_syscall,
+            cortex.guest_syscall, {1423, 1423, 288, 288});
+  print_row("LightZone kernel mode -> host hypervisor mode",
+            carmel.lz_host_trap, cortex.lz_host_trap, {3316, 3316, 536, 536});
+  std::printf("  %-46s %5llu~%-10llu %12s %4llu~%-6llu %8s\n",
+              "LightZone kernel mode -> guest kernel mode",
+              static_cast<unsigned long long>(carmel.lz_guest_trap_min),
+              static_cast<unsigned long long>(carmel.lz_guest_trap_max),
+              "(paper 29020~32881)",
+              static_cast<unsigned long long>(cortex.lz_guest_trap_min),
+              static_cast<unsigned long long>(cortex.lz_guest_trap_max),
+              "(paper 1798~2179)");
+  print_row("KVM Virtualization Host Extensions hypercall",
+            carmel.kvm_hypercall, cortex.kvm_hypercall,
+            {28580, 28580, 1287, 1287});
+  print_row("update HCR_EL2", carmel.hcr_update, cortex.hcr_update,
+            {1550, 1655, 88, 88});
+  print_row("update VTTBR_EL2", carmel.vttbr_update, cortex.vttbr_update,
+            {1115, 1115, 37, 37});
+
+  std::printf("\nAblations of the Section 5.2 optimisations:\n");
+  const auto abc = measure_trap_ablations(arch::Platform::carmel());
+  const auto abx = measure_trap_ablations(arch::Platform::cortex_a55());
+  std::printf(
+      "  LightZone->host without conditional HCR/VTTBR:  Carmel %llu "
+      "(vs %llu), Cortex %llu (vs %llu)\n",
+      static_cast<unsigned long long>(abc.lz_host_trap_no_cond_sysreg),
+      static_cast<unsigned long long>(carmel.lz_host_trap),
+      static_cast<unsigned long long>(abx.lz_host_trap_no_cond_sysreg),
+      static_cast<unsigned long long>(cortex.lz_host_trap));
+  std::printf(
+      "  nested trap without shared pt_regs page:        Carmel %llu, "
+      "Cortex %llu\n",
+      static_cast<unsigned long long>(abc.lz_guest_trap_no_shared_ptregs),
+      static_cast<unsigned long long>(abx.lz_guest_trap_no_shared_ptregs));
+  std::printf(
+      "  nested trap without deferred system registers:  Carmel %llu, "
+      "Cortex %llu\n\n",
+      static_cast<unsigned long long>(abc.lz_guest_trap_no_deferred_sysregs),
+      static_cast<unsigned long long>(abx.lz_guest_trap_no_deferred_sysregs));
+}
+
+void BM_MeasureTrapCosts(benchmark::State& state) {
+  const auto& plat = state.range(0) == 0 ? arch::Platform::cortex_a55()
+                                         : arch::Platform::carmel();
+  Cycles last = 0;
+  for (auto _ : state) {
+    last = measure_trap_costs(plat).host_syscall;
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["sim_cycles_host_syscall"] = static_cast<double>(last);
+}
+BENCHMARK(BM_MeasureTrapCosts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

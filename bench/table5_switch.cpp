@@ -1,0 +1,107 @@
+// Table 5: average cycles per switch (with the secure call gate) between
+// distinct numbers of protected domains — LightZone vs the Watchpoint
+// baseline on Carmel host, Carmel guest, and Cortex-A55 — plus the lwC
+// baseline and the ASID-tagging ablation (§4.1.2).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/microbench.h"
+
+namespace {
+
+using namespace lz;
+using namespace lz::workload;
+
+constexpr int kIters = 6000;
+
+void print_row_lz(const char* label, const arch::Platform& plat,
+                  Placement placement) {
+  std::printf("  %-13s %-11s", label, "LightZone");
+  std::printf(" %8.0f", lz_switch_avg_cycles(plat, placement, 1, kIters));
+  for (const int domains : {2, 3, 32, 64, 128}) {
+    std::printf(" %8.0f",
+                lz_switch_avg_cycles(plat, placement, domains, kIters));
+  }
+  std::printf("\n");
+}
+
+void print_row_wp(const char* label, const arch::Platform& plat,
+                  Placement placement) {
+  std::printf("  %-13s %-11s", label, "Watchpoint");
+  for (const int domains : {1, 2, 3}) {
+    std::printf(" %8.0f",
+                watchpoint_switch_avg_cycles(plat, placement, domains,
+                                             kIters / 3));
+  }
+  std::printf(" %8s %8s %8s\n", "-", "-", "-");
+}
+
+void print_row_lwc(const char* label, const arch::Platform& plat,
+                   Placement placement) {
+  std::printf("  %-13s %-11s", label, "lwC (sim)");
+  for (const int domains : {1, 2, 3, 32, 64, 128}) {
+    std::printf(" %8.0f",
+                lwc_switch_avg_cycles(plat, placement, domains, kIters / 3));
+  }
+  std::printf("\n");
+}
+
+void print_table5() {
+  std::printf(
+      "Table 5: average cycles of switches (with secure call gate) between\n"
+      "distinct numbers of protected domains\n\n");
+  std::printf("  %-13s %-11s %8s %8s %8s %8s %8s %8s\n", "", "", "1 (PAN)",
+              "2", "3", "32", "64", "128");
+
+  print_row_wp("Carmel Host", arch::Platform::carmel(), Placement::kHost);
+  print_row_lz("Carmel Host", arch::Platform::carmel(), Placement::kHost);
+  std::printf("  %-13s paper:     Watchpoint 6759/6787/6944; LightZone "
+              "22/477/483/469/485/490\n", "");
+  print_row_wp("Carmel Guest", arch::Platform::carmel(), Placement::kGuest);
+  print_row_lz("Carmel Guest", arch::Platform::carmel(), Placement::kGuest);
+  std::printf("  %-13s paper:     Watchpoint 2710/2733/2721; LightZone "
+              "22/495/494/484/498/507\n", "");
+  print_row_wp("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
+  print_row_lz("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
+  std::printf("  %-13s paper:     Watchpoint 915/930/927; LightZone "
+              "11/59/57/64/74/82\n\n", "");
+
+  std::printf("Extra series (not in the paper's table):\n");
+  print_row_lwc("Carmel Host", arch::Platform::carmel(), Placement::kHost);
+  print_row_lwc("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
+
+  std::printf(
+      "\nAblation: per-page-table ASIDs off (TLB invalidated on every TTBR "
+      "switch, Section 4.1.2):\n");
+  for (const int domains : {2, 32, 128}) {
+    const double tagged = lz_switch_avg_cycles(
+        arch::Platform::cortex_a55(), Placement::kHost, domains, kIters);
+    const double flushed = lz_switch_avg_cycles(
+        arch::Platform::cortex_a55(), Placement::kHost, domains, kIters, 42,
+        /*asid_tags=*/false);
+    std::printf("  Cortex, %3d domains: %7.0f cycles tagged, %7.0f flushed\n",
+                domains, tagged, flushed);
+  }
+  std::printf("\n");
+}
+
+void BM_SwitchSweep(benchmark::State& state) {
+  const int domains = static_cast<int>(state.range(0));
+  double avg = 0;
+  for (auto _ : state) {
+    avg = lz_switch_avg_cycles(arch::Platform::cortex_a55(),
+                               Placement::kHost, domains, 500);
+  }
+  state.counters["sim_cycles_per_switch"] = avg;
+}
+BENCHMARK(BM_SwitchSweep)->Arg(2)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Multi-user server: the §9.2 scenario. A server handles several client
+// connections; each connection's private session data lives in its own
+// TTBR domain, and the shared in-memory store is a PAN-protected domain
+// that only storage-engine code opens.
+//
+// The demo first serves one transaction per user (all isolation mechanisms
+// on the legitimate path), then runs a rogue handler that — while holding
+// a perfectly valid gate into user 2's domain — tries to read user 0's
+// session page. The rogue handler dies; the other sessions and the store
+// are untouched.
+#include <cstdio>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+
+using namespace lz;
+using namespace lz::core;
+
+namespace {
+
+constexpr int kUsers = 3;
+constexpr VirtAddr kStore = Env::kHeapVa;  // PAN-protected shared store
+
+VirtAddr session_va(int user) {
+  return Env::kHeapVa + kPageSize * static_cast<u64>(1 + user);
+}
+
+struct Server {
+  Env env;
+  kernel::Process* proc;
+  std::unique_ptr<LzProc> lz;
+
+  Server() : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {
+    proc = &env.new_process();
+    lz = std::make_unique<LzProc>(
+        LzProc::enter(*env.module, *proc, true, /*insn_san=*/1));
+    LZ_CHECK(lz->lz_prot(kStore, kPageSize, kPgtAll,
+                         kLzRead | kLzWrite | kLzUser) == 0);
+    for (int u = 0; u < kUsers; ++u) {
+      const int pgt = lz->lz_alloc();
+      LZ_CHECK(lz->lz_prot(session_va(u), kPageSize, pgt,
+                           kLzRead | kLzWrite) == 0);
+      LZ_CHECK(lz->lz_map_gate_pgt(pgt, u) == 0);
+    }
+  }
+
+  void install(sim::Asm& a) {
+    LZ_CHECK_OK(env.kern().populate_page(
+        *proc, Env::kCodeVa, kernel::kProtRead | kernel::kProtExec));
+    const auto walk = proc->pgt().lookup(Env::kCodeVa);
+    a.install(env.machine->mem(), page_floor(walk.out_addr));
+  }
+
+  u64 read_heap(VirtAddr va) {
+    u64 v = 0;
+    env.kern().copy_from_user(*proc, va, &v, 8);
+    return v;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Multi-user server: %d connection domains + PAN store\n\n",
+              kUsers);
+
+  // --- Legitimate traffic: one program serving all three users in turn ---
+  {
+    Server server;
+    sim::Asm a;
+    for (int u = 0; u < kUsers; ++u) {
+      a.mov_imm64(17, UpperLayout::gate_va(u));
+      a.blr(17);
+      const VirtAddr entry = Env::kCodeVa + a.size_bytes();
+      LZ_CHECK(server.lz->lz_set_gate_entry(u, entry) == 0);
+      // Session bump inside the user's own domain.
+      a.mov_imm64(1, session_va(u));
+      a.ldr(2, 1, 0);
+      a.add_imm(2, 2, 1);
+      a.str(2, 1, 0);
+      // Append to the shared store under PAN.
+      a.msr_pan(0);
+      a.mov_imm64(3, kStore);
+      a.movz(4, static_cast<u16>(100 + u));
+      a.str(4, 3, static_cast<u16>(8 * u));
+      a.msr_pan(1);
+    }
+    a.movz(8, kernel::nr::kExit);
+    a.svc(0);
+    server.install(a);
+    server.lz->run();
+    LZ_CHECK(!server.proc->alive() && server.proc->kill_reason().empty());
+    for (int u = 0; u < kUsers; ++u) {
+      std::printf("user %d: session counter = %llu, store[%d] = %llu\n", u,
+                  static_cast<unsigned long long>(
+                      server.read_heap(session_va(u))),
+                  u,
+                  static_cast<unsigned long long>(
+                      server.read_heap(kStore + 8 * u)));
+    }
+  }
+
+  // --- The rogue handler ---------------------------------------------------
+  std::printf("\nrogue handler: user 2's code scans for user 0's session\n");
+  Server server;
+  sim::Asm a;
+  a.mov_imm64(17, UpperLayout::gate_va(2));  // valid gate into domain 2
+  a.blr(17);
+  const VirtAddr entry = Env::kCodeVa + a.size_bytes();
+  a.mov_imm64(1, session_va(2));
+  a.movz(2, 7);
+  a.str(2, 1, 0);                 // fine: its own session
+  a.mov_imm64(1, session_va(0));  // user 0's session page
+  a.ldr(3, 1, 0);                 // cross-domain read -> killed here
+  a.movz(8, kernel::nr::kExit);
+  a.svc(0);
+  server.install(a);
+  LZ_CHECK(server.lz->lz_set_gate_entry(2, entry) == 0);
+  server.lz->run();
+
+  std::printf("rogue handler: %s\n", server.proc->kill_reason().c_str());
+  std::printf("x3 (stolen session data) = %llu\n",
+              static_cast<unsigned long long>(
+                  server.env.machine->core().x(3)));
+  LZ_CHECK(!server.proc->alive());
+  LZ_CHECK(!server.proc->kill_reason().empty());
+  std::printf("\nuser 0's session stayed private; the store was untouched "
+              "(PAN was never lifted).\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Quickstart: the paper's Listing 1, executed end to end.
+//
+// A process with two mutually distrusting parts enters LightZone, attaches
+// each part's data to its own stage-1 page table (scalable TTBR isolation),
+// and additionally protects a shared cryptographic key with PAN. The
+// program below is assembled into real A64 instructions and executed in
+// kernel mode of the process's own VM on the simulated SoC.
+//
+//   lz_enter(true, 1);
+//   pgt0 = lz_alloc(); pgt1 = lz_alloc();
+//   lz_map_gate_pgt(pgt0, 0); lz_map_gate_pgt(pgt1, 1);
+//   lz_prot(data0, len, pgt0, READ | WRITE);
+//   lz_prot(data1, len, pgt1, READ | WRITE);
+//   lz_prot(key, len, PGT_ALL, READ | USER);
+//   lz_switch_to_ttbr_gate(0);  data0 = 100;
+//   set_pan(0); data0 = enc(data0, key); set_pan(1);
+//   lz_switch_to_ttbr_gate(1);  data1 = 200;
+//   set_pan(0); data1 = enc(data1, key); set_pan(1);
+#include <cstdio>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+
+using namespace lz;
+using namespace lz::core;
+
+namespace {
+
+constexpr VirtAddr kData0 = Env::kHeapVa;            // part 0's page
+constexpr VirtAddr kData1 = Env::kHeapVa + 0x1000;   // part 1's page
+constexpr VirtAddr kKey = Env::kHeapVa + 0x2000;     // shared key page
+
+void install(Env& env, kernel::Process& proc, sim::Asm& a) {
+  LZ_CHECK_OK(env.kern().populate_page(proc, Env::kCodeVa,
+                                       kernel::kProtRead | kernel::kProtExec));
+  const auto walk = proc.pgt().lookup(Env::kCodeVa);
+  a.install(env.machine->mem(), page_floor(walk.out_addr));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LightZone quickstart (Listing 1) on the simulated %s SoC\n\n",
+              arch::Platform::cortex_a55().name.data());
+
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& proc = env.new_process();
+
+  // lz_enter(true, 1): scalable isolation + TTBR-rule sanitizer.
+  LzProc lz = LzProc::enter(*env.module, proc, /*allow_scalable=*/true,
+                            /*insn_san=*/1);
+
+  // pgt0 = lz_alloc(); pgt1 = lz_alloc();
+  const int pgt0 = lz.lz_alloc();
+  const int pgt1 = lz.lz_alloc();
+  std::printf("allocated stage-1 page tables: pgt0=%d pgt1=%d\n", pgt0, pgt1);
+
+  // lz_map_gate_pgt: call_gate0 -> pgt0, call_gate1 -> pgt1.
+  LZ_CHECK(lz.lz_map_gate_pgt(pgt0, 0) == 0);
+  LZ_CHECK(lz.lz_map_gate_pgt(pgt1, 1) == 0);
+
+  // lz_prot: part data in separate tables; the key in all tables as a
+  // PAN-protected user page.
+  LZ_CHECK(lz.lz_prot(kData0, kPageSize, pgt0, kLzRead | kLzWrite) == 0);
+  LZ_CHECK(lz.lz_prot(kData1, kPageSize, pgt1, kLzRead | kLzWrite) == 0);
+  LZ_CHECK(lz.lz_prot(kKey, kPageSize, kPgtAll, kLzRead | kLzUser) == 0);
+
+  // Seed the key (kernel-side write; the process reads it under PAN).
+  const u64 key_value = 0x5eC12e7;
+  env.kern().copy_to_user(proc, kKey, &key_value, sizeof(key_value));
+
+  // The program: switch to each domain through its gate, write the part's
+  // data, then "encrypt" it with the PAN-protected key (xor stands in for
+  // enc() in Listing 1).
+  sim::Asm a;
+  sim::Asm::Label gate_done0 = a.new_label(), gate_done1 = a.new_label();
+  (void)gate_done0;
+  (void)gate_done1;
+
+  // lz_switch_to_ttbr_gate(0)
+  a.mov_imm64(17, UpperLayout::gate_va(0));
+  a.blr(17);
+  const VirtAddr entry0 = Env::kCodeVa + a.size_bytes();
+  // data0 = 100
+  a.mov_imm64(1, kData0);
+  a.movz(2, 100);
+  a.str(2, 1, 0);
+  // set_pan(0); data0 = enc(data0, key); set_pan(1)
+  a.msr_pan(0);
+  a.mov_imm64(3, kKey);
+  a.ldr(4, 3, 0);
+  a.eor_reg(2, 2, 4);
+  a.str(2, 1, 0);
+  a.msr_pan(1);
+
+  // lz_switch_to_ttbr_gate(1)
+  a.mov_imm64(17, UpperLayout::gate_va(1));
+  a.blr(17);
+  const VirtAddr entry1 = Env::kCodeVa + a.size_bytes();
+  // data1 = 200
+  a.mov_imm64(1, kData1);
+  a.movz(2, 200);
+  a.str(2, 1, 0);
+  a.msr_pan(0);
+  a.mov_imm64(3, kKey);
+  a.ldr(4, 3, 0);
+  a.eor_reg(2, 2, 4);
+  a.str(2, 1, 0);
+  a.msr_pan(1);
+
+  a.movz(8, kernel::nr::kExit);
+  a.svc(0);
+  install(env, proc, a);
+  LZ_CHECK(lz.lz_set_gate_entry(0, entry0) == 0);
+  LZ_CHECK(lz.lz_set_gate_entry(1, entry1) == 0);
+
+  const auto result = lz.run();
+  std::printf("process ran %llu instructions at EL1 and %s\n",
+              static_cast<unsigned long long>(result.steps),
+              proc.alive() ? "is still alive"
+                           : (proc.kill_reason().empty()
+                                  ? "exited cleanly"
+                                  : proc.kill_reason().c_str()));
+
+  u64 v0 = 0, v1 = 0;
+  env.kern().copy_from_user(proc, kData0, &v0, 8);
+  env.kern().copy_from_user(proc, kData1, &v1, 8);
+  std::printf("data0 = %llu ^ key = %llu; data1 = %llu ^ key = %llu\n",
+              100ull, static_cast<unsigned long long>(v0), 200ull,
+              static_cast<unsigned long long>(v1));
+  LZ_CHECK(v0 == (100 ^ key_value) && v1 == (200 ^ key_value));
+
+  std::printf(
+      "\nmechanisms exercised: %llu traps forwarded through the API stub, "
+      "%llu stage-1 faults,\n%llu pages sanitized, two TTBR gate switches, "
+      "four PAN toggles. Isolation held.\n",
+      static_cast<unsigned long long>(lz.ctx().traps),
+      static_cast<unsigned long long>(lz.ctx().s1_faults),
+      static_cast<unsigned long long>(lz.ctx().sanitized_pages));
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "arch/decode.h"
+
+#include "support/bits.h"
+
+namespace lz::arch {
+namespace {
+
+u8 ldst_size(u64 size_bits) { return static_cast<u8>(1u << size_bits); }
+
+Insn decode_system(u32 w) {
+  Insn insn;
+  insn.raw = w;
+  const bool read = bit(w, 21);
+  insn.sys = SysRegEncoding{
+      static_cast<u8>(bits(w, 20, 19)), static_cast<u8>(bits(w, 18, 16)),
+      static_cast<u8>(bits(w, 15, 12)), static_cast<u8>(bits(w, 11, 8)),
+      static_cast<u8>(bits(w, 7, 5))};
+  insn.rt = static_cast<u8>(bits(w, 4, 0));
+
+  if (insn.sys.op0 == 0b00) {
+    if (insn.sys.crn == 0b0011 && insn.sys.op1 == 0b011 && !read) {
+      switch (insn.sys.op2) {
+        case 0b110: insn.op = Op::kIsb; return insn;
+        case 0b100: insn.op = Op::kDsb; return insn;
+        case 0b101: insn.op = Op::kDmb; return insn;
+        default: break;
+      }
+    }
+    if (insn.sys.crn == 0b0010 && !read) {  // hint space: NOP, YIELD, ...
+      insn.op = Op::kNop;
+      return insn;
+    }
+    if (insn.sys.crn == 0b0100 && !read && insn.rt == 31) {
+      insn.op = Op::kMsrImm;
+      insn.pstate = PStateField{insn.sys.op1, insn.sys.op2};
+      insn.imm = insn.sys.crm;
+      return insn;
+    }
+    return insn;  // kUdf, sys fields kept for the sanitizer
+  }
+  if (insn.sys.op0 == 0b01) {
+    if (!read) insn.op = Op::kSys;  // DC/IC/AT/TLBI space
+    return insn;                    // SYSL unmodelled
+  }
+  // op0 in {2,3}: MSR/MRS (register form).
+  insn.op = read ? Op::kMrs : Op::kMsrReg;
+  insn.sysreg = sysreg_from_encoding(insn.sys);
+  return insn;
+}
+
+}  // namespace
+
+bool in_system_space(u32 word) {
+  return bits(word, 31, 22) == 0b1101010100;
+}
+
+Insn decode(u32 w) {
+  Insn insn;
+  insn.raw = w;
+  if (w == 0) return insn;  // UDF #0
+
+  if (in_system_space(w)) return decode_system(w);
+
+  // Exception generation: 11010100 opc[23:21] imm16 000 LL.
+  if (bits(w, 31, 24) == 0b11010100) {
+    const u64 opc = bits(w, 23, 21);
+    const u64 ll = bits(w, 1, 0);
+    insn.imm = bits(w, 20, 5);
+    if (opc == 0b000 && ll == 0b01) insn.op = Op::kSvc;
+    else if (opc == 0b000 && ll == 0b10) insn.op = Op::kHvc;
+    else if (opc == 0b000 && ll == 0b11) insn.op = Op::kSmc;
+    else if (opc == 0b001 && ll == 0b00) insn.op = Op::kBrk;
+    return insn;
+  }
+
+  // Unconditional branch (register) + ERET: 1101011 opc[24:21] ...
+  if (bits(w, 31, 25) == 0b1101011) {
+    const u64 opc = bits(w, 24, 21);
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    switch (opc) {
+      case 0b0000: insn.op = Op::kBr; break;
+      case 0b0001: insn.op = Op::kBlr; break;
+      case 0b0010: insn.op = Op::kRet; break;
+      case 0b0100:
+        if (insn.rn == 31) insn.op = Op::kEret;
+        break;
+      default: break;
+    }
+    return insn;
+  }
+
+  // B / BL: op[31] 00101 imm26.
+  if (bits(w, 30, 26) == 0b00101) {
+    insn.op = bit(w, 31) ? Op::kBl : Op::kB;
+    insn.offset = sign_extend(bits(w, 25, 0), 26) << 2;
+    return insn;
+  }
+
+  // B.cond: 01010100 imm19 0 cond.
+  if (bits(w, 31, 24) == 0b01010100 && bit(w, 4) == 0) {
+    insn.op = Op::kBCond;
+    insn.cond = static_cast<Cond>(bits(w, 3, 0));
+    insn.offset = sign_extend(bits(w, 23, 5), 19) << 2;
+    return insn;
+  }
+
+  // CBZ / CBNZ (64-bit): 1 011010 op imm19 Rt.
+  if (bit(w, 31) == 1 && bits(w, 30, 25) == 0b011010) {
+    insn.op = bit(w, 24) ? Op::kCbnz : Op::kCbz;
+    insn.rt = static_cast<u8>(bits(w, 4, 0));
+    insn.offset = sign_extend(bits(w, 23, 5), 19) << 2;
+    return insn;
+  }
+
+  // Move wide (64-bit): 1 opc[30:29] 100101 hw imm16 Rd.
+  if (bit(w, 31) == 1 && bits(w, 28, 23) == 0b100101) {
+    switch (bits(w, 30, 29)) {
+      case 0b00: insn.op = Op::kMovn; break;
+      case 0b10: insn.op = Op::kMovz; break;
+      case 0b11: insn.op = Op::kMovk; break;
+      default: return insn;
+    }
+    insn.hw = static_cast<u8>(bits(w, 22, 21));
+    insn.imm = bits(w, 20, 5);
+    insn.rd = static_cast<u8>(bits(w, 4, 0));
+    return insn;
+  }
+
+  // Add/sub immediate (64-bit): 1 op S 100010 sh imm12 Rn Rd.
+  if (bit(w, 31) == 1 && bits(w, 28, 23) == 0b100010) {
+    const bool sub = bit(w, 30), setflags = bit(w, 29);
+    if (!sub && setflags) return insn;  // ADDS imm unmodelled
+    insn.op = sub ? (setflags ? Op::kSubsImm : Op::kSubImm) : Op::kAddImm;
+    insn.imm = bits(w, 21, 10);
+    if (bit(w, 22)) insn.imm <<= 12;
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    insn.rd = static_cast<u8>(bits(w, 4, 0));
+    return insn;
+  }
+
+  // Add/sub shifted register (64-bit, shift amount 0 only).
+  if (bit(w, 31) == 1 && bits(w, 28, 24) == 0b01011 && bit(w, 21) == 0 &&
+      bits(w, 15, 10) == 0 && bits(w, 23, 22) == 0) {
+    const bool sub = bit(w, 30), setflags = bit(w, 29);
+    if (!sub && setflags) return insn;
+    insn.op = sub ? (setflags ? Op::kSubsReg : Op::kSubReg) : Op::kAddReg;
+    insn.rm = static_cast<u8>(bits(w, 20, 16));
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    insn.rd = static_cast<u8>(bits(w, 4, 0));
+    return insn;
+  }
+
+  // Logical shifted register (64-bit, LSL #0, N=0).
+  if (bit(w, 31) == 1 && bits(w, 28, 24) == 0b01010 && bit(w, 21) == 0 &&
+      bits(w, 15, 10) == 0 && bits(w, 23, 22) == 0) {
+    switch (bits(w, 30, 29)) {
+      case 0b00: insn.op = Op::kAndReg; break;
+      case 0b01: insn.op = Op::kOrrReg; break;
+      case 0b10: insn.op = Op::kEorReg; break;
+      case 0b11: insn.op = Op::kAndsReg; break;
+    }
+    insn.rm = static_cast<u8>(bits(w, 20, 16));
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    insn.rd = static_cast<u8>(bits(w, 4, 0));
+    return insn;
+  }
+
+  // UBFM (64-bit) restricted to the LSL-immediate alias.
+  if (bit(w, 31) == 1 && bits(w, 30, 23) == 0b10100110 && bit(w, 22) == 1) {
+    const u64 immr = bits(w, 21, 16), imms = bits(w, 15, 10);
+    const u8 shift = static_cast<u8>(63 - imms);
+    if (immr == ((64 - shift) & 63)) {
+      insn.op = Op::kLslImm;
+      insn.shift = shift;
+      insn.rn = static_cast<u8>(bits(w, 9, 5));
+      insn.rd = static_cast<u8>(bits(w, 4, 0));
+    }
+    return insn;
+  }
+
+  // Load/store unsigned scaled immediate: size 111001 opc imm12 Rn Rt.
+  if (bits(w, 29, 24) == 0b111001) {
+    const u64 opc = bits(w, 23, 22);
+    insn.size = ldst_size(bits(w, 31, 30));
+    insn.rt = static_cast<u8>(bits(w, 4, 0));
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    insn.offset = static_cast<i64>(bits(w, 21, 10)) * insn.size;
+    if (opc == 0b00) insn.op = Op::kStrImm;
+    else if (opc == 0b01) insn.op = Op::kLdrImm;
+    return insn;  // signed-load variants unmodelled
+  }
+
+  if (bits(w, 29, 24) == 0b111000 && bits(w, 11, 10) == 0b10) {
+    const u64 opc = bits(w, 23, 22);
+    insn.size = ldst_size(bits(w, 31, 30));
+    insn.rt = static_cast<u8>(bits(w, 4, 0));
+    insn.rn = static_cast<u8>(bits(w, 9, 5));
+    if (bit(w, 21)) {
+      // Register offset (option must be LSL).
+      if (bits(w, 15, 13) != 0b011 || insn.size != 8) return insn;
+      insn.rm = static_cast<u8>(bits(w, 20, 16));
+      insn.shift = bit(w, 12) ? 3 : 0;  // LSL #3 when scaled
+      if (opc == 0b00) insn.op = Op::kStrReg;
+      else if (opc == 0b01) insn.op = Op::kLdrReg;
+      return insn;
+    }
+    // Unprivileged LDTR/STTR family.
+    insn.offset = sign_extend(bits(w, 20, 12), 9);
+    if (opc == 0b00) {
+      insn.op = Op::kSttr;
+    } else if (opc == 0b01) {
+      insn.op = Op::kLdtr;
+    } else if (insn.size != 8) {  // 10/11: sign-extending loads
+      insn.op = Op::kLdtr;
+      insn.sign_ext = true;
+    }
+    return insn;
+  }
+
+  return insn;  // kUdf
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kUdf: return "udf";
+    case Op::kNop: return "nop";
+    case Op::kMovz: return "movz";
+    case Op::kMovk: return "movk";
+    case Op::kMovn: return "movn";
+    case Op::kAddImm: return "add(imm)";
+    case Op::kSubImm: return "sub(imm)";
+    case Op::kSubsImm: return "subs(imm)";
+    case Op::kAddReg: return "add(reg)";
+    case Op::kSubReg: return "sub(reg)";
+    case Op::kSubsReg: return "subs(reg)";
+    case Op::kAndReg: return "and";
+    case Op::kOrrReg: return "orr";
+    case Op::kEorReg: return "eor";
+    case Op::kAndsReg: return "ands";
+    case Op::kLslImm: return "lsl";
+    case Op::kB: return "b";
+    case Op::kBl: return "bl";
+    case Op::kBCond: return "b.cond";
+    case Op::kCbz: return "cbz";
+    case Op::kCbnz: return "cbnz";
+    case Op::kBr: return "br";
+    case Op::kBlr: return "blr";
+    case Op::kRet: return "ret";
+    case Op::kLdrImm: return "ldr(imm)";
+    case Op::kStrImm: return "str(imm)";
+    case Op::kLdrReg: return "ldr(reg)";
+    case Op::kStrReg: return "str(reg)";
+    case Op::kLdtr: return "ldtr";
+    case Op::kSttr: return "sttr";
+    case Op::kMsrReg: return "msr";
+    case Op::kMrs: return "mrs";
+    case Op::kMsrImm: return "msr(imm)";
+    case Op::kSys: return "sys";
+    case Op::kIsb: return "isb";
+    case Op::kDsb: return "dsb";
+    case Op::kDmb: return "dmb";
+    case Op::kSvc: return "svc";
+    case Op::kHvc: return "hvc";
+    case Op::kSmc: return "smc";
+    case Op::kBrk: return "brk";
+    case Op::kEret: return "eret";
+  }
+  return "?";
+}
+
+}  // namespace lz::arch

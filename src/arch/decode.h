@@ -1,0 +1,17 @@
+// A64 decoder for the modelled subset. Unknown encodings decode to Op::kUdf
+// (with the system-space fields still populated when the word lies in the
+// system instruction space, so the sanitizer can classify them).
+#pragma once
+
+#include "arch/insn.h"
+
+namespace lz::arch {
+
+Insn decode(u32 word);
+
+// True if the word lies in the system instruction space
+// (bits[31:22] == 0b1101010100), decoded or not. Table 3's rules are
+// expressed over this space.
+bool in_system_space(u32 word);
+
+}  // namespace lz::arch

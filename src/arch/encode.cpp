@@ -1,0 +1,211 @@
+#include "arch/encode.h"
+
+#include "support/bits.h"
+#include "support/status.h"
+
+namespace lz::arch::enc {
+namespace {
+
+constexpr u32 kSf = u32{1} << 31;  // 64-bit operand size
+
+u32 move_wide(u32 opc, u8 rd, u16 imm16, u8 hw) {
+  LZ_CHECK(hw < 4 && rd < 32);
+  return kSf | (opc << 29) | (0b100101u << 23) | (u32{hw} << 21) |
+         (u32{imm16} << 5) | rd;
+}
+
+u32 addsub_imm(bool sub, bool setflags, u8 rd, u8 rn, u16 imm12,
+               bool shift12) {
+  LZ_CHECK(imm12 < 4096 && rd < 32 && rn < 32);
+  return kSf | (u32{sub} << 30) | (u32{setflags} << 29) | (0b100010u << 23) |
+         (u32{shift12} << 22) | (u32{imm12} << 10) | (u32{rn} << 5) | rd;
+}
+
+u32 addsub_reg(bool sub, bool setflags, u8 rd, u8 rn, u8 rm) {
+  LZ_CHECK(rd < 32 && rn < 32 && rm < 32);
+  return kSf | (u32{sub} << 30) | (u32{setflags} << 29) | (0b01011u << 24) |
+         (u32{rm} << 16) | (u32{rn} << 5) | rd;
+}
+
+u32 logical_reg(u32 opc, u8 rd, u8 rn, u8 rm) {
+  LZ_CHECK(rd < 32 && rn < 32 && rm < 32);
+  return kSf | (opc << 29) | (0b01010u << 24) | (u32{rm} << 16) |
+         (u32{rn} << 5) | rd;
+}
+
+u32 branch_imm(u32 op, i64 offset) {
+  LZ_CHECK((offset & 3) == 0);
+  const i64 imm26 = offset >> 2;
+  LZ_CHECK(imm26 >= -(i64{1} << 25) && imm26 < (i64{1} << 25));
+  return (op << 31) | (0b00101u << 26) | (static_cast<u32>(imm26) & 0x3ffffff);
+}
+
+u32 ldst_size_bits(u8 size) {
+  switch (size) {
+    case 1: return 0b00;
+    case 2: return 0b01;
+    case 4: return 0b10;
+    case 8: return 0b11;
+  }
+  LZ_CHECK(false && "bad load/store size");
+  return 0;
+}
+
+u32 system_insn(bool read, u8 op0, u8 op1, u8 crn, u8 crm, u8 op2, u8 rt) {
+  return (0b1101010100u << 22) | (u32{read} << 21) | (u32{op0} << 19) |
+         (u32{op1} << 16) | (u32{crn} << 12) | (u32{crm} << 8) |
+         (u32{op2} << 5) | rt;
+}
+
+u32 except_gen(u32 opc, u32 ll, u16 imm16) {
+  return (0b11010100u << 24) | (opc << 21) | (u32{imm16} << 5) | ll;
+}
+
+}  // namespace
+
+u32 movz(u8 rd, u16 imm16, u8 hw) { return move_wide(0b10, rd, imm16, hw); }
+u32 movk(u8 rd, u16 imm16, u8 hw) { return move_wide(0b11, rd, imm16, hw); }
+u32 movn(u8 rd, u16 imm16, u8 hw) { return move_wide(0b00, rd, imm16, hw); }
+
+u32 add_imm(u8 rd, u8 rn, u16 imm12, bool shift12) {
+  return addsub_imm(false, false, rd, rn, imm12, shift12);
+}
+u32 sub_imm(u8 rd, u8 rn, u16 imm12, bool shift12) {
+  return addsub_imm(true, false, rd, rn, imm12, shift12);
+}
+u32 subs_imm(u8 rd, u8 rn, u16 imm12) {
+  return addsub_imm(true, true, rd, rn, imm12, false);
+}
+u32 add_reg(u8 rd, u8 rn, u8 rm) { return addsub_reg(false, false, rd, rn, rm); }
+u32 sub_reg(u8 rd, u8 rn, u8 rm) { return addsub_reg(true, false, rd, rn, rm); }
+u32 subs_reg(u8 rd, u8 rn, u8 rm) { return addsub_reg(true, true, rd, rn, rm); }
+u32 and_reg(u8 rd, u8 rn, u8 rm) { return logical_reg(0b00, rd, rn, rm); }
+u32 orr_reg(u8 rd, u8 rn, u8 rm) { return logical_reg(0b01, rd, rn, rm); }
+u32 eor_reg(u8 rd, u8 rn, u8 rm) { return logical_reg(0b10, rd, rn, rm); }
+u32 ands_reg(u8 rd, u8 rn, u8 rm) { return logical_reg(0b11, rd, rn, rm); }
+
+u32 lsl_imm(u8 rd, u8 rn, u8 shift) {
+  // UBFM Xd, Xn, #(-shift mod 64), #(63 - shift)
+  LZ_CHECK(shift < 64 && rd < 32 && rn < 32);
+  const u32 immr = (64 - shift) & 63;
+  const u32 imms = 63 - shift;
+  return kSf | (0b10100110u << 23) | (1u << 22) | (immr << 16) | (imms << 10) |
+         (u32{rn} << 5) | rd;
+}
+
+u32 b(i64 offset) { return branch_imm(0, offset); }
+u32 bl(i64 offset) { return branch_imm(1, offset); }
+
+u32 b_cond(Cond cond, i64 offset) {
+  LZ_CHECK((offset & 3) == 0);
+  const i64 imm19 = offset >> 2;
+  LZ_CHECK(imm19 >= -(i64{1} << 18) && imm19 < (i64{1} << 18));
+  return (0b01010100u << 24) | ((static_cast<u32>(imm19) & 0x7ffff) << 5) |
+         static_cast<u32>(cond);
+}
+
+static u32 cb(bool nz, u8 rt, i64 offset) {
+  LZ_CHECK((offset & 3) == 0 && rt < 32);
+  const i64 imm19 = offset >> 2;
+  LZ_CHECK(imm19 >= -(i64{1} << 18) && imm19 < (i64{1} << 18));
+  return kSf | (0b011010u << 25) | (u32{nz} << 24) |
+         ((static_cast<u32>(imm19) & 0x7ffff) << 5) | rt;
+}
+u32 cbz(u8 rt, i64 offset) { return cb(false, rt, offset); }
+u32 cbnz(u8 rt, i64 offset) { return cb(true, rt, offset); }
+
+static u32 branch_reg(u32 opc, u8 rn) {
+  LZ_CHECK(rn < 32);
+  return (0b1101011u << 25) | (opc << 21) | (0b11111u << 16) | (u32{rn} << 5);
+}
+u32 br(u8 rn) { return branch_reg(0b0000, rn); }
+u32 blr(u8 rn) { return branch_reg(0b0001, rn); }
+u32 ret(u8 rn) { return branch_reg(0b0010, rn); }
+
+u32 ldr_imm(u8 rt, u8 rn, u16 offset, u8 size) {
+  LZ_CHECK(offset % size == 0 && rt < 32 && rn < 32);
+  const u32 imm12 = offset / size;
+  LZ_CHECK(imm12 < 4096);
+  return (ldst_size_bits(size) << 30) | (0b111001u << 24) | (0b01u << 22) |
+         (imm12 << 10) | (u32{rn} << 5) | rt;
+}
+
+u32 str_imm(u8 rt, u8 rn, u16 offset, u8 size) {
+  LZ_CHECK(offset % size == 0 && rt < 32 && rn < 32);
+  const u32 imm12 = offset / size;
+  LZ_CHECK(imm12 < 4096);
+  return (ldst_size_bits(size) << 30) | (0b111001u << 24) | (0b00u << 22) |
+         (imm12 << 10) | (u32{rn} << 5) | rt;
+}
+
+static u32 ldst_reg_off(bool load, u8 rt, u8 rn, u8 rm, bool scaled) {
+  LZ_CHECK(rt < 32 && rn < 32 && rm < 32);
+  // 64-bit, option = LSL (0b011), S = scaled.
+  return (0b11u << 30) | (0b111000u << 24) | ((load ? 0b01u : 0b00u) << 22) |
+         (1u << 21) | (u32{rm} << 16) | (0b011u << 13) | (u32{scaled} << 12) |
+         (0b10u << 10) | (u32{rn} << 5) | rt;
+}
+u32 ldr_reg(u8 rt, u8 rn, u8 rm, bool scaled) {
+  return ldst_reg_off(true, rt, rn, rm, scaled);
+}
+u32 str_reg(u8 rt, u8 rn, u8 rm, bool scaled) {
+  return ldst_reg_off(false, rt, rn, rm, scaled);
+}
+
+u32 ldtr(u8 rt, u8 rn, i16 imm9, u8 size, bool sign_ext) {
+  LZ_CHECK(imm9 >= -256 && imm9 < 256 && rt < 32 && rn < 32);
+  // opc: 01 = zero-extending load; 10 = sign-extend to 64 bits.
+  u32 opc = sign_ext ? 0b10u : 0b01u;
+  LZ_CHECK(!(sign_ext && size == 8));  // LDTRS* exists for sizes 1/2/4 only
+  return (ldst_size_bits(size) << 30) | (0b111000u << 24) | (opc << 22) |
+         ((static_cast<u32>(imm9) & 0x1ff) << 12) | (0b10u << 10) |
+         (u32{rn} << 5) | rt;
+}
+
+u32 sttr(u8 rt, u8 rn, i16 imm9, u8 size) {
+  LZ_CHECK(imm9 >= -256 && imm9 < 256 && rt < 32 && rn < 32);
+  return (ldst_size_bits(size) << 30) | (0b111000u << 24) | (0b00u << 22) |
+         ((static_cast<u32>(imm9) & 0x1ff) << 12) | (0b10u << 10) |
+         (u32{rn} << 5) | rt;
+}
+
+u32 msr(SysReg reg, u8 rt) {
+  const auto e = sysreg_encoding(reg);
+  return system_insn(false, e.op0, e.op1, e.crn, e.crm, e.op2, rt);
+}
+u32 mrs(u8 rt, SysReg reg) {
+  const auto e = sysreg_encoding(reg);
+  return system_insn(true, e.op0, e.op1, e.crn, e.crm, e.op2, rt);
+}
+u32 msr_raw(const SysRegEncoding& e, u8 rt) {
+  return system_insn(false, e.op0, e.op1, e.crn, e.crm, e.op2, rt);
+}
+u32 mrs_raw(const SysRegEncoding& e, u8 rt) {
+  return system_insn(true, e.op0, e.op1, e.crn, e.crm, e.op2, rt);
+}
+
+u32 msr_imm(PStateField field, u8 imm4) {
+  // MSR (immediate): op0 = 0b00, CRn = 0b0100, CRm = imm4, Rt = 0b11111.
+  LZ_CHECK(imm4 < 16);
+  return system_insn(false, 0b00, field.op1, 0b0100, imm4, field.op2, 31);
+}
+
+u32 sys(u8 op1, u8 crn, u8 crm, u8 op2, u8 rt) {
+  return system_insn(false, 0b01, op1, crn, crm, op2, rt);
+}
+u32 tlbi_vmalle1() { return sys(0, 8, 7, 0); }
+u32 at_s1e1r(u8 rt) { return sys(0, 7, 8, 0, rt); }
+
+u32 isb() { return system_insn(false, 0b00, 0b011, 0b0011, 0b1111, 0b110, 31); }
+u32 dsb() { return system_insn(false, 0b00, 0b011, 0b0011, 0b1111, 0b100, 31); }
+u32 dmb() { return system_insn(false, 0b00, 0b011, 0b0011, 0b1111, 0b101, 31); }
+u32 nop() { return system_insn(false, 0b00, 0b011, 0b0010, 0b0000, 0b000, 31); }
+
+u32 svc(u16 imm16) { return except_gen(0b000, 0b01, imm16); }
+u32 hvc(u16 imm16) { return except_gen(0b000, 0b10, imm16); }
+u32 smc(u16 imm16) { return except_gen(0b000, 0b11, imm16); }
+u32 brk(u16 imm16) { return except_gen(0b001, 0b00, imm16); }
+u32 eret() { return 0xd69f03e0; }
+u32 udf() { return 0; }
+
+}  // namespace lz::arch::enc

@@ -1,0 +1,76 @@
+// A64 instruction encoders. All functions return the 32-bit instruction
+// word with the real architectural encoding; the decoder (decode.h) and the
+// sanitizer operate on these words, so guest programs assembled with these
+// helpers are bit-faithful for the modelled subset. 64-bit (X register)
+// forms only — the model does not need W-register arithmetic.
+#pragma once
+
+#include "arch/insn.h"
+#include "support/types.h"
+
+namespace lz::arch::enc {
+
+// --- Data processing --------------------------------------------------------
+u32 movz(u8 rd, u16 imm16, u8 hw = 0);
+u32 movk(u8 rd, u16 imm16, u8 hw = 0);
+u32 movn(u8 rd, u16 imm16, u8 hw = 0);
+u32 add_imm(u8 rd, u8 rn, u16 imm12, bool shift12 = false);
+u32 sub_imm(u8 rd, u8 rn, u16 imm12, bool shift12 = false);
+u32 subs_imm(u8 rd, u8 rn, u16 imm12);          // CMP when rd == 31
+u32 add_reg(u8 rd, u8 rn, u8 rm);
+u32 sub_reg(u8 rd, u8 rn, u8 rm);
+u32 subs_reg(u8 rd, u8 rn, u8 rm);              // CMP (reg) when rd == 31
+u32 and_reg(u8 rd, u8 rn, u8 rm);
+u32 orr_reg(u8 rd, u8 rn, u8 rm);               // MOV (reg) when rn == 31
+u32 eor_reg(u8 rd, u8 rn, u8 rm);
+u32 ands_reg(u8 rd, u8 rn, u8 rm);
+u32 lsl_imm(u8 rd, u8 rn, u8 shift);            // UBFM alias
+inline u32 cmp_imm(u8 rn, u16 imm12) { return subs_imm(31, rn, imm12); }
+inline u32 cmp_reg(u8 rn, u8 rm) { return subs_reg(31, rn, rm); }
+inline u32 mov_reg(u8 rd, u8 rm) { return orr_reg(rd, 31, rm); }
+
+// --- Branches (offsets in bytes, relative to this instruction) -------------
+u32 b(i64 offset);
+u32 bl(i64 offset);
+u32 b_cond(Cond cond, i64 offset);
+u32 cbz(u8 rt, i64 offset);
+u32 cbnz(u8 rt, i64 offset);
+u32 br(u8 rn);
+u32 blr(u8 rn);
+u32 ret(u8 rn = kLrIndex);
+
+// --- Loads/stores -----------------------------------------------------------
+// Unsigned scaled immediate: offset must be a multiple of `size` (1/2/4/8).
+u32 ldr_imm(u8 rt, u8 rn, u16 offset, u8 size = 8);
+u32 str_imm(u8 rt, u8 rn, u16 offset, u8 size = 8);
+// Register offset with optional LSL #log2(size) scaling (64-bit only).
+u32 ldr_reg(u8 rt, u8 rn, u8 rm, bool scaled = true);
+u32 str_reg(u8 rt, u8 rn, u8 rm, bool scaled = true);
+// Unprivileged (LDTR/STTR family). imm9 is a signed byte offset.
+u32 ldtr(u8 rt, u8 rn, i16 imm9 = 0, u8 size = 8, bool sign_ext = false);
+u32 sttr(u8 rt, u8 rn, i16 imm9 = 0, u8 size = 8);
+
+// --- System -----------------------------------------------------------------
+u32 msr(SysReg reg, u8 rt);
+u32 mrs(u8 rt, SysReg reg);
+u32 msr_raw(const SysRegEncoding& e, u8 rt);    // arbitrary encoding (attacks)
+u32 mrs_raw(const SysRegEncoding& e, u8 rt);
+u32 msr_imm(PStateField field, u8 imm4);        // MSR PAN/#imm etc.
+inline u32 msr_pan(u8 v) { return msr_imm(kPStatePan, v); }
+u32 sys(u8 op1, u8 crn, u8 crm, u8 op2, u8 rt = 31);  // DC/IC/AT/TLBI space
+u32 tlbi_vmalle1();
+u32 at_s1e1r(u8 rt);
+u32 isb();
+u32 dsb();
+u32 dmb();
+u32 nop();
+
+// --- Exception generation and return ----------------------------------------
+u32 svc(u16 imm16);
+u32 hvc(u16 imm16);
+u32 smc(u16 imm16);
+u32 brk(u16 imm16);
+u32 eret();
+u32 udf();
+
+}  // namespace lz::arch::enc

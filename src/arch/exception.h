@@ -1,0 +1,92 @@
+// ARMv8-A exception model: exception levels, exception classes (the ESR_ELx
+// EC field), and vector-table offsets. Only the subset the LightZone paper
+// exercises is modelled, but encodings follow the architecture manual so
+// the sanitizer / trap routing logic matches real hardware behaviour.
+#pragma once
+
+#include "support/types.h"
+
+namespace lz::arch {
+
+enum class ExceptionLevel : u8 {
+  kEl0 = 0,  // user mode
+  kEl1 = 1,  // kernel mode (guest kernels, LightZone processes)
+  kEl2 = 2,  // hypervisor mode (host kernel under VHE, Lowvisor)
+};
+
+const char* to_string(ExceptionLevel el);
+
+// ESR_ELx.EC values (Architecture Reference Manual D17.2.37).
+enum class ExceptionClass : u8 {
+  kUnknown = 0x00,
+  kTrappedWfx = 0x01,
+  kIllegalState = 0x0e,
+  kSvc64 = 0x15,
+  kHvc64 = 0x16,
+  kSmc64 = 0x17,
+  kMsrMrsTrap = 0x18,    // trapped MSR/MRS/system instruction
+  kInsnAbortLowerEl = 0x20,
+  kInsnAbortSameEl = 0x21,
+  kDataAbortLowerEl = 0x24,
+  kDataAbortSameEl = 0x25,
+  kBrk64 = 0x3c,
+  kIrq = 0x40,           // synthetic: not an EC, used for vector routing
+};
+
+const char* to_string(ExceptionClass ec);
+
+// Data/instruction abort ISS fault status codes (subset).
+enum class FaultStatus : u8 {
+  kAddressSizeL0 = 0b000000,
+  kTranslationL0 = 0b000100,
+  kTranslationL1 = 0b000101,
+  kTranslationL2 = 0b000110,
+  kTranslationL3 = 0b000111,
+  kAccessFlagL1 = 0b001001,
+  kPermissionL1 = 0b001101,
+  kPermissionL2 = 0b001110,
+  kPermissionL3 = 0b001111,
+};
+
+constexpr FaultStatus translation_fault(unsigned level) {
+  return static_cast<FaultStatus>(0b000100 | (level & 3));
+}
+constexpr FaultStatus permission_fault(unsigned level) {
+  return static_cast<FaultStatus>(0b001100 | (level & 3));
+}
+constexpr bool is_translation_fault(FaultStatus fs) {
+  return (static_cast<u8>(fs) & 0b111100) == 0b000100;
+}
+constexpr bool is_permission_fault(FaultStatus fs) {
+  return (static_cast<u8>(fs) & 0b111100) == 0b001100;
+}
+
+// Vector table offsets from VBAR_ELx (AArch64 only, SP_ELx selected).
+enum class VectorKind : u16 {
+  kSyncCurrentSp0 = 0x000,
+  kIrqCurrentSp0 = 0x080,
+  kSyncCurrentSpx = 0x200,
+  kIrqCurrentSpx = 0x280,
+  kSyncLower64 = 0x400,
+  kIrqLower64 = 0x480,
+};
+
+// Assemble an ESR value from EC + ISS (IL bit always set: 32-bit insns).
+constexpr u64 make_esr(ExceptionClass ec, u32 iss) {
+  return (static_cast<u64>(ec) << 26) | (u64{1} << 25) | (iss & 0x1ffffff);
+}
+constexpr ExceptionClass esr_ec(u64 esr) {
+  return static_cast<ExceptionClass>((esr >> 26) & 0x3f);
+}
+constexpr u32 esr_iss(u64 esr) { return static_cast<u32>(esr & 0x1ffffff); }
+
+// Data-abort ISS helpers: WnR (write-not-read) bit 6, DFSC bits [5:0].
+constexpr u32 make_abort_iss(FaultStatus fs, bool is_write) {
+  return (static_cast<u32>(is_write) << 6) | static_cast<u32>(fs);
+}
+constexpr FaultStatus iss_fault_status(u32 iss) {
+  return static_cast<FaultStatus>(iss & 0x3f);
+}
+constexpr bool iss_is_write(u32 iss) { return (iss >> 6) & 1; }
+
+}  // namespace lz::arch

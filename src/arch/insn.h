@@ -1,0 +1,102 @@
+// Decoded A64 instruction representation. The modelled subset covers what
+// LightZone's mechanisms need end-to-end: data processing, loads/stores
+// (normal, register-offset, and the unprivileged LDTR/STTR family),
+// branches, exception generation/return, barriers, and the full system
+// instruction space (MSR/MRS/MSR-immediate/SYS) that the sensitive
+// instruction sanitizer (§6.3, Table 3) classifies.
+#pragma once
+
+#include <optional>
+
+#include "arch/sysreg.h"
+#include "support/types.h"
+
+namespace lz::arch {
+
+enum class Op : u8 {
+  kUdf,      // permanently undefined / unmodelled encoding
+  kNop,
+  // Data processing.
+  kMovz, kMovk, kMovn,
+  kAddImm, kSubImm, kSubsImm,
+  kAddReg, kSubReg, kSubsReg,
+  kAndReg, kOrrReg, kEorReg, kAndsReg,
+  kLslImm,  // UBFM alias restricted to left-shift use
+  // Branches.
+  kB, kBl, kBCond, kCbz, kCbnz, kBr, kBlr, kRet,
+  // Loads/stores, unsigned scaled immediate.
+  kLdrImm, kStrImm,
+  // Loads/stores, register offset (LSL #scale).
+  kLdrReg, kStrReg,
+  // Unprivileged loads/stores (LDTR/STTR family): act as user-mode
+  // accesses when executed at EL1. Central to PANIC [61] and to the
+  // sanitizer's Table 3 rules.
+  kLdtr, kSttr,
+  // System instructions (bits[31:22] == 0b1101010100).
+  kMsrReg,   // MSR <sysreg>, Xt
+  kMrs,      // MRS Xt, <sysreg>
+  kMsrImm,   // MSR <pstatefield>, #imm  (PAN, SPSel, DAIFSet/Clr)
+  kSys,      // SYS: DC/IC/AT/TLBI space (op0 == 0b01)
+  kIsb, kDsb, kDmb,
+  // Exception generation and return.
+  kSvc, kHvc, kSmc, kBrk, kEret,
+};
+
+const char* to_string(Op op);
+
+// MSR-immediate PSTATE field selectors (op1, op2 per the manual).
+struct PStateField {
+  u8 op1, op2;
+  constexpr bool operator==(const PStateField&) const = default;
+};
+inline constexpr PStateField kPStatePan{0b000, 0b100};
+inline constexpr PStateField kPStateSpSel{0b000, 0b101};
+inline constexpr PStateField kPStateDaifSet{0b011, 0b110};
+inline constexpr PStateField kPStateDaifClr{0b011, 0b111};
+
+// Condition codes for B.cond.
+enum class Cond : u8 {
+  kEq = 0, kNe = 1, kCs = 2, kCc = 3, kMi = 4, kPl = 5, kVs = 6, kVc = 7,
+  kHi = 8, kLs = 9, kGe = 10, kLt = 11, kGt = 12, kLe = 13, kAl = 14,
+};
+
+inline constexpr u8 kZrIndex = 31;  // XZR / WZR register index
+inline constexpr u8 kLrIndex = 30;  // link register
+
+struct Insn {
+  Op op = Op::kUdf;
+  u8 rd = 0, rn = 0, rm = 0, rt = 0;
+  u8 size = 8;              // ld/st access size in bytes
+  bool sign_ext = false;    // ld sign-extending variant
+  Cond cond = Cond::kAl;
+  u8 hw = 0;                // move-wide shift chunk (shift = hw * 16)
+  u64 imm = 0;              // imm16 / imm12 / imm4, per op
+  i64 offset = 0;           // branch target offset or ld/st byte offset
+  u8 shift = 0;             // register-offset LSL amount / LSL #imm
+  // System instruction payload.
+  SysRegEncoding sys{};               // raw encoding fields
+  std::optional<SysReg> sysreg;       // resolved if the register is modelled
+  PStateField pstate{};               // for kMsrImm
+  u32 raw = 0;                        // original word
+
+  bool is_load() const {
+    return op == Op::kLdrImm || op == Op::kLdrReg || op == Op::kLdtr;
+  }
+  bool is_store() const {
+    return op == Op::kStrImm || op == Op::kStrReg || op == Op::kSttr;
+  }
+  bool is_unprivileged_ldst() const {
+    return op == Op::kLdtr || op == Op::kSttr;
+  }
+  bool is_branch() const {
+    switch (op) {
+      case Op::kB: case Op::kBl: case Op::kBCond: case Op::kCbz:
+      case Op::kCbnz: case Op::kBr: case Op::kBlr: case Op::kRet:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace lz::arch

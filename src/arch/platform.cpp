@@ -1,0 +1,120 @@
+#include "arch/platform.h"
+
+namespace lz::arch {
+namespace {
+
+constexpr int kEl0 = 0, kEl1 = 1, kEl2 = 2;
+
+// Constants are calibrated so the composed trap paths in src/hv and
+// src/lightzone land on the paper's Table 4 measurements:
+//
+//   host syscall      = excp(0,2) + 2*gpr_all + dispatch_kernel + eret(2,0)
+//   guest syscall     = excp(0,1) + 2*gpr_all + dispatch_kernel + eret(1,0)
+//   LZ host trap      = excp(1,1) + stub + excp(1,2) + 2*gpr_all
+//                       + dispatch_lz + dispatch_kernel + eret(2,1) + eret(1,1)
+//   KVM VHE hypercall = excp(1,2) + 2*gpr_all + full exit + dispatch_kernel
+//                       + full entry + eret(2,1)
+//   LZ guest trap     = 4 EL1<->EL2 transitions + 2 full EL1 ctx switches
+//                       + 2 VTTBR + 2 HCR + shared-pt_regs GPR handling
+//                       + Lowvisor/guest-kernel dispatches (§5.2.2)
+
+Platform make_cortex_a55() {
+  Platform p;
+  p.name = "Cortex-A55";
+  p.freq_ghz = 2.0;
+  // In-order little core: EL transitions are cheap and fairly uniform,
+  // consistent with prior KVM/ARM profiling [13, 14, 30].
+  p.excp_entry[kEl0][kEl1] = 74;
+  p.excp_entry[kEl0][kEl2] = 80;
+  p.excp_entry[kEl1][kEl1] = 58;
+  p.excp_entry[kEl1][kEl2] = 84;
+  p.eret_cost[kEl1][kEl0] = 65;
+  p.eret_cost[kEl2][kEl0] = 70;
+  p.eret_cost[kEl1][kEl1] = 52;
+  p.eret_cost[kEl2][kEl1] = 74;
+  p.insn_base = 1;
+  p.mem_access = 2;
+  p.tlb_l2_hit = 4;
+  p.tlb_walk_per_level = 14;
+  p.gpr_pair = 2;  // gpr_save_all = 32
+  p.sysreg_read = 2;
+  p.sysreg_write = 6;
+  p.sysreg_read_el1 = 2;
+  p.sysreg_write_el1 = 6;
+  p.sysreg_write_hcr = 88;    // Table 4, measured
+  p.sysreg_write_vttbr = 37;  // Table 4, measured
+  p.sysreg_write_ttbr0 = 14;
+  p.dbg_reg_write = 60;       // EL1 (guest kernel) debug-register write
+  p.dbg_reg_write_el2 = 68;   // EL2 (VHE host) debug-register write
+  p.isb = 8;
+  p.dsb = 10;
+  p.pan_toggle = 4;
+  p.fp_simd_ctx = 180;
+  p.gic_ctx = 60;
+  p.timer_ctx = 12;
+  p.dispatch_kernel = 85;
+  p.dispatch_lz = 113;
+  p.dispatch_lowvisor = 170;
+  p.dispatch_wp_algo = 72;
+  p.dispatch_lwc = 2000;
+  p.ptregs_locate = 190;
+  return p;
+}
+
+Platform make_carmel() {
+  Platform p;
+  p.name = "Carmel";
+  p.freq_ghz = 2.2;
+  // Wide out-of-order custom core. The paper measured anomalously slow
+  // traps and system-register updates on this SoC (Table 4 discussion):
+  // EL0<->EL2 transitions and system-register writes dominate everything.
+  p.excp_entry[kEl0][kEl1] = 250;
+  p.excp_entry[kEl0][kEl2] = 1520;
+  p.excp_entry[kEl1][kEl1] = 300;
+  p.excp_entry[kEl1][kEl2] = 780;
+  p.eret_cost[kEl1][kEl0] = 225;
+  p.eret_cost[kEl2][kEl0] = 1380;
+  p.eret_cost[kEl1][kEl1] = 280;
+  p.eret_cost[kEl2][kEl1] = 690;
+  p.insn_base = 1;
+  p.mem_access = 3;
+  p.tlb_l2_hit = 6;
+  p.tlb_walk_per_level = 42;
+  p.gpr_pair = 8;  // gpr_save_all = 128
+  p.sysreg_read = 55;
+  p.sysreg_write = 420;
+  p.sysreg_read_el1 = 30;
+  p.sysreg_write_el1 = 140;
+  p.sysreg_write_hcr = 1600;   // Table 4: 1550~1655 measured
+  p.sysreg_write_vttbr = 1115; // Table 4: measured
+  p.sysreg_write_ttbr0 = 300;
+  p.dbg_reg_write = 133;       // EL1 debug-register write
+  p.dbg_reg_write_el2 = 330;   // EL2 debug-register write
+  p.isb = 60;
+  p.dsb = 48;
+  p.pan_toggle = 9;
+  p.fp_simd_ctx = 4000;
+  p.gic_ctx = 1300;
+  p.timer_ctx = 300;
+  p.dispatch_kernel = 692;
+  p.dispatch_lz = 308;
+  p.dispatch_lowvisor = 480;
+  p.dispatch_wp_algo = 270;
+  p.dispatch_lwc = 500;
+  p.ptregs_locate = 2150;
+  return p;
+}
+
+}  // namespace
+
+const Platform& Platform::cortex_a55() {
+  static const Platform p = make_cortex_a55();
+  return p;
+}
+
+const Platform& Platform::carmel() {
+  static const Platform p = make_carmel();
+  return p;
+}
+
+}  // namespace lz::arch

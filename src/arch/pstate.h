@@ -1,0 +1,51 @@
+// Processor state (PSTATE): condition flags, interrupt masks, PAN, current
+// exception level. PAN (Privileged Access Never) is the bit LightZone's
+// efficient two-domain isolation mechanism toggles (§4.1.2 / §6.1).
+#pragma once
+
+#include "arch/exception.h"
+#include "support/types.h"
+
+namespace lz::arch {
+
+struct PState {
+  // Condition flags.
+  bool n = false, z = false, c = false, v = false;
+  // Interrupt masks (DAIF). Only I (IRQ) matters to the model.
+  bool irq_masked = false;
+  // Privileged Access Never: when set and executing at EL1/EL2 with
+  // stage-1 translation on, data accesses to user-accessible (AP[1]=1)
+  // pages fault. Unprivileged loads/stores (LDTR/STTR) are exempt.
+  bool pan = false;
+  ExceptionLevel el = ExceptionLevel::kEl0;
+  bool sp_sel = true;  // SPSel: use SP_ELx (true) or SP_EL0
+
+  // Pack into an SPSR-like value for exception entry/return.
+  u64 to_spsr() const {
+    u64 v64 = 0;
+    v64 |= static_cast<u64>(n) << 31;
+    v64 |= static_cast<u64>(z) << 30;
+    v64 |= static_cast<u64>(c) << 29;
+    v64 |= static_cast<u64>(v) << 28;
+    v64 |= static_cast<u64>(pan) << 22;
+    v64 |= static_cast<u64>(irq_masked) << 7;
+    v64 |= static_cast<u64>(el) << 2;
+    v64 |= static_cast<u64>(sp_sel);
+    return v64;
+  }
+
+  static PState from_spsr(u64 v64) {
+    PState p;
+    p.n = (v64 >> 31) & 1;
+    p.z = (v64 >> 30) & 1;
+    p.c = (v64 >> 29) & 1;
+    p.v = (v64 >> 28) & 1;
+    p.pan = (v64 >> 22) & 1;
+    p.irq_masked = (v64 >> 7) & 1;
+    p.el = static_cast<ExceptionLevel>((v64 >> 2) & 3);
+    p.sp_sel = v64 & 1;
+    return p;
+  }
+};
+
+}  // namespace lz::arch

@@ -1,0 +1,175 @@
+#include "arch/sysreg.h"
+
+#include <array>
+
+#include "arch/exception.h"
+#include <unordered_map>
+
+#include "support/status.h"
+
+namespace lz::arch {
+namespace {
+
+// Encodings follow the ARM Architecture Reference Manual (DDI 0487).
+constexpr std::array<SysRegInfo, kNumSysRegs> kTable = {{
+    {SysReg::kSctlrEl1, "SCTLR_EL1", {3, 0, 1, 0, 0}, 1},
+    {SysReg::kTtbr0El1, "TTBR0_EL1", {3, 0, 2, 0, 0}, 1},
+    {SysReg::kTtbr1El1, "TTBR1_EL1", {3, 0, 2, 0, 1}, 1},
+    {SysReg::kTcrEl1, "TCR_EL1", {3, 0, 2, 0, 2}, 1},
+    {SysReg::kMairEl1, "MAIR_EL1", {3, 0, 10, 2, 0}, 1},
+    {SysReg::kVbarEl1, "VBAR_EL1", {3, 0, 12, 0, 0}, 1},
+    {SysReg::kElrEl1, "ELR_EL1", {3, 0, 4, 0, 1}, 1},
+    {SysReg::kSpsrEl1, "SPSR_EL1", {3, 0, 4, 0, 0}, 1},
+    {SysReg::kEsrEl1, "ESR_EL1", {3, 0, 5, 2, 0}, 1},
+    {SysReg::kFarEl1, "FAR_EL1", {3, 0, 6, 0, 0}, 1},
+    {SysReg::kParEl1, "PAR_EL1", {3, 0, 7, 4, 0}, 1},
+    {SysReg::kContextidrEl1, "CONTEXTIDR_EL1", {3, 0, 13, 0, 1}, 1},
+    {SysReg::kTpidrEl1, "TPIDR_EL1", {3, 0, 13, 0, 4}, 1},
+    {SysReg::kSpEl0, "SP_EL0", {3, 0, 4, 1, 0}, 1},
+    {SysReg::kSpEl1, "SP_EL1", {3, 4, 4, 1, 0}, 2},
+    {SysReg::kCpacrEl1, "CPACR_EL1", {3, 0, 1, 0, 2}, 1},
+    {SysReg::kAfsr0El1, "AFSR0_EL1", {3, 0, 5, 1, 0}, 1},
+    {SysReg::kAfsr1El1, "AFSR1_EL1", {3, 0, 5, 1, 1}, 1},
+    {SysReg::kAmairEl1, "AMAIR_EL1", {3, 0, 10, 3, 0}, 1},
+    {SysReg::kCntkctlEl1, "CNTKCTL_EL1", {3, 0, 14, 1, 0}, 1},
+    {SysReg::kTpidrEl0, "TPIDR_EL0", {3, 3, 13, 0, 2}, 0},
+    {SysReg::kTpidrroEl0, "TPIDRRO_EL0", {3, 3, 13, 0, 3}, 0},
+    {SysReg::kNzcv, "NZCV", {3, 3, 4, 2, 0}, 0},
+    {SysReg::kDaif, "DAIF", {3, 3, 4, 2, 1}, 0},
+    {SysReg::kFpcr, "FPCR", {3, 3, 4, 4, 0}, 0},
+    {SysReg::kFpsr, "FPSR", {3, 3, 4, 4, 1}, 0},
+    {SysReg::kCntvctEl0, "CNTVCT_EL0", {3, 3, 14, 0, 2}, 0},
+    {SysReg::kCntfrqEl0, "CNTFRQ_EL0", {3, 3, 14, 0, 0}, 0},
+    {SysReg::kHcrEl2, "HCR_EL2", {3, 4, 1, 1, 0}, 2},
+    {SysReg::kVttbrEl2, "VTTBR_EL2", {3, 4, 2, 1, 0}, 2},
+    {SysReg::kVtcrEl2, "VTCR_EL2", {3, 4, 2, 1, 2}, 2},
+    {SysReg::kSctlrEl2, "SCTLR_EL2", {3, 4, 1, 0, 0}, 2},
+    {SysReg::kTtbr0El2, "TTBR0_EL2", {3, 4, 2, 0, 0}, 2},
+    {SysReg::kTcrEl2, "TCR_EL2", {3, 4, 2, 0, 2}, 2},
+    {SysReg::kMairEl2, "MAIR_EL2", {3, 4, 10, 2, 0}, 2},
+    {SysReg::kVbarEl2, "VBAR_EL2", {3, 4, 12, 0, 0}, 2},
+    {SysReg::kElrEl2, "ELR_EL2", {3, 4, 4, 0, 1}, 2},
+    {SysReg::kSpsrEl2, "SPSR_EL2", {3, 4, 4, 0, 0}, 2},
+    {SysReg::kEsrEl2, "ESR_EL2", {3, 4, 5, 2, 0}, 2},
+    {SysReg::kFarEl2, "FAR_EL2", {3, 4, 6, 0, 0}, 2},
+    {SysReg::kHpfarEl2, "HPFAR_EL2", {3, 4, 6, 0, 4}, 2},
+    {SysReg::kVpidrEl2, "VPIDR_EL2", {3, 4, 0, 0, 0}, 2},
+    {SysReg::kVmpidrEl2, "VMPIDR_EL2", {3, 4, 0, 0, 5}, 2},
+    {SysReg::kCptrEl2, "CPTR_EL2", {3, 4, 1, 1, 2}, 2},
+    {SysReg::kMdcrEl2, "MDCR_EL2", {3, 4, 1, 1, 1}, 2},
+    {SysReg::kCnthctlEl2, "CNTHCTL_EL2", {3, 4, 14, 1, 0}, 2},
+    {SysReg::kTpidrEl2, "TPIDR_EL2", {3, 4, 13, 0, 2}, 2},
+    // Debug watchpoints: DBGWVRn_EL1 = (2,0,0,n,6), DBGWCRn_EL1 = (2,0,0,n,7).
+    {SysReg::kDbgwvr0El1, "DBGWVR0_EL1", {2, 0, 0, 0, 6}, 1},
+    {SysReg::kDbgwcr0El1, "DBGWCR0_EL1", {2, 0, 0, 0, 7}, 1},
+    {SysReg::kDbgwvr1El1, "DBGWVR1_EL1", {2, 0, 0, 1, 6}, 1},
+    {SysReg::kDbgwcr1El1, "DBGWCR1_EL1", {2, 0, 0, 1, 7}, 1},
+    {SysReg::kDbgwvr2El1, "DBGWVR2_EL1", {2, 0, 0, 2, 6}, 1},
+    {SysReg::kDbgwcr2El1, "DBGWCR2_EL1", {2, 0, 0, 2, 7}, 1},
+    {SysReg::kDbgwvr3El1, "DBGWVR3_EL1", {2, 0, 0, 3, 6}, 1},
+    {SysReg::kDbgwcr3El1, "DBGWCR3_EL1", {2, 0, 0, 3, 7}, 1},
+}};
+
+const std::unordered_map<u16, SysReg>& reverse_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<u16, SysReg>();
+    for (const auto& info : kTable) m->emplace(info.enc.key(), info.reg);
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const SysRegInfo& sysreg_info(SysReg reg) {
+  const auto idx = static_cast<std::size_t>(reg);
+  LZ_CHECK(idx < kNumSysRegs);
+  LZ_CHECK(kTable[idx].reg == reg);  // table order must match enum order
+  return kTable[idx];
+}
+
+std::string_view sysreg_name(SysReg reg) { return sysreg_info(reg).name; }
+
+SysRegEncoding sysreg_encoding(SysReg reg) { return sysreg_info(reg).enc; }
+
+std::optional<SysReg> sysreg_from_encoding(const SysRegEncoding& enc) {
+  const auto& map = reverse_map();
+  auto it = map.find(enc.key());
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_stage1_control_reg(SysReg reg) {
+  switch (reg) {
+    case SysReg::kSctlrEl1:
+    case SysReg::kTtbr0El1:
+    case SysReg::kTtbr1El1:
+    case SysReg::kTcrEl1:
+    case SysReg::kMairEl1:
+    case SysReg::kAmairEl1:
+    case SysReg::kContextidrEl1:
+    case SysReg::kAfsr0El1:
+    case SysReg::kAfsr1El1:
+    case SysReg::kEsrEl1:
+    case SysReg::kFarEl1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const SysReg* el1_context_regs(std::size_t* count) {
+  static constexpr SysReg kRegs[] = {
+      SysReg::kSctlrEl1,  SysReg::kTtbr0El1, SysReg::kTtbr1El1,
+      SysReg::kTcrEl1,    SysReg::kMairEl1,  SysReg::kVbarEl1,
+      SysReg::kElrEl1,    SysReg::kSpsrEl1,  SysReg::kEsrEl1,
+      SysReg::kFarEl1,    SysReg::kParEl1,   SysReg::kContextidrEl1,
+      SysReg::kTpidrEl1,  SysReg::kSpEl0,    SysReg::kSpEl1,
+      SysReg::kCpacrEl1,  SysReg::kAfsr0El1, SysReg::kAfsr1El1,
+      SysReg::kAmairEl1,  SysReg::kCntkctlEl1,
+  };
+  *count = std::size(kRegs);
+  return kRegs;
+}
+
+bool is_watchpoint_reg(SysReg reg) {
+  switch (reg) {
+    case SysReg::kDbgwvr0El1: case SysReg::kDbgwcr0El1:
+    case SysReg::kDbgwvr1El1: case SysReg::kDbgwcr1El1:
+    case SysReg::kDbgwvr2El1: case SysReg::kDbgwcr2El1:
+    case SysReg::kDbgwvr3El1: case SysReg::kDbgwcr3El1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(ExceptionLevel el) {
+  switch (el) {
+    case ExceptionLevel::kEl0: return "EL0";
+    case ExceptionLevel::kEl1: return "EL1";
+    case ExceptionLevel::kEl2: return "EL2";
+  }
+  return "EL?";
+}
+
+const char* to_string(ExceptionClass ec) {
+  switch (ec) {
+    case ExceptionClass::kUnknown: return "UNKNOWN";
+    case ExceptionClass::kTrappedWfx: return "WFX";
+    case ExceptionClass::kIllegalState: return "ILLEGAL_STATE";
+    case ExceptionClass::kSvc64: return "SVC";
+    case ExceptionClass::kHvc64: return "HVC";
+    case ExceptionClass::kSmc64: return "SMC";
+    case ExceptionClass::kMsrMrsTrap: return "MSR_MRS_TRAP";
+    case ExceptionClass::kInsnAbortLowerEl: return "INSN_ABORT_LOWER";
+    case ExceptionClass::kInsnAbortSameEl: return "INSN_ABORT_SAME";
+    case ExceptionClass::kDataAbortLowerEl: return "DATA_ABORT_LOWER";
+    case ExceptionClass::kDataAbortSameEl: return "DATA_ABORT_SAME";
+    case ExceptionClass::kBrk64: return "BRK";
+    case ExceptionClass::kIrq: return "IRQ";
+  }
+  return "EC?";
+}
+
+}  // namespace lz::arch

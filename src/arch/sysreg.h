@@ -1,0 +1,134 @@
+// System registers: the modelled subset, their real MSR/MRS encodings
+// (op0, op1, CRn, CRm, op2), and the register-class metadata the world
+// switch (§5.2) and the sensitive-instruction sanitizer (§6.3, Table 3)
+// depend on.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "support/types.h"
+
+namespace lz::arch {
+
+enum class SysReg : u8 {
+  // EL1 context ("kernel-mode system registers" in the paper).
+  kSctlrEl1,
+  kTtbr0El1,
+  kTtbr1El1,
+  kTcrEl1,
+  kMairEl1,
+  kVbarEl1,
+  kElrEl1,
+  kSpsrEl1,
+  kEsrEl1,
+  kFarEl1,
+  kParEl1,
+  kContextidrEl1,
+  kTpidrEl1,
+  kSpEl0,   // accessible as a system register from EL1
+  kSpEl1,
+  kCpacrEl1,
+  kAfsr0El1,
+  kAfsr1El1,
+  kAmairEl1,
+  kCntkctlEl1,
+  // EL0-visible.
+  kTpidrEl0,
+  kTpidrroEl0,
+  kNzcv,
+  kDaif,
+  kFpcr,
+  kFpsr,
+  kCntvctEl0,
+  kCntfrqEl0,
+  // EL2 ("hypervisor-mode system registers").
+  kHcrEl2,
+  kVttbrEl2,
+  kVtcrEl2,
+  kSctlrEl2,
+  kTtbr0El2,
+  kTcrEl2,
+  kMairEl2,
+  kVbarEl2,
+  kElrEl2,
+  kSpsrEl2,
+  kEsrEl2,
+  kFarEl2,
+  kHpfarEl2,
+  kVpidrEl2,
+  kVmpidrEl2,
+  kCptrEl2,
+  kMdcrEl2,
+  kCnthctlEl2,
+  kTpidrEl2,
+  // Debug: watchpoint value/control pairs 0-3 (used by the Watchpoint
+  // baseline [23]; DBGWVR<n>_EL1 / DBGWCR<n>_EL1).
+  kDbgwvr0El1, kDbgwcr0El1,
+  kDbgwvr1El1, kDbgwcr1El1,
+  kDbgwvr2El1, kDbgwcr2El1,
+  kDbgwvr3El1, kDbgwcr3El1,
+  kCount,
+};
+
+inline constexpr std::size_t kNumSysRegs =
+    static_cast<std::size_t>(SysReg::kCount);
+
+// MSR/MRS encoding space: <op0, op1, CRn, CRm, op2>.
+struct SysRegEncoding {
+  u8 op0, op1, crn, crm, op2;
+
+  constexpr bool operator==(const SysRegEncoding&) const = default;
+  constexpr u16 key() const {
+    return static_cast<u16>((op0 << 14) | (op1 << 11) | (crn << 7) |
+                            (crm << 3) | op2);
+  }
+};
+
+struct SysRegInfo {
+  SysReg reg;
+  std::string_view name;
+  SysRegEncoding enc;
+  // Lowest EL from which direct (untrapped) access is architecturally legal.
+  u8 min_el;
+};
+
+// Full metadata table, indexed by SysReg.
+const SysRegInfo& sysreg_info(SysReg reg);
+std::string_view sysreg_name(SysReg reg);
+SysRegEncoding sysreg_encoding(SysReg reg);
+
+// Reverse lookup used by the decoder; nullopt for unmodelled encodings.
+std::optional<SysReg> sysreg_from_encoding(const SysRegEncoding& enc);
+
+// --- HCR_EL2 bits the model honours (D13.2.48) -----------------------------
+namespace hcr {
+inline constexpr u64 kVm = u64{1} << 0;     // stage-2 translation enable
+inline constexpr u64 kSwio = u64{1} << 1;
+inline constexpr u64 kFmo = u64{1} << 3;    // route FIQs to EL2
+inline constexpr u64 kImo = u64{1} << 4;    // route IRQs to EL2
+inline constexpr u64 kAmo = u64{1} << 5;
+inline constexpr u64 kTwi = u64{1} << 13;   // trap WFI
+inline constexpr u64 kTwe = u64{1} << 14;   // trap WFE
+inline constexpr u64 kTsc = u64{1} << 19;   // trap SMC
+inline constexpr u64 kTtlb = u64{1} << 25;  // trap TLB maintenance
+inline constexpr u64 kTvm = u64{1} << 26;   // trap writes to stage-1 regs
+inline constexpr u64 kTge = u64{1} << 27;   // trap general exceptions to EL2
+inline constexpr u64 kTrvm = u64{1} << 30;  // trap reads of stage-1 regs
+inline constexpr u64 kRw = u64{1} << 31;    // EL1 is AArch64
+inline constexpr u64 kE2h = u64{1} << 34;   // VHE: host kernel at EL2
+}  // namespace hcr
+
+// Registers covered by HCR_EL2.TVM/TRVM ("virtual memory control" traps):
+// the stage-1 translation controls a confined kernel-mode process must not
+// touch (§5.1.2). TTBR0_EL1 is deliberately INCLUDED here architecturally;
+// LightZone leaves TVM clear and relies on the sanitizer + call gate.
+bool is_stage1_control_reg(SysReg reg);
+
+// EL1-context registers that the world switch saves/restores when switching
+// between a VM (or LightZone process) and its kernel.
+const SysReg* el1_context_regs(std::size_t* count);
+
+bool is_watchpoint_reg(SysReg reg);
+
+}  // namespace lz::arch

@@ -1,0 +1,52 @@
+// Simulated light-weight contexts (lwC, OSDI'16 [31]) baseline.
+//
+// lwC gives a process multiple kernel-managed contexts, each with its own
+// address space; switching contexts is a syscall that swaps the page table
+// and the kernel-side context. It scales to arbitrarily many domains but
+// pays a full user->kernel round-trip plus context bookkeeping per switch
+// (the paper simulates it the same way, §8 "Performance Comparison").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hv/guest.h"
+#include "hv/host.h"
+
+namespace lz::baseline {
+
+class LwcIsolation {
+ public:
+  // `vm` null = host process; non-null = inside the guest VM.
+  LwcIsolation(hv::Host& host, hv::GuestVm* vm = nullptr);
+
+  kernel::Kernel& kern();
+
+  // Create a context (domain). Returns its id. Contexts share the parent's
+  // mappings except for the private regions attached below.
+  int create_context();
+  int context_count() const { return static_cast<int>(contexts_.size()); }
+
+  // Attach a private region to one context.
+  Status attach(int ctx_id, VirtAddr base, u64 len);
+
+  // lwSwitch: syscall + kernel context switch (page table + register
+  // state + kernel bookkeeping).
+  Cycles switch_to(int ctx_id);
+
+  Cycles switch_cost_estimate() const;
+
+ private:
+  Cycles charge_syscall_roundtrip();
+
+  struct Ctx {
+    std::vector<std::pair<VirtAddr, u64>> private_regions;
+  };
+
+  hv::Host& host_;
+  hv::GuestVm* vm_;
+  std::vector<Ctx> contexts_;
+  int current_ = -1;
+};
+
+}  // namespace lz::baseline

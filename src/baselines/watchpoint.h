@@ -1,0 +1,78 @@
+// Watchpoint-based in-process isolation baseline (Jang & Kang, DAC'19 [23];
+// §8 "Performance Comparison").
+//
+// An ordinary EL0 process registers up to 16 protected domains, laid out as
+// equal power-of-two slots in one aligned arena (the paper's "strict memory
+// layout constraints"). Entering domain d is an ioctl: the kernel
+// reprograms the four hardware watchpoint register pairs
+// (DBGWVRn_EL1/DBGWCRn_EL1) so that every slot *except* d is watched; any
+// stray access then raises a debug exception. The binary range
+// decomposition of [0,d) ∪ (d,16) needs at most 4 power-of-two ranges —
+// exactly why 4 watchpoint pairs cap the design at 16 domains.
+//
+// Every switch costs a user->kernel trap plus 8 debug-register writes,
+// which is the baseline's fundamental handicap against LightZone (Table 5).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hv/guest.h"
+#include "hv/host.h"
+
+namespace lz::baseline {
+
+// ioctl pseudo-device fd and commands.
+inline constexpr u64 kWatchpointFd = 0x57;
+inline constexpr u64 kWpCmdSwitch = 1;  // arg = domain index
+inline constexpr u64 kWpCmdExit = 2;    // watch everything
+
+struct WpRange {
+  u64 begin_slot;
+  u64 slots;  // power of two
+};
+
+// Greedy binary decomposition of [0,hole) ∪ [hole+1,num_slots) into
+// power-of-two aligned ranges. Returns empty if more than `max_ranges`
+// would be needed.
+std::vector<WpRange> complement_ranges(u64 hole, u64 num_slots,
+                                       std::size_t max_ranges = 4);
+
+class WatchpointIsolation {
+ public:
+  static constexpr int kMaxDomains = 16;
+
+  // `vm` null = host process (ioctl handled by the VHE host kernel at EL2);
+  // non-null = guest process (handled by the guest kernel at EL1, with the
+  // cheaper guest trap but also cheaper debug-register writes — Table 5).
+  WatchpointIsolation(hv::Host& host, hv::GuestVm* vm = nullptr);
+
+  kernel::Kernel& kern();
+
+  // Domain arena: `slot_size` must be a power of two and page-aligned;
+  // domain i occupies [base + i*slot_size, base + (i+1)*slot_size).
+  Status setup_arena(VirtAddr base, u64 slot_size, int num_domains);
+  VirtAddr domain_base(int domain) const {
+    return arena_base_ + static_cast<u64>(domain) * slot_size_;
+  }
+
+  // Event-level switches used by microbenches and workloads: charge the
+  // ioctl round-trip and program the real DBGW registers on the core.
+  Cycles switch_to(int domain);
+  Cycles exit_domains();  // revoke access to every domain
+
+  // The ioctl path cost alone (for reporting).
+  Cycles switch_cost_estimate() const;
+
+ private:
+  void program_watchpoints(int hole_domain);
+  Cycles charge_ioctl_roundtrip();
+
+  hv::Host& host_;
+  hv::GuestVm* vm_;
+  VirtAddr arena_base_ = 0;
+  u64 slot_size_ = 0;
+  int num_domains_ = 0;
+};
+
+}  // namespace lz::baseline

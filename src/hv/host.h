@@ -1,0 +1,64 @@
+// The Host: a VHE host kernel running (logically) in hypervisor mode. It
+// owns the machine-wide EL2 trap vector, the host process kernel, VMID
+// allocation, and the conditional HCR_EL2/VTTBR_EL2 write optimisation of
+// §5.2.1. Guest VMs and LightZone processes register as trap delegates
+// while they are the active world.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hv/trap_delegate.h"
+#include "kernel/kernel.h"
+#include "sim/machine.h"
+
+namespace lz::hv {
+
+class Host {
+ public:
+  explicit Host(sim::Machine& machine);
+
+  sim::Machine& machine() { return machine_; }
+  kernel::Kernel& kern() { return *kern_; }
+  sim::Core& core() { return machine_.core(); }
+
+  // HCR value while ordinary host user processes run under VHE.
+  static constexpr u64 kHostHcr =
+      arch::hcr::kE2h | arch::hcr::kTge | arch::hcr::kRw;
+
+  u16 alloc_vmid() { return next_vmid_++; }
+
+  // --- Conditional system-register switching (§5.2.1) ------------------------
+  // Writes are skipped (and cost nothing) when the register already holds
+  // the value — LightZone retains HCR_EL2/VTTBR_EL2 across most traps.
+  // Disabling the optimisation forces a charged write every call (ablation).
+  void write_hcr(u64 value);
+  void write_vttbr(u64 value);
+  bool conditional_sysreg_opt() const { return conditional_sysreg_opt_; }
+  void set_conditional_sysreg_opt(bool on) { conditional_sysreg_opt_ = on; }
+
+  // --- EL2 trap routing -------------------------------------------------------
+  void push_delegate(TrapDelegate* delegate);
+  void pop_delegate(TrapDelegate* delegate);
+
+  // --- Host user processes ----------------------------------------------------
+  // Configure the core for host-user execution (HCR = E2H|TGE, stage-2 off)
+  // and run `proc` from its saved context until exit or `max_steps`.
+  sim::RunResult run_user_process(kernel::Process& proc,
+                                  u64 max_steps = 10'000'000);
+
+  kernel::Process* current_user_process() { return current_proc_; }
+
+ private:
+  sim::TrapAction handle_el2(const sim::TrapInfo& info);
+  sim::TrapAction host_process_trap(const sim::TrapInfo& info);
+
+  sim::Machine& machine_;
+  std::unique_ptr<kernel::Kernel> kern_;
+  std::vector<TrapDelegate*> delegates_;
+  kernel::Process* current_proc_ = nullptr;
+  u16 next_vmid_ = 1;
+  bool conditional_sysreg_opt_ = true;
+};
+
+}  // namespace lz::hv

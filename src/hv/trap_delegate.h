@@ -1,0 +1,16 @@
+// Interface through which specialised worlds (guest VMs, LightZone
+// processes) receive the EL2 traps the Host routes to them while they are
+// the active world.
+#pragma once
+
+#include "sim/core.h"
+
+namespace lz::hv {
+
+class TrapDelegate {
+ public:
+  virtual ~TrapDelegate() = default;
+  virtual sim::TrapAction on_el2_trap(const sim::TrapInfo& info) = 0;
+};
+
+}  // namespace lz::hv

@@ -1,0 +1,27 @@
+// World-switch cost primitives (§5.2). A full KVM-style switch moves the
+// whole EL1 system-register context plus FP/SIMD, vGIC and timer state and
+// rewrites HCR_EL2/VTTBR_EL2; LightZone's optimised paths move strictly
+// less, which is where its trap advantage comes from (Table 4).
+#pragma once
+
+#include "arch/sysreg.h"
+#include "sim/machine.h"
+
+namespace lz::hv {
+
+// Save (`read` from registers into memory) or restore one group of `count`
+// cheap system registers.
+void charge_sysreg_save(sim::Machine& m, std::size_t count);
+void charge_sysreg_restore(sim::Machine& m, std::size_t count);
+
+// The number of EL1-context registers a full world switch moves.
+std::size_t full_el1_ctx_count();
+
+// Full VM exit (guest -> host): save guest EL1 context + bulk state, then
+// point HCR/VTTBR at the host.
+void charge_full_vm_exit(sim::Machine& m);
+// Full VM entry (host -> guest): restore guest EL1 context + bulk state,
+// then point HCR/VTTBR at the guest.
+void charge_full_vm_entry(sim::Machine& m);
+
+}  // namespace lz::hv

@@ -1,0 +1,50 @@
+#include "lightzone/api.h"
+
+namespace lz::core {
+
+Env::Env(const arch::Platform& platform, Placement placement_in, u64 seed)
+    : placement(placement_in) {
+  machine = std::make_unique<sim::Machine>(platform, seed);
+  host = std::make_unique<hv::Host>(*machine);
+  if (placement == Placement::kGuest) {
+    vm = std::make_unique<hv::GuestVm>(*host, "vm0");
+    // Guest-kernel module + Lowvisor collaboration (§5.2.2).
+    module = std::make_unique<LzModule>(*host, *vm);
+  } else {
+    module = std::make_unique<LzModule>(*host);
+  }
+}
+
+Env::~Env() = default;
+
+kernel::Kernel& Env::kern() {
+  return placement == Placement::kGuest ? vm->kern() : host->kern();
+}
+
+kernel::Process& Env::new_process() {
+  auto& k = kern();
+  auto& proc = k.create_process();
+  LZ_CHECK_OK(k.mmap(proc, kCodeVa, kCodeLen,
+                     kernel::kProtRead | kernel::kProtExec));
+  LZ_CHECK_OK(k.mmap(proc, kHeapVa, kHeapLen,
+                     kernel::kProtRead | kernel::kProtWrite));
+  LZ_CHECK_OK(k.mmap(proc, kStackTop - kStackLen, kStackLen,
+                     kernel::kProtRead | kernel::kProtWrite));
+  proc.ctx().sp = kStackTop - 64;
+  proc.ctx().pc = kCodeVa;
+  return proc;
+}
+
+LzProc LzProc::enter(LzModule& module, kernel::Process& proc,
+                     bool allow_scalable, int insn_san,
+                     const LzOptions* overrides) {
+  LzOptions opts;
+  if (overrides != nullptr) opts = *overrides;
+  opts.allow_scalable = allow_scalable;
+  opts.sanitize = insn_san != 0;
+  opts.san_mode = insn_san == 2 ? SanitizeMode::kPan : SanitizeMode::kTtbr;
+  LzContext& ctx = module.enter(proc, opts);
+  return LzProc(module, ctx);
+}
+
+}  // namespace lz::core

@@ -1,0 +1,97 @@
+// User-facing LightZone API (Table 2) and scenario wiring.
+//
+//   Env       — one evaluation scenario: a simulated SoC (Carmel or
+//               Cortex-A55), a VHE host, optionally a guest VM, and the
+//               LightZone module loaded into the host or guest kernel.
+//   LzProc    — the API library's view of one process that entered
+//               LightZone: lz_alloc / lz_free / lz_prot / lz_map_gate_pgt /
+//               lz_switch_to_ttbr_gate / set_pan.
+//
+// `lz_switch_to_ttbr_gate` executes the real TTBR1-mapped call-gate code on
+// the simulated core; `set_pan` performs the PAN toggle. Both return the
+// cycles consumed, which is what the Table 5 microbenchmark measures.
+#pragma once
+
+#include <memory>
+
+#include "lightzone/module.h"
+
+namespace lz::core {
+
+struct Env {
+  enum class Placement { kHost, kGuest };
+
+  Env(const arch::Platform& platform, Placement placement, u64 seed = 42);
+  ~Env();
+
+  // The kernel that owns LightZone processes (host kernel or guest kernel).
+  kernel::Kernel& kern();
+
+  // Create a process with a conventional layout: code, heap, and stack
+  // VMAs (addresses in layout constants below).
+  kernel::Process& new_process();
+
+  static constexpr VirtAddr kCodeVa = 0x400000;
+  static constexpr u64 kCodeLen = 1 << 20;
+  static constexpr VirtAddr kHeapVa = 0x10000000;
+  static constexpr u64 kHeapLen = 64ull << 20;
+  static constexpr VirtAddr kStackTop = 0x7ff0000000;
+  static constexpr u64 kStackLen = 1 << 20;
+
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<hv::Host> host;
+  std::unique_ptr<hv::GuestVm> vm;  // only for Placement::kGuest
+  std::unique_ptr<LzModule> module;
+  Placement placement;
+};
+
+class LzProc {
+ public:
+  // lz_enter(allow_scalable, insn_san): one-way ticket into the
+  // per-process virtual environment (§4.1.1).
+  static LzProc enter(LzModule& module, kernel::Process& proc,
+                      bool allow_scalable, int insn_san,
+                      const LzOptions* overrides = nullptr);
+
+  // --- Table 2 ----------------------------------------------------------------
+  int lz_alloc() { return module_->alloc_pgt(*ctx_); }
+  int lz_free(int pgt) { return module_->free_pgt(*ctx_, pgt).is_ok() ? 0 : -1; }
+  int lz_prot(VirtAddr addr, u64 len, int pgt, u32 perm) {
+    return module_->prot(*ctx_, addr, len, pgt, perm).is_ok() ? 0 : -1;
+  }
+  int lz_map_gate_pgt(int pgt, int gate) {
+    return module_->map_gate_pgt(*ctx_, pgt, gate).is_ok() ? 0 : -1;
+  }
+  // Registers the gate's static legal entry (the return point after the
+  // lz_switch_to_ttbr_gate macro; fixed before compilation, §6.2).
+  int lz_set_gate_entry(int gate, VirtAddr entry) {
+    return module_->set_gate_entry(*ctx_, gate, entry).is_ok() ? 0 : -1;
+  }
+
+  // Executes the real call-gate instruction sequence; returns cycles.
+  Cycles lz_switch_to_ttbr_gate(int gate) {
+    return module_->exec_gate_switch(*ctx_, gate);
+  }
+  // MSR PAN, #imm.
+  Cycles set_pan(bool pan) { return module_->exec_set_pan(*ctx_, pan); }
+
+  // World management for benchmarks that drive switches directly.
+  void enter_world() { module_->enter_world(*ctx_); }
+  void exit_world() { module_->exit_world(*ctx_); }
+
+  sim::RunResult run(u64 max_steps = 10'000'000) {
+    return module_->run(*ctx_, max_steps);
+  }
+
+  LzContext& ctx() { return *ctx_; }
+  const LzContext& ctx() const { return *ctx_; }
+  LzModule& module() { return *module_; }
+  kernel::Process& proc() { return ctx_->proc(); }
+
+ private:
+  LzProc(LzModule& module, LzContext& ctx) : module_(&module), ctx_(&ctx) {}
+  LzModule* module_;
+  LzContext* ctx_;
+};
+
+}  // namespace lz::core

@@ -1,0 +1,870 @@
+#include "lightzone/module.h"
+
+#include <span>
+
+namespace lz::core {
+
+using arch::ExceptionClass;
+using arch::ExceptionLevel;
+using sim::CostKind;
+using sim::SysReg;
+using sim::TrapAction;
+using sim::TrapInfo;
+
+namespace {
+
+// Registers moved by one direction of the nested EL1 context switch. The
+// guest kernel and the LightZone process multiplex the *same* physical EL1
+// register file, so each hop swaps the full EL1 context (but, unlike a
+// conventional nested VM switch, not FP/SIMD, GIC or timer state — those
+// are shared, §5.2.2).
+constexpr std::size_t kNestedEl1Ctx = 20;
+// Guest-kernel-module accesses served from the NEVE-style deferred page
+// during one trap (instead of trapping to the Lowvisor each time).
+constexpr std::size_t kDeferredAccesses = 6;
+
+LzContext* ctx_of(kernel::Process& proc) {
+  return dynamic_cast<LzContext*>(proc.extension());
+}
+
+}  // namespace
+
+// --- LzContext ---------------------------------------------------------------
+
+LzContext::LzContext(LzModule& module, kernel::Process& proc,
+                     const LzOptions& opts)
+    : module_(module), proc_(proc), opts_(opts) {
+  vmid = module.host().alloc_vmid();
+  stage2 = std::make_unique<mem::Stage2Table>(module.machine().mem(), vmid);
+  gates.resize(opts_.max_gates);
+}
+
+LzContext::~LzContext() = default;
+
+IntermAddr LzContext::ipa_of(PhysAddr real) {
+  if (opts_.allow_scalable && opts_.fake_phys) {
+    return fake.fake_of(page_floor(real)) | page_offset(real);
+  }
+  return real;
+}
+
+PhysAddr LzContext::pa_of(IntermAddr ipa) const {
+  if (opts_.allow_scalable && opts_.fake_phys) {
+    const auto real = fake.real_of(ipa);
+    LZ_CHECK(real.has_value());
+    return *real;
+  }
+  return ipa;
+}
+
+mem::FrameOps LzContext::table_frame_ops() {
+  LzContext* cp = this;
+  auto& kern = module_.kern();
+  return mem::FrameOps{
+      [cp, &kern] {
+        // Table frames are kernel memory: stage-2 maps them read-only at
+        // their fake address so the process can never edit its own
+        // translations (§5.1.2), while the hardware walker can still
+        // follow them.
+        const PhysAddr pa = kern.alloc_frame();
+        LZ_CHECK_OK(cp->stage2->map(cp->ipa_of(pa), pa,
+                                    mem::S2Attrs{true, true, false, false}));
+        return pa;
+      },
+      [cp, &kern](PhysAddr pa) {
+        (void)cp->stage2->unmap(cp->ipa_of(pa));
+        kern.free_frame(pa);
+      },
+      [cp](PhysAddr pa) { return cp->ipa_of(pa); },
+      [cp](u64 ipa) { return cp->pa_of(ipa); }};
+}
+
+u64 LzContext::isolation_table_pages() const {
+  u64 total = stage2->table_pages();
+  for (const auto& d : pgts) {
+    if (d.tbl) total += d.tbl->table_pages();
+  }
+  if (upper) total += upper->table_pages();
+  total += 1 /*gatetab*/ + ttbrtab_pages.size();
+  return total;
+}
+
+// --- LzModule ----------------------------------------------------------------
+
+LzModule::LzModule(hv::Host& host) : host_(host) { register_api_syscalls(); }
+
+LzModule::LzModule(hv::Host& host, hv::GuestVm& vm) : host_(host), vm_(&vm) {
+  register_api_syscalls();
+}
+
+void LzModule::register_api_syscalls() {
+  auto& k = kern();
+  k.register_syscall(lznr::kAlloc,
+                     [this](kernel::Process& p, const kernel::SyscallArgs&)
+                         -> u64 {
+    auto* ctx = ctx_of(p);
+    if (ctx == nullptr) return kernel::kEperm;
+    const int pgt = alloc_pgt(*ctx);
+    return pgt < 0 ? kernel::kEnomem : static_cast<u64>(pgt);
+  });
+  k.register_syscall(lznr::kFree,
+                     [this](kernel::Process& p,
+                            const kernel::SyscallArgs& a) -> u64 {
+    auto* ctx = ctx_of(p);
+    if (ctx == nullptr) return kernel::kEperm;
+    return free_pgt(*ctx, static_cast<int>(a.a[0])).is_ok() ? 0
+                                                            : kernel::kEinval;
+  });
+  k.register_syscall(lznr::kProt,
+                     [this](kernel::Process& p,
+                            const kernel::SyscallArgs& a) -> u64 {
+    auto* ctx = ctx_of(p);
+    if (ctx == nullptr) return kernel::kEperm;
+    return prot(*ctx, a.a[0], a.a[1], static_cast<int>(static_cast<i64>(a.a[2])),
+                static_cast<u32>(a.a[3]))
+                   .is_ok()
+               ? 0
+               : kernel::kEinval;
+  });
+  k.register_syscall(lznr::kMapGatePgt,
+                     [this](kernel::Process& p,
+                            const kernel::SyscallArgs& a) -> u64 {
+    auto* ctx = ctx_of(p);
+    if (ctx == nullptr) return kernel::kEperm;
+    return map_gate_pgt(*ctx, static_cast<int>(a.a[0]),
+                        static_cast<int>(a.a[1]))
+                   .is_ok()
+               ? 0
+               : kernel::kEinval;
+  });
+  k.register_syscall(lznr::kSetGateEntry,
+                     [this](kernel::Process& p,
+                            const kernel::SyscallArgs& a) -> u64 {
+    auto* ctx = ctx_of(p);
+    if (ctx == nullptr) return kernel::kEperm;
+    return set_gate_entry(*ctx, static_cast<int>(a.a[0]), a.a[1]).is_ok()
+               ? 0
+               : kernel::kEinval;
+  });
+}
+
+LzModule::~LzModule() = default;
+
+kernel::Kernel& LzModule::kern() {
+  return nested() ? vm_->kern() : host_.kern();
+}
+
+u64 LzModule::lz_hcr(const LzContext& ctx) const {
+  u64 hcr = arch::hcr::kVm | arch::hcr::kRw | arch::hcr::kTsc |
+            arch::hcr::kTtlb | arch::hcr::kImo | arch::hcr::kFmo;
+  if (!ctx.opts().allow_scalable) {
+    // PAN-only processes may never touch stage-1 controls (§5.1.2); for
+    // scalable processes TTBR0 updates must stay untrapped for the gate.
+    hcr |= arch::hcr::kTvm | arch::hcr::kTrvm;
+  }
+  return hcr;
+}
+
+LzContext& LzModule::enter(kernel::Process& proc, const LzOptions& opts) {
+  LZ_CHECK(proc.extension() == nullptr);
+  auto owned = std::make_unique<LzContext>(*this, proc, opts);
+  LzContext& ctx = *owned;
+  proc.set_extension(std::move(owned));
+
+  build_upper_half(ctx);
+
+  // pgt 0 is the default domain table every process starts in.
+  const int pgt0 = alloc_pgt(ctx);
+  LZ_CHECK(pgt0 == 0);
+
+  if (!opts.allow_scalable) duplicate_kernel_table(ctx);
+
+  // The process keeps its registers, PC and stack but now executes at EL1
+  // with PAN enabled ("one-way ticket", Table 2).
+  ctx.ctx = proc.ctx();
+  arch::PState st;
+  st.el = ExceptionLevel::kEl1;
+  st.pan = true;
+  st.sp_sel = true;
+  ctx.ctx.spsr = st.to_spsr();
+  ctx.ctx.ttbr0 = domain_ttbr(ctx, 0);
+  ctx.ctx.ttbr1 = mem::make_ttbr(ctx.ipa_of(ctx.upper->root()), 0);
+  ctx.ctx.vbar = UpperLayout::kStubVa;
+
+  // Keep LightZone translations coherent with kernel-managed unmaps.
+  kern().on_unmap = [this](kernel::Process& p, VirtAddr va) {
+    if (auto* c = ctx_of(p)) sync_unmap(*c, va);
+  };
+  return ctx;
+}
+
+int LzModule::alloc_pgt(LzContext& ctx) {
+  if (!ctx.opts().allow_scalable && !ctx.pgts.empty()) {
+    return -1;  // PAN-only processes have exactly one table
+  }
+  // Find a free slot or append.
+  std::size_t id = ctx.pgts.size();
+  for (std::size_t i = 0; i < ctx.pgts.size(); ++i) {
+    if (!ctx.pgts[i].in_use) {
+      id = i;
+      break;
+    }
+  }
+  if (id == ctx.pgts.size()) ctx.pgts.emplace_back();
+  if (id >= (u64{1} << 16)) return -1;  // 2^16 domain tables max
+
+  auto& slot = ctx.pgts[id];
+  const u16 asid = ctx.next_asid++;
+  slot.tbl = std::make_unique<mem::Stage1Table>(machine().mem(), asid,
+                                                ctx.table_frame_ops());
+  slot.in_use = true;
+
+  // Copy already-resident unprotected pages so switching into this table
+  // does not fault on code/stack that every domain shares.
+  for (const auto& [vpage, page] : ctx.pages) {
+    if (page.is_protected) continue;
+    const VirtAddr va = vpage << kPageShift;
+    (void)fault_in_page(ctx, va, /*want_write=*/false, /*want_exec=*/false);
+  }
+
+  write_ttbrtab(ctx, static_cast<int>(id), domain_ttbr(ctx, static_cast<int>(id)));
+  return static_cast<int>(id);
+}
+
+Status LzModule::free_pgt(LzContext& ctx, int pgt) {
+  if (pgt <= 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
+      !ctx.pgts[pgt].in_use) {
+    return err(Errc::kInvalidArgument, "lz_free: bad pgt id");
+  }
+  ctx.pgts[pgt].tbl.reset();
+  ctx.pgts[pgt].in_use = false;
+  write_ttbrtab(ctx, pgt, 0);
+  machine().tlb().invalidate_vmid(ctx.vmid);
+  return Status::ok();
+}
+
+u64 LzModule::domain_ttbr(LzContext& ctx, int pgt_id) {
+  auto& d = ctx.pgts[pgt_id];
+  LZ_CHECK(d.in_use);
+  return mem::make_ttbr(ctx.ipa_of(d.tbl->root()), d.tbl->asid());
+}
+
+Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
+                      u32 perm) {
+  if (!page_aligned(addr) || len == 0) {
+    return err(Errc::kInvalidArgument, "lz_prot: unaligned region");
+  }
+  if (pgt != kPgtAll &&
+      (pgt < 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
+       !ctx.pgts[pgt].in_use)) {
+    return err(Errc::kInvalidArgument, "lz_prot: bad pgt id");
+  }
+  const VirtAddr end = addr + page_ceil(len);
+  ctx.regions.push_back(LzContext::ProtRegion{addr, end, pgt, perm});
+
+  // Re-apply protection to already-resident pages: detach from all tables,
+  // then fault the new attachment lazily or eagerly re-map now.
+  for (VirtAddr va = addr; va < end; va += kPageSize) {
+    auto it = ctx.pages.find(page_index(va));
+    if (it == ctx.pages.end()) continue;
+    it->second.is_protected = true;
+    for (auto& d : ctx.pgts) {
+      if (d.in_use) (void)d.tbl->unmap(va);
+    }
+    machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+    LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
+  }
+  return Status::ok();
+}
+
+Status LzModule::map_gate_pgt(LzContext& ctx, int pgt, int gate) {
+  if (gate < 0 || static_cast<u32>(gate) >= ctx.opts().max_gates) {
+    return err(Errc::kInvalidArgument, "bad gate id");
+  }
+  if (pgt < 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
+      !ctx.pgts[pgt].in_use) {
+    return err(Errc::kInvalidArgument, "bad pgt id");
+  }
+  ctx.gates[gate].pgt = pgt;
+  write_gatetab(ctx, gate);
+  return Status::ok();
+}
+
+Status LzModule::set_gate_entry(LzContext& ctx, int gate, VirtAddr entry) {
+  if (gate < 0 || static_cast<u32>(gate) >= ctx.opts().max_gates) {
+    return err(Errc::kInvalidArgument, "bad gate id");
+  }
+  ctx.gates[gate].entry = entry;
+  write_gatetab(ctx, gate);
+  return Status::ok();
+}
+
+// --- Upper half --------------------------------------------------------------
+
+void LzModule::build_upper_half(LzContext& ctx) {
+  auto& pm = machine().mem();
+  ctx.upper = std::make_unique<mem::Stage1Table>(pm, /*asid=*/0,
+                                                 ctx.table_frame_ops());
+
+  const mem::S1Attrs code_attrs{/*valid=*/true, /*user=*/false,
+                                /*read_only=*/true, /*uxn=*/true,
+                                /*pxn=*/false, /*global=*/true, /*af=*/true};
+  const mem::S1Attrs data_attrs{/*valid=*/true, /*user=*/false,
+                                /*read_only=*/true, /*uxn=*/true,
+                                /*pxn=*/true, /*global=*/true, /*af=*/true};
+  const mem::S2Attrs s2_code{true, true, false, true};
+  const mem::S2Attrs s2_data{true, true, false, false};
+
+  // Forwarding stub (EL1 vector page of the API library).
+  {
+    const PhysAddr frame = kern().alloc_frame();
+    build_stub_page().install(pm, frame);
+    LZ_CHECK_OK(ctx.upper->map(UpperLayout::kStubVa, ctx.ipa_of(frame),
+                               code_attrs));
+    LZ_CHECK_OK(ctx.stage2->map(ctx.ipa_of(frame), frame, s2_code));
+  }
+
+  // Call-gate code pages.
+  const u64 gate_bytes = u64{ctx.opts().max_gates} * UpperLayout::kGateStride;
+  const u64 gate_pages = page_ceil(gate_bytes) / kPageSize;
+  std::vector<PhysAddr> gate_frames(gate_pages);
+  for (u64 i = 0; i < gate_pages; ++i) {
+    gate_frames[i] = kern().alloc_frame();
+    LZ_CHECK_OK(ctx.upper->map(UpperLayout::kGateCodeVa + i * kPageSize,
+                               ctx.ipa_of(gate_frames[i]), code_attrs));
+    LZ_CHECK_OK(ctx.stage2->map(ctx.ipa_of(gate_frames[i]), gate_frames[i],
+                                s2_code));
+  }
+  for (u32 g = 0; g < ctx.opts().max_gates; ++g) {
+    auto code = build_gate_code(g, ctx.opts().max_gates);
+    const u64 off = u64{g} * UpperLayout::kGateStride;
+    code.install(pm, gate_frames[off / kPageSize] + page_offset(off));
+  }
+
+  // GateTab (one frame holds 256 {ENTRY, PGTID} pairs).
+  LZ_CHECK(ctx.opts().max_gates * 16 <= kPageSize);
+  ctx.gatetab_pa = kern().alloc_frame();
+  LZ_CHECK_OK(ctx.upper->map(UpperLayout::kGateTabVa, ctx.ipa_of(ctx.gatetab_pa),
+                             data_attrs));
+  LZ_CHECK_OK(ctx.stage2->map(ctx.ipa_of(ctx.gatetab_pa), ctx.gatetab_pa,
+                              s2_data));
+}
+
+void LzModule::write_ttbrtab(LzContext& ctx, int pgt_id, u64 ttbr_value) {
+  const u64 page_idx = static_cast<u64>(pgt_id) / 512;  // 512 u64s per page
+  while (ctx.ttbrtab_pages.size() <= page_idx) {
+    const u64 i = ctx.ttbrtab_pages.size();
+    const PhysAddr frame = kern().alloc_frame();
+    ctx.ttbrtab_pages.push_back(frame);
+    const mem::S1Attrs data_attrs{true, false, true, true, true, true, true};
+    LZ_CHECK_OK(ctx.upper->map(UpperLayout::kTtbrTabVa + i * kPageSize,
+                               ctx.ipa_of(frame), data_attrs));
+    LZ_CHECK_OK(ctx.stage2->map(ctx.ipa_of(frame), frame,
+                                mem::S2Attrs{true, true, false, false}));
+  }
+  const PhysAddr frame = ctx.ttbrtab_pages[page_idx];
+  machine().mem().write(frame + (pgt_id % 512) * 8, 8, ttbr_value);
+}
+
+void LzModule::write_gatetab(LzContext& ctx, int gate_id) {
+  const auto& g = ctx.gates[gate_id];
+  machine().mem().write(ctx.gatetab_pa + u64{static_cast<u32>(gate_id)} * 16,
+                        8, g.entry);
+  machine().mem().write(
+      ctx.gatetab_pa + u64{static_cast<u32>(gate_id)} * 16 + 8, 8,
+      g.pgt < 0 ? 0 : static_cast<u64>(g.pgt));
+}
+
+// --- Paging ------------------------------------------------------------------
+
+bool LzModule::sanitize_page(LzContext& ctx, PhysAddr frame) {
+  if (!ctx.opts().sanitize) return true;  // insn_san = 0 (ablation)
+  const u32* words =
+      reinterpret_cast<const u32*>(machine().mem().page_ptr(frame));
+  const auto result = sanitize_words(
+      std::span<const u32>(words, kPageSize / 4), ctx.opts().san_mode);
+  ++ctx.sanitized_pages;
+  // Scanning 1024 words costs real kernel time.
+  machine().charge(CostKind::kDispatch,
+                   (kPageSize / 4) * machine().platform().insn_base);
+  return result.ok;
+}
+
+Status LzModule::map_page_in_table(LzContext& ctx, mem::Stage1Table& tbl,
+                                   VirtAddr va,
+                                   const LzContext::LzPage& page,
+                                   const mem::S1Attrs& attrs) {
+  (void)ctx;
+  const auto existing = tbl.lookup(va);
+  if (existing.ok) {
+    return tbl.protect(va, attrs);
+  }
+  return tbl.map(va, page.ipa, attrs);
+}
+
+Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
+                               bool want_exec) {
+  va = page_floor(va);
+  auto& proc = ctx.proc();
+  const kernel::Vma* vma = proc.find_vma(va);
+  if (vma == nullptr) return err(Errc::kNotFound, "no vma");
+  if (want_exec && !(vma->prot & kernel::kProtExec)) {
+    return err(Errc::kPermissionDenied, "vma not executable");
+  }
+  if (want_write && !(vma->prot & kernel::kProtWrite)) {
+    return err(Errc::kPermissionDenied, "vma not writable");
+  }
+
+  // Make sure the kernel-managed table has the frame (same VA -> same
+  // physical frame as the kernel's own translation, §5.1.2).
+  LZ_RETURN_IF_ERROR(kern().populate_page(proc, va, vma->prot));
+  const auto kwalk = proc.pgt().lookup(va);
+  LZ_CHECK(kwalk.ok);
+  const PhysAddr real = page_floor(kwalk.out_addr);
+
+  auto [it, inserted] = ctx.pages.try_emplace(page_index(va));
+  LzContext::LzPage& page = it->second;
+  if (inserted) {
+    page.real = real;
+    page.ipa = ctx.ipa_of(real);
+    page.writable = (vma->prot & kernel::kProtWrite) != 0;
+  }
+
+  // W^X state machine with break-before-make (§6.3).
+  if (want_exec && !page.exec_sanitized) {
+    if (page.writable) {
+      // Break: remove every writable mapping before the sanitizer runs.
+      for (auto& d : ctx.pgts) {
+        if (d.in_use) (void)d.tbl->unmap(va);
+      }
+      (void)ctx.stage2->protect(page.ipa,
+                                mem::S2Attrs{true, true, false, false});
+      machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+      page.writable = false;
+    }
+    if (!sanitize_page(ctx, page.real)) {
+      return err(Errc::kPermissionDenied, "sensitive instruction in page");
+    }
+    page.exec_sanitized = true;
+    page.executable = true;
+  }
+  if (want_write && page.executable) {
+    // JIT-style flip back to writable: the page loses execute rights and
+    // its sanitizer verdict.
+    for (auto& d : ctx.pgts) {
+      if (d.in_use) (void)d.tbl->unmap(va);
+    }
+    machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+    page.executable = false;
+    page.exec_sanitized = false;
+    page.writable = true;
+  }
+
+  // Compute attachments from protection regions.
+  bool covered = false;
+  struct Attachment {
+    int pgt;
+    mem::S1Attrs attrs;
+  };
+  std::vector<Attachment> attachments;
+  for (const auto& region : ctx.regions) {
+    if (va < region.start || va >= region.end) continue;
+    covered = true;
+    mem::S1Attrs a;
+    a.user = (region.perm & kLzUser) != 0;
+    // Least privilege: overlay permission intersected with the VMA's.
+    a.read_only = !((region.perm & kLzWrite) &&
+                    (vma->prot & kernel::kProtWrite) && page.writable);
+    const bool exec = (region.perm & kLzExec) &&
+                      (vma->prot & kernel::kProtExec) && page.executable;
+    a.pxn = !exec;
+    a.uxn = true;
+    a.global = region.pgt == kPgtAll;
+    attachments.push_back({region.pgt, a});
+  }
+  page.is_protected = covered;
+
+  if (!covered) {
+    // Unprotected memory: identical (global) mapping in every table, with
+    // user-mode permissions translated to kernel mode (UXN -> PXN).
+    mem::S1Attrs a;
+    a.user = false;
+    a.read_only = !page.writable || !(vma->prot & kernel::kProtWrite);
+    a.pxn = !page.executable;
+    a.uxn = true;
+    a.global = true;
+    attachments.push_back({kPgtAll, a});
+  }
+
+  for (const auto& at : attachments) {
+    if (at.pgt == kPgtAll) {
+      for (auto& d : ctx.pgts) {
+        if (d.in_use) LZ_RETURN_IF_ERROR(map_page_in_table(ctx, *d.tbl, va, page, at.attrs));
+      }
+    } else {
+      LZ_RETURN_IF_ERROR(
+          map_page_in_table(ctx, *ctx.pgts[at.pgt].tbl, va, page, at.attrs));
+    }
+  }
+
+  // Eagerly establish stage-2 during the stage-1 fault (§5.2) unless the
+  // ablation disables it.
+  if (ctx.opts().eager_stage2 || ctx.stage2->lookup(page.ipa).ok) {
+    const mem::S2Attrs s2{true, true, page.writable, page.executable};
+    if (ctx.stage2->lookup(page.ipa).ok) {
+      LZ_CHECK_OK(ctx.stage2->protect(page.ipa, s2));
+    } else {
+      LZ_CHECK_OK(ctx.stage2->map(page.ipa, page.real, s2));
+    }
+  }
+  machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+
+  // Mapping work costs: a handful of table-walk writes.
+  machine().charge(CostKind::kMem, 8 * machine().platform().mem_access);
+  return Status::ok();
+}
+
+void LzModule::sync_unmap(LzContext& ctx, VirtAddr va) {
+  auto it = ctx.pages.find(page_index(va));
+  if (it == ctx.pages.end()) return;
+  for (auto& d : ctx.pgts) {
+    if (d.in_use) (void)d.tbl->unmap(va);
+  }
+  (void)ctx.stage2->unmap(it->second.ipa);
+  if (ctx.opts().allow_scalable && ctx.opts().fake_phys) {
+    ctx.fake.erase_real(it->second.real);
+  }
+  machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+  ctx.pages.erase(it);
+}
+
+void LzModule::duplicate_kernel_table(LzContext& ctx) {
+  // PAN mode: the process gets a kernel-managed duplicate of its stage-1
+  // table with user-mode permissions translated to kernel mode (§5.1.2).
+  auto& proc = ctx.proc();
+  std::vector<VirtAddr> vas;
+  proc.pgt().for_each([&vas](VirtAddr va, u64) { vas.push_back(va); });
+  for (const VirtAddr va : vas) {
+    (void)fault_in_page(ctx, va, /*want_write=*/false, /*want_exec=*/false);
+  }
+}
+
+// --- Execution ---------------------------------------------------------------
+
+void LzModule::enter_world(LzContext& ctx) {
+  LZ_CHECK(active_ == nullptr);
+  auto& core = machine().core();
+  saved_hcr_ = core.sysreg(SysReg::kHcrEl2);
+  saved_vttbr_ = core.sysreg(SysReg::kVttbrEl2);
+  host_.write_hcr(lz_hcr(ctx));
+  host_.write_vttbr(ctx.stage2->vttbr());
+  core.set_handler(ExceptionLevel::kEl1, nullptr);  // stub owns EL1 vectors
+  host_.push_delegate(this);
+  active_ = &ctx;
+}
+
+void LzModule::exit_world(LzContext& ctx) {
+  LZ_CHECK(active_ == &ctx);
+  host_.pop_delegate(this);
+  host_.write_hcr(saved_hcr_);
+  host_.write_vttbr(saved_vttbr_);
+  active_ = nullptr;
+}
+
+sim::RunResult LzModule::run(LzContext& ctx, u64 max_steps) {
+  auto& core = machine().core();
+  enter_world(ctx);
+
+  // Load the LightZone process's EL1 context.
+  auto& c = ctx.ctx;
+  for (unsigned i = 0; i < 31; ++i) core.set_x(i, c.x[i]);
+  const auto st = arch::PState::from_spsr(c.spsr);
+  core.pstate() = st;
+  core.set_sp(ExceptionLevel::kEl1, c.sp);
+  core.set_pc(c.pc);
+  core.set_sysreg(SysReg::kTtbr0El1, c.ttbr0);
+  core.set_sysreg(SysReg::kTtbr1El1, c.ttbr1);
+  core.set_sysreg(SysReg::kVbarEl1, c.vbar);
+  machine().charge(CostKind::kGpr, machine().platform().gpr_save_all());
+
+  const auto result = core.run(max_steps);
+
+  if (ctx.proc().alive()) {
+    for (unsigned i = 0; i < 31; ++i) c.x[i] = core.x(i);
+    c.sp = core.sp(ExceptionLevel::kEl1);
+    c.pc = core.pc();
+    c.spsr = core.pstate().to_spsr();
+    c.ttbr0 = core.sysreg(SysReg::kTtbr0El1);
+  }
+  exit_world(ctx);
+  return result;
+}
+
+Cycles LzModule::exec_gate_switch(LzContext& ctx, int gate) {
+  LZ_CHECK(active_ == &ctx);
+  auto& core = machine().core();
+  const VirtAddr entry = ctx.gates[gate].entry;
+  LZ_CHECK(entry != 0);
+  core.set_x(30, entry);
+  core.set_pc(UpperLayout::gate_va(static_cast<u32>(gate)));
+  const Cycles start = machine().cycles();
+  for (int i = 0; i < 64 && core.pc() != entry && ctx.proc().alive(); ++i) {
+    core.step();
+  }
+  return machine().cycles() - start;
+}
+
+Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
+  LZ_CHECK(active_ == &ctx);
+  auto& core = machine().core();
+  const Cycles start = machine().cycles();
+  core.pstate().pan = pan;
+  machine().charge(CostKind::kInsn, machine().platform().insn_base);
+  machine().charge(CostKind::kSysreg, machine().platform().pan_toggle);
+  return machine().cycles() - start;
+}
+
+// --- Trap handling -----------------------------------------------------------
+
+sim::TrapAction LzModule::kill(LzContext& ctx, const std::string& reason) {
+  ctx.proc().mark_killed("LightZone: " + reason);
+  return TrapAction::kStop;
+}
+
+sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
+  LzContext* ctx = active_;
+  if (ctx == nullptr) return TrapAction::kStop;
+  ++ctx->traps;
+  auto& core = machine().core();
+  const auto& plat = machine().platform();
+
+  switch (info.ec) {
+    case ExceptionClass::kHvc64: {
+      // Only the API library's forwarding stub may hypercall.
+      const u64 elr2 = core.sysreg(SysReg::kElrEl2);
+      if (elr2 < UpperLayout::kStubVa ||
+          elr2 >= UpperLayout::kStubVa + kPageSize) {
+        return kill(*ctx, "unexpected hypercall from application code");
+      }
+      if (nested()) charge_nested_entry(*ctx);
+      // §5.2.1: HCR_EL2/VTTBR_EL2 are *retained* while the host kernel
+      // serves the trap; the ablation charges the conventional switches.
+      if (!nested() && !host_.conditional_sysreg_opt()) {
+        machine().charge(CostKind::kSysreg,
+                         2 * (plat.sysreg_write_hcr + plat.sysreg_write_vttbr));
+      }
+      const auto action = handle_forwarded(*ctx);
+      if (nested() && action == TrapAction::kResume) charge_nested_exit(*ctx);
+      return action;
+    }
+    case ExceptionClass::kDataAbortLowerEl:
+    case ExceptionClass::kInsnAbortLowerEl: {
+      if (!info.stage2) return kill(*ctx, "unexpected lower-EL stage-1 abort");
+      ++ctx->s2_faults;
+      // Stage-2 fault: with eager mapping this means the process reached
+      // outside its VM; with the ablation it can be a legitimate deferred
+      // stage-2 fill.
+      if (!ctx->opts().eager_stage2) {
+        const u64 ipa = page_floor(info.ipa);
+        auto it = ctx->pages.find(page_index(
+            ctx->opts().fake_phys && ctx->opts().allow_scalable
+                ? ipa
+                : ipa));
+        // Find the page by IPA.
+        for (auto& [vp, pg] : ctx->pages) {
+          if (page_floor(pg.ipa) == ipa) {
+            const mem::S2Attrs s2{true, true, pg.writable, pg.executable};
+            LZ_CHECK_OK(ctx->stage2->map(page_floor(pg.ipa), pg.real, s2));
+            machine().charge(CostKind::kDispatch, plat.dispatch_lz);
+            core.eret_from(ExceptionLevel::kEl2);
+            return TrapAction::kResume;
+          }
+        }
+        (void)it;
+      }
+      return kill(*ctx, "stage-2 fault: access outside the process VM");
+    }
+    case ExceptionClass::kIrq: {
+      // §5.1.3: interrupts trap kernel-mode processes directly to the
+      // hypervisor, which invokes the kernel's interrupt handling and
+      // resumes the process.
+      machine().charge(CostKind::kDispatch,
+                       plat.dispatch_lz + plat.dispatch_kernel);
+      core.eret_from(ExceptionLevel::kEl2);
+      return TrapAction::kResume;
+    }
+    case ExceptionClass::kMsrMrsTrap:
+      return kill(*ctx, "trapped privileged system-register access");
+    case ExceptionClass::kSmc64:
+      return kill(*ctx, "SMC from kernel-mode process");
+    default:
+      return kill(*ctx, "unexpected EL2 trap");
+  }
+}
+
+sim::TrapAction LzModule::handle_forwarded(LzContext& ctx) {
+  auto& core = machine().core();
+  const auto& plat = machine().platform();
+  machine().charge(CostKind::kDispatch, plat.dispatch_lz);
+
+  const u64 esr1 = core.sysreg(SysReg::kEsrEl1);
+  const auto ec1 = arch::esr_ec(esr1);
+  switch (ec1) {
+    case ExceptionClass::kSvc64: {
+      kern().dispatch_syscall(ctx.proc(), core);
+      if (!ctx.proc().alive()) return TrapAction::kStop;
+      // The interrupted PC of a LightZone process sits in ELR_EL1 (the
+      // stub's final ERET consumes it); signal delivery redirects it.
+      kern().maybe_deliver_pending(ctx.proc(), core, ExceptionLevel::kEl1);
+      core.eret_from(ExceptionLevel::kEl2);
+      return TrapAction::kResume;
+    }
+    case ExceptionClass::kDataAbortSameEl:
+    case ExceptionClass::kInsnAbortSameEl: {
+      ++ctx.s1_faults;
+      const auto action =
+          handle_lz_fault(ctx, core.sysreg(SysReg::kFarEl1), esr1);
+      if (action == TrapAction::kResume) core.eret_from(ExceptionLevel::kEl2);
+      return action;
+    }
+    case ExceptionClass::kBrk64: {
+      const u16 imm = static_cast<u16>(arch::esr_iss(esr1) & 0xffff);
+      if (imm == UpperLayout::kGateBrkImm) {
+        return kill(ctx, "call-gate check failed (illegal TTBR0 or entry)");
+      }
+      return kill(ctx, "breakpoint in kernel-mode process");
+    }
+    case ExceptionClass::kUnknown:
+      return kill(ctx, "undefined or banned instruction");
+    default:
+      return kill(ctx, "unhandled forwarded exception");
+  }
+}
+
+sim::TrapAction LzModule::handle_lz_fault(LzContext& ctx, VirtAddr far,
+                                          u64 esr_el1) {
+  auto& core = machine().core();
+  const auto& plat = machine().platform();
+  machine().charge(CostKind::kGpr, plat.gpr_save_all());
+  machine().charge(CostKind::kDispatch, plat.dispatch_kernel);
+  machine().charge(CostKind::kGpr, plat.gpr_save_all());
+
+  const u32 iss = arch::esr_iss(esr_el1);
+  const bool is_exec = arch::esr_ec(esr_el1) == ExceptionClass::kInsnAbortSameEl;
+  const bool is_write = !is_exec && arch::iss_is_write(iss);
+  const bool permission = arch::is_permission_fault(arch::iss_fault_status(iss));
+
+  const u64 vpage = page_index(far);
+  auto it = ctx.pages.find(vpage);
+
+  if (permission) {
+    LzContext::LzPage* page = it == ctx.pages.end() ? nullptr : &it->second;
+    if (page != nullptr) {
+      // W^X transitions are the only legitimate permission faults.
+      const kernel::Vma* vma = ctx.proc().find_vma(far);
+      if (is_exec && vma != nullptr && (vma->prot & kernel::kProtExec) &&
+          !page->executable) {
+        const Status s = fault_in_page(ctx, far, false, /*want_exec=*/true);
+        if (!s.is_ok()) return kill(ctx, s.message());
+        return TrapAction::kResume;
+      }
+      if (is_write && vma != nullptr && (vma->prot & kernel::kProtWrite) &&
+          page->executable) {
+        const Status s = fault_in_page(ctx, far, /*want_write=*/true, false);
+        if (!s.is_ok()) return kill(ctx, s.message());
+        return TrapAction::kResume;
+      }
+      if (page->is_protected) {
+        return kill(ctx, "illegal access to protected domain (permission)");
+      }
+    }
+    return kill(ctx, "permission fault");
+  }
+
+  // Translation fault. Distinguish a demand fault from a domain violation:
+  // a protected page unmapped in the *current* domain table is a violation.
+  const u64 cur_ttbr = core.sysreg(SysReg::kTtbr0El1);
+  int cur_pgt = -1;
+  for (std::size_t i = 0; i < ctx.pgts.size(); ++i) {
+    if (ctx.pgts[i].in_use &&
+        domain_ttbr(ctx, static_cast<int>(i)) == cur_ttbr) {
+      cur_pgt = static_cast<int>(i);
+      break;
+    }
+  }
+  if (cur_pgt < 0 && mem::classify_va(far) == mem::VaRange::kLower) {
+    return kill(ctx, "executing with unregistered TTBR0");
+  }
+
+  bool covered_by_any = false;
+  bool covered_by_current = false;
+  for (const auto& region : ctx.regions) {
+    if (far < region.start || far >= region.end) continue;
+    covered_by_any = true;
+    if (region.pgt == kPgtAll || region.pgt == cur_pgt) {
+      covered_by_current = true;
+    }
+  }
+  if (covered_by_any && !covered_by_current) {
+    return kill(ctx, "illegal access to protected domain (unmapped here)");
+  }
+
+  const Status s = fault_in_page(ctx, far, is_write, is_exec);
+  if (!s.is_ok()) return kill(ctx, s.message());
+  return TrapAction::kResume;
+}
+
+// --- Nested (guest LightZone) charging, §5.2.2 -------------------------------
+
+void LzModule::charge_nested_entry(LzContext& ctx) {
+  auto& m = machine();
+  const auto& plat = m.platform();
+  m.charge(CostKind::kDispatch, plat.dispatch_lowvisor);
+  // The Lowvisor writes the process context straight into the pt_regs page
+  // it shares with the guest kernel — one copy instead of two.
+  m.charge(CostKind::kGpr,
+           plat.gpr_save_all() * (ctx.opts().shared_ptregs ? 1 : 2));
+  // Both worlds use the physical EL1 register file: swap it.
+  hv::charge_sysreg_save(m, kNestedEl1Ctx);
+  hv::charge_sysreg_restore(m, kNestedEl1Ctx);
+  host_.write_vttbr(vm_->stage2().vttbr());
+  host_.write_hcr(vm_->vm_hcr());
+  // Enter the guest kernel.
+  m.charge(CostKind::kExcp,
+           plat.eret(ExceptionLevel::kEl2, ExceptionLevel::kEl1));
+  // Guest-module register bookkeeping through the deferred page (or, in
+  // the ablation, one trap per access).
+  if (ctx.opts().deferred_sysregs) {
+    m.charge(CostKind::kMem, kDeferredAccesses * plat.mem_access);
+  } else {
+    m.charge(CostKind::kExcp,
+             kDeferredAccesses *
+                 (plat.excp(ExceptionLevel::kEl1, ExceptionLevel::kEl2) +
+                  plat.eret(ExceptionLevel::kEl2, ExceptionLevel::kEl1) +
+                  plat.dispatch_lowvisor));
+  }
+  // Rescheduling invalidates the cached shared-pt_regs pointer (drives the
+  // fluctuation range the paper reports for this row of Table 4).
+  if (kern().sched_generation() != ctx.last_sched_gen) {
+    m.charge(CostKind::kDispatch, plat.ptregs_locate);
+    ctx.last_sched_gen = kern().sched_generation();
+  }
+}
+
+void LzModule::charge_nested_exit(LzContext& ctx) {
+  auto& m = machine();
+  const auto& plat = m.platform();
+  // Guest kernel hypercalls back into the Lowvisor.
+  m.charge(CostKind::kExcp,
+           plat.excp(ExceptionLevel::kEl1, ExceptionLevel::kEl2));
+  m.charge(CostKind::kDispatch, plat.dispatch_lowvisor);
+  hv::charge_sysreg_save(m, kNestedEl1Ctx);
+  hv::charge_sysreg_restore(m, kNestedEl1Ctx);
+  host_.write_vttbr(ctx.stage2->vttbr());
+  host_.write_hcr(lz_hcr(ctx));
+  m.charge(CostKind::kGpr, plat.gpr_save_all());
+  // The final ERET back into the stub is performed (and charged) by the
+  // caller via Core::eret_from.
+}
+
+}  // namespace lz::core

@@ -1,0 +1,44 @@
+// Sensitive-instruction sanitizer (§6.3, Table 3).
+//
+// A LightZone process executes at EL1, so instructions that are harmless in
+// user mode become dangerous: ERET, unprivileged loads/stores (they bypass
+// PAN-based isolation), and most system-register accesses. The sanitizer
+// scans every executable page of the application (TTBR0-mapped code) before
+// it becomes executable and rejects pages containing sensitive encodings.
+// The TTBR1-mapped call gates and the API stub are trusted and never
+// scanned — that is where the one legitimate `msr TTBR0_EL1, Xt` lives.
+//
+// Together with W^X + break-before-make enforcement in the module, this
+// closes the TOCTTOU window of writing sensitive instructions into an
+// already-sanitized page.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "arch/decode.h"
+#include "support/types.h"
+
+namespace lz::core {
+
+// Table 3's two rule columns.
+enum class SanitizeMode : u8 {
+  kTtbr = 1,  // scalable isolation: TTBR0 writes happen only in call gates
+  kPan = 2,   // PAN isolation: unprivileged load/stores are also banned
+};
+
+struct SanitizeResult {
+  bool ok = true;
+  u64 bad_offset = 0;       // byte offset of the offending word
+  u32 bad_word = 0;
+  std::string reason;
+};
+
+// True if this single instruction word is permitted in application code
+// under `mode`.
+bool insn_allowed(u32 word, SanitizeMode mode, std::string* reason = nullptr);
+
+// Scan a full page (or arbitrary word sequence).
+SanitizeResult sanitize_words(std::span<const u32> words, SanitizeMode mode);
+
+}  // namespace lz::core

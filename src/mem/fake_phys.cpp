@@ -1,0 +1,35 @@
+#include "mem/fake_phys.h"
+
+namespace lz::mem {
+
+IntermAddr FakePhysMap::fake_of(PhysAddr real_page) {
+  LZ_CHECK(page_aligned(real_page));
+  auto it = real_to_fake_.find(real_page);
+  if (it != real_to_fake_.end()) return it->second;
+  const IntermAddr fake = next_fake_;
+  next_fake_ += kPageSize;
+  real_to_fake_.emplace(real_page, fake);
+  fake_to_real_.emplace(fake, real_page);
+  return fake;
+}
+
+std::optional<PhysAddr> FakePhysMap::real_of(IntermAddr fake_page) const {
+  auto it = fake_to_real_.find(page_floor(fake_page));
+  if (it == fake_to_real_.end()) return std::nullopt;
+  return it->second | page_offset(fake_page);
+}
+
+std::optional<IntermAddr> FakePhysMap::lookup_fake(PhysAddr real_page) const {
+  auto it = real_to_fake_.find(page_floor(real_page));
+  if (it == real_to_fake_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FakePhysMap::erase_real(PhysAddr real_page) {
+  auto it = real_to_fake_.find(real_page);
+  if (it == real_to_fake_.end()) return;
+  fake_to_real_.erase(it->second);
+  real_to_fake_.erase(it);
+}
+
+}  // namespace lz::mem

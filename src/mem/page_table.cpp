@@ -1,0 +1,308 @@
+#include "mem/page_table.h"
+
+namespace lz::mem {
+
+VaRange classify_va(VirtAddr va) {
+  const u64 top = va >> kVaBits;
+  if (top == 0) return VaRange::kLower;
+  if (top == 0xffff) return VaRange::kUpper;
+  return VaRange::kInvalid;
+}
+
+S1Walk walk_stage1(const PhysMem& pm, PhysAddr root, VirtAddr va,
+                   const TableAddrMapper& map_table) {
+  S1Walk w;
+  u64 table = root;
+  for (unsigned level = 0; level < kStage1Levels; ++level) {
+    // Table addresses are IPAs when stage-2 is on; route through it.
+    PhysAddr table_pa = table;
+    if (map_table) {
+      auto mapped = map_table(table);
+      if (!mapped) {
+        w.fault_level = level;
+        w.s2_table_fault = true;
+        w.s2_fault_ipa = table;
+        return w;  // stage-2 fault on a table access
+      }
+      table_pa = *mapped;
+    }
+    const PhysAddr slot_pa = table_pa + s1_index(va, level) * 8;
+    const u64 desc = pm.read(slot_pa, 8);
+    ++w.mem_accesses;
+    if (!pte::valid(desc)) {
+      w.fault_level = level;
+      return w;
+    }
+    if (level == kStage1Levels - 1) {
+      w.ok = true;
+      w.out_addr = pte::addr(desc) | page_offset(va);
+      w.attrs = pte::s1_attrs(desc);
+      w.leaf_pa = slot_pa;
+      return w;
+    }
+    LZ_CHECK(pte::is_table(desc));
+    table = pte::addr(desc);
+  }
+  return w;
+}
+
+S2Walk walk_stage2(const PhysMem& pm, PhysAddr root, IntermAddr ipa) {
+  S2Walk w;
+  if (ipa >> kIpaBits) {
+    w.fault_level = 0;
+    return w;
+  }
+  u64 table = root;
+  for (unsigned level = 0; level < kStage2Levels; ++level) {
+    const PhysAddr slot_pa = table + s2_index(ipa, level) * 8;
+    const u64 desc = pm.read(slot_pa, 8);
+    ++w.mem_accesses;
+    if (!pte::valid(desc)) {
+      w.fault_level = level + 1;  // report in stage-1-style level numbers
+      return w;
+    }
+    if (level == kStage2Levels - 1) {
+      w.ok = true;
+      w.out_addr = pte::addr(desc) | page_offset(ipa);
+      w.attrs = pte::s2_attrs(desc);
+      w.leaf_pa = slot_pa;
+      return w;
+    }
+    LZ_CHECK(pte::is_table(desc));
+    table = pte::addr(desc);
+  }
+  return w;
+}
+
+// --- Stage1Table -------------------------------------------------------------
+
+Stage1Table::Stage1Table(PhysMem& pm, u16 asid, FrameOps frame_ops)
+    : pm_(pm), frame_ops_(std::move(frame_ops)), root_(0), asid_(asid) {
+  root_ = alloc_table_frame();
+}
+
+Stage1Table::~Stage1Table() { free_recursive(root_, 0); }
+
+PhysAddr Stage1Table::alloc_table_frame() {
+  return frame_ops_.alloc ? frame_ops_.alloc() : pm_.alloc_frame();
+}
+
+u64* Stage1Table::slot(PhysAddr table, unsigned index) const {
+  return reinterpret_cast<u64*>(pm_.page_ptr(table)) + index;
+}
+
+Status Stage1Table::walk_to_leaf(VirtAddr va, bool create,
+                                 PhysAddr* leaf_table) {
+  if (classify_va(va) == VaRange::kInvalid) {
+    return err(Errc::kInvalidArgument, "non-canonical VA");
+  }
+  PhysAddr table = root_;
+  for (unsigned level = 0; level + 1 < kStage1Levels; ++level) {
+    u64* d = slot(table, s1_index(va, level));
+    if (!pte::valid(*d)) {
+      if (!create) return err(Errc::kNotFound, "unmapped");
+      const PhysAddr next = alloc_table_frame();
+      *d = pte::make_table(desc_addr(next));
+    } else if (!pte::is_table(*d)) {
+      return err(Errc::kInternal, "block descriptor in walk path");
+    }
+    table = frame_of_desc(pte::addr(*d));
+  }
+  *leaf_table = table;
+  return Status::ok();
+}
+
+Status Stage1Table::map(VirtAddr va, u64 out_addr, const S1Attrs& attrs) {
+  if (!page_aligned(va) || !page_aligned(out_addr)) {
+    return err(Errc::kInvalidArgument, "unaligned map");
+  }
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/true, &leaf));
+  u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
+  if (pte::valid(*d)) return err(Errc::kAlreadyExists, "page already mapped");
+  *d = pte::make_s1_page(out_addr, attrs);
+  return Status::ok();
+}
+
+Status Stage1Table::unmap(VirtAddr va) {
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/false, &leaf));
+  u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
+  if (!pte::valid(*d)) return err(Errc::kNotFound, "page not mapped");
+  *d = 0;
+  return Status::ok();
+}
+
+Status Stage1Table::protect(VirtAddr va, const S1Attrs& attrs) {
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/false, &leaf));
+  u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
+  if (!pte::valid(*d)) return err(Errc::kNotFound, "page not mapped");
+  *d = pte::make_s1_page(pte::addr(*d), attrs);
+  return Status::ok();
+}
+
+S1Walk Stage1Table::lookup(VirtAddr va) const {
+  if (!frame_ops_.to_pa) return walk_stage1(pm_, root_, va);
+  // Descriptors hold IPAs: start the walk from the IPA-space root and
+  // resolve every hop through to_pa, exactly as the hardware walker does
+  // through stage-2. The leaf out_addr stays in IPA space (that is what
+  // this regime maps to).
+  return walk_stage1(pm_, desc_addr(root_), va,
+                     [this](u64 ipa) -> std::optional<PhysAddr> {
+                       return frame_ops_.to_pa(ipa);
+                     });
+}
+
+void Stage1Table::for_each(
+    const std::function<void(VirtAddr, u64)>& fn) const {
+  for_each_rec(root_, 0, 0, fn);
+}
+
+void Stage1Table::for_each_rec(
+    PhysAddr table, unsigned level, VirtAddr va_prefix,
+    const std::function<void(VirtAddr, u64)>& fn) const {
+  const unsigned shift = 12 + 9 * (kStage1Levels - 1 - level);
+  for (unsigned i = 0; i < 512; ++i) {
+    const u64 desc = *slot(table, i);
+    if (!pte::valid(desc)) continue;
+    const VirtAddr va = va_prefix | (u64{i} << shift);
+    if (level == kStage1Levels - 1) {
+      fn(va, desc);
+    } else {
+      for_each_rec(frame_of_desc(pte::addr(desc)), level + 1, va, fn);
+    }
+  }
+}
+
+std::vector<PhysAddr> Stage1Table::table_frames() const {
+  std::vector<PhysAddr> out;
+  collect_frames(root_, 0, &out);
+  return out;
+}
+
+void Stage1Table::collect_frames(PhysAddr table, unsigned level,
+                                 std::vector<PhysAddr>* out) const {
+  out->push_back(table);
+  if (level == kStage1Levels - 1) return;
+  for (unsigned i = 0; i < 512; ++i) {
+    const u64 desc = *slot(table, i);
+    if (pte::is_table(desc)) {
+      collect_frames(frame_of_desc(pte::addr(desc)), level + 1, out);
+    }
+  }
+}
+
+void Stage1Table::free_recursive(PhysAddr table, unsigned level) {
+  if (level < kStage1Levels - 1) {
+    for (unsigned i = 0; i < 512; ++i) {
+      const u64 desc = *slot(table, i);
+      if (pte::is_table(desc)) {
+        free_recursive(frame_of_desc(pte::addr(desc)), level + 1);
+      }
+    }
+  }
+  if (frame_ops_.free) {
+    frame_ops_.free(table);
+  } else {
+    pm_.free_frame(table);
+  }
+}
+
+// --- Stage2Table -------------------------------------------------------------
+
+Stage2Table::Stage2Table(PhysMem& pm, u16 vmid)
+    : pm_(pm), root_(pm.alloc_frame()), vmid_(vmid) {}
+
+Stage2Table::~Stage2Table() { free_recursive(root_, 0); }
+
+Status Stage2Table::walk_to_leaf(IntermAddr ipa, bool create,
+                                 PhysAddr* leaf_table) {
+  if (ipa >> kIpaBits) return err(Errc::kInvalidArgument, "IPA too large");
+  PhysAddr table = root_;
+  for (unsigned level = 0; level + 1 < kStage2Levels; ++level) {
+    auto* d = reinterpret_cast<u64*>(pm_.page_ptr(table)) + s2_index(ipa, level);
+    if (!pte::valid(*d)) {
+      if (!create) return err(Errc::kNotFound, "unmapped");
+      *d = pte::make_table(pm_.alloc_frame());
+    }
+    table = pte::addr(*d);
+  }
+  *leaf_table = table;
+  return Status::ok();
+}
+
+Status Stage2Table::map(IntermAddr ipa, PhysAddr pa, const S2Attrs& attrs) {
+  if (!page_aligned(ipa) || !page_aligned(pa)) {
+    return err(Errc::kInvalidArgument, "unaligned map");
+  }
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/true, &leaf));
+  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
+            s2_index(ipa, kStage2Levels - 1);
+  if (pte::valid(*d)) return err(Errc::kAlreadyExists, "IPA already mapped");
+  *d = pte::make_s2_page(pa, attrs);
+  return Status::ok();
+}
+
+Status Stage2Table::unmap(IntermAddr ipa) {
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/false, &leaf));
+  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
+            s2_index(ipa, kStage2Levels - 1);
+  if (!pte::valid(*d)) return err(Errc::kNotFound, "IPA not mapped");
+  *d = 0;
+  return Status::ok();
+}
+
+Status Stage2Table::protect(IntermAddr ipa, const S2Attrs& attrs) {
+  PhysAddr leaf{};
+  LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/false, &leaf));
+  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
+            s2_index(ipa, kStage2Levels - 1);
+  if (!pte::valid(*d)) return err(Errc::kNotFound, "IPA not mapped");
+  *d = pte::make_s2_page(pte::addr(*d), attrs);
+  return Status::ok();
+}
+
+S2Walk Stage2Table::lookup(IntermAddr ipa) const {
+  return walk_stage2(pm_, root_, ipa);
+}
+
+u64 Stage2Table::table_pages() const {
+  u64 count = 0;
+  count_frames(root_, 0, &count);
+  return count;
+}
+
+void Stage2Table::count_frames(PhysAddr table, unsigned level,
+                               u64* count) const {
+  ++*count;
+  if (level == kStage2Levels - 1) return;
+  for (unsigned i = 0; i < 512; ++i) {
+    const u64 desc = *(reinterpret_cast<const u64*>(pm_.page_ptr(table)) + i);
+    if (pte::is_table(desc)) count_frames(pte::addr(desc), level + 1, count);
+  }
+}
+
+void Stage2Table::free_recursive(PhysAddr table, unsigned level) {
+  if (level < kStage2Levels - 1) {
+    for (unsigned i = 0; i < 512; ++i) {
+      const u64 desc = *(reinterpret_cast<const u64*>(pm_.page_ptr(table)) + i);
+      if (pte::is_table(desc)) free_recursive(pte::addr(desc), level + 1);
+    }
+  }
+  pm_.free_frame(table);
+}
+
+TableAddrMapper Stage2Table::table_mapper() const {
+  const PhysMem* pm = &pm_;
+  const PhysAddr root = root_;
+  return [pm, root](u64 ipa) -> std::optional<PhysAddr> {
+    const S2Walk w = walk_stage2(*pm, root, ipa);
+    if (!w.ok || !w.attrs.read) return std::nullopt;
+    return w.out_addr;
+  };
+}
+
+}  // namespace lz::mem

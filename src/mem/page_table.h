@@ -1,0 +1,172 @@
+// Stage-1 (4-level, 48-bit VA) and stage-2 (3-level, 40-bit IPA) page
+// tables: hardware-style walkers that operate on raw physical memory, plus
+// owner classes the kernel/hypervisor use to build and maintain tables.
+//
+// When stage-2 translation is active, the stage-1 walk itself is performed
+// on intermediate physical addresses — every table pointer the stage-1
+// walker follows is translated through a caller-supplied mapper. This is
+// what lets LightZone keep a TTBR-mode process's stage-1 tables in "fake
+// physical" space (§5.1.2) while stage-2 holds the real frames.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/phys_mem.h"
+#include "mem/pte.h"
+#include "support/status.h"
+#include "support/types.h"
+
+namespace lz::mem {
+
+inline constexpr unsigned kStage1Levels = 4;
+inline constexpr unsigned kStage2Levels = 3;
+inline constexpr u64 kVaBits = 48;
+inline constexpr u64 kIpaBits = 39;
+
+// Which half of the address space a VA belongs to (selects TTBR0/TTBR1).
+enum class VaRange { kLower, kUpper, kInvalid };
+VaRange classify_va(VirtAddr va);
+
+// Index of `va` at stage-1 level (0..3).
+constexpr unsigned s1_index(VirtAddr va, unsigned level) {
+  const unsigned shift = 12 + 9 * (kStage1Levels - 1 - level);
+  return static_cast<unsigned>((va >> shift) & 0x1ff);
+}
+constexpr unsigned s2_index(IntermAddr ipa, unsigned level) {
+  const unsigned shift = 12 + 9 * (kStage2Levels - 1 - level);
+  return static_cast<unsigned>((ipa >> shift) & 0x1ff);
+}
+
+// Translates a table-descriptor output address to a machine physical
+// address (identity when stage-2 is off). Returns nullopt if unmapped.
+using TableAddrMapper = std::function<std::optional<PhysAddr>(u64)>;
+
+struct S1Walk {
+  bool ok = false;
+  unsigned fault_level = 0;   // level of the translation fault when !ok
+  bool s2_table_fault = false;  // the fault was a stage-2 miss on a table hop
+  u64 s2_fault_ipa = 0;         // IPA of the table access that missed
+  u64 out_addr = 0;           // IPA (or PA when stage-2 off) of the page
+  S1Attrs attrs;
+  PhysAddr leaf_pa = 0;       // machine PA of the leaf descriptor itself
+  unsigned mem_accesses = 0;  // table loads performed (cost accounting)
+};
+
+struct S2Walk {
+  bool ok = false;
+  unsigned fault_level = 0;
+  PhysAddr out_addr = 0;
+  S2Attrs attrs;
+  PhysAddr leaf_pa = 0;
+  unsigned mem_accesses = 0;
+};
+
+// Hardware walkers. `root` is the (machine-physical after mapping) table
+// base; for stage-1 with stage-2 active, pass a mapper that routes table
+// addresses through stage-2.
+S1Walk walk_stage1(const PhysMem& pm, PhysAddr root, VirtAddr va,
+                   const TableAddrMapper& map_table = nullptr);
+S2Walk walk_stage2(const PhysMem& pm, PhysAddr root, IntermAddr ipa);
+
+// --- Owner classes ----------------------------------------------------------
+
+// Frame allocation hooks so table frames can come from a managing kernel
+// (which e.g. keeps stage-2 identity mappings in sync) instead of the raw
+// machine allocator. `to_ipa`/`to_pa` translate between the machine frame
+// addresses the builder touches and the addresses *written into table
+// descriptors*: under LightZone's fake-physical scheme (§5.1.2) the
+// descriptors hold fake pages that stage-2 resolves, so next-level pointers
+// must be fake too. Identity when unset.
+struct FrameOps {
+  std::function<PhysAddr()> alloc;
+  std::function<void(PhysAddr)> free;
+  std::function<u64(PhysAddr)> to_ipa;
+  std::function<PhysAddr(u64)> to_pa;
+};
+
+// A kernel-managed stage-1 page table (one translation regime / domain).
+class Stage1Table {
+ public:
+  explicit Stage1Table(PhysMem& pm, u16 asid = 0, FrameOps frame_ops = {});
+  ~Stage1Table();
+  Stage1Table(const Stage1Table&) = delete;
+  Stage1Table& operator=(const Stage1Table&) = delete;
+
+  PhysAddr root() const { return root_; }
+  u16 asid() const { return asid_; }
+  void set_asid(u16 asid) { asid_ = asid; }
+  u64 ttbr() const { return make_ttbr(root_, asid_); }
+
+  // Map/unmap/change one 4 KiB page. `out_addr` is an IPA or PA depending
+  // on the regime this table serves.
+  Status map(VirtAddr va, u64 out_addr, const S1Attrs& attrs);
+  Status unmap(VirtAddr va);
+  Status protect(VirtAddr va, const S1Attrs& attrs);
+  S1Walk lookup(VirtAddr va) const;
+
+  // Visit every mapped page (for table duplication / synchronisation).
+  void for_each(const std::function<void(VirtAddr, u64 desc)>& fn) const;
+
+  // Machine PAs of every table frame (LightZone maps these read-only in
+  // stage-2 so a TTBR-mode process cannot edit its own translations).
+  std::vector<PhysAddr> table_frames() const;
+  u64 table_pages() const { return table_frames().size(); }
+
+ private:
+  u64* slot(PhysAddr table, unsigned index) const;
+  u64 desc_addr(PhysAddr pa) const {
+    return frame_ops_.to_ipa ? frame_ops_.to_ipa(pa) : pa;
+  }
+  PhysAddr frame_of_desc(u64 desc_out) const {
+    return frame_ops_.to_pa ? frame_ops_.to_pa(desc_out) : desc_out;
+  }
+  Status walk_to_leaf(VirtAddr va, bool create, PhysAddr* leaf_table);
+  void free_recursive(PhysAddr table, unsigned level);
+  void collect_frames(PhysAddr table, unsigned level,
+                      std::vector<PhysAddr>* out) const;
+  void for_each_rec(PhysAddr table, unsigned level, VirtAddr va_prefix,
+                    const std::function<void(VirtAddr, u64)>& fn) const;
+
+  PhysAddr alloc_table_frame();
+
+  PhysMem& pm_;
+  FrameOps frame_ops_;
+  PhysAddr root_;
+  u16 asid_;
+};
+
+// A stage-2 table (one VM / one confined LightZone process).
+class Stage2Table {
+ public:
+  explicit Stage2Table(PhysMem& pm, u16 vmid = 0);
+  ~Stage2Table();
+  Stage2Table(const Stage2Table&) = delete;
+  Stage2Table& operator=(const Stage2Table&) = delete;
+
+  PhysAddr root() const { return root_; }
+  u16 vmid() const { return vmid_; }
+  void set_vmid(u16 vmid) { vmid_ = vmid; }
+  u64 vttbr() const { return make_vttbr(root_, vmid_); }
+
+  Status map(IntermAddr ipa, PhysAddr pa, const S2Attrs& attrs);
+  Status unmap(IntermAddr ipa);
+  Status protect(IntermAddr ipa, const S2Attrs& attrs);
+  S2Walk lookup(IntermAddr ipa) const;
+  u64 table_pages() const;
+
+  // Convenience mapper for walk_stage1 over this stage-2 regime.
+  TableAddrMapper table_mapper() const;
+
+ private:
+  Status walk_to_leaf(IntermAddr ipa, bool create, PhysAddr* leaf_table);
+  void free_recursive(PhysAddr table, unsigned level);
+  void count_frames(PhysAddr table, unsigned level, u64* count) const;
+
+  PhysMem& pm_;
+  PhysAddr root_;
+  u16 vmid_;
+};
+
+}  // namespace lz::mem

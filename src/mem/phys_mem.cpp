@@ -1,0 +1,79 @@
+#include "mem/phys_mem.h"
+
+#include <cstring>
+
+namespace lz::mem {
+
+PhysAddr PhysMem::alloc_frame() {
+  PhysAddr pa;
+  if (!free_list_.empty()) {
+    pa = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    LZ_CHECK(next_frame_ + kPageSize <= ram_base_ + ram_size_);
+    pa = next_frame_;
+    next_frame_ += kPageSize;
+  }
+  std::memset(page_ptr(pa), 0, kPageSize);
+  ++frames_in_use_;
+  frames_peak_ = std::max(frames_peak_, frames_in_use_);
+  return pa;
+}
+
+void PhysMem::free_frame(PhysAddr pa) {
+  LZ_CHECK(page_aligned(pa) && in_ram(pa));
+  LZ_CHECK(frames_in_use_ > 0);
+  --frames_in_use_;
+  free_list_.push_back(pa);
+}
+
+PhysMem::Page& PhysMem::page(PhysAddr pa) const {
+  const u64 idx = page_index(pa);
+  auto it = pages_.find(idx);
+  if (it == pages_.end()) {
+    it = pages_.emplace(idx, std::make_unique<Page>()).first;
+    it->second->fill(0);
+  }
+  return *it->second;
+}
+
+u64 PhysMem::read(PhysAddr pa, u8 size) const {
+  LZ_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  LZ_CHECK(page_offset(pa) + size <= kPageSize);
+  u64 value = 0;
+  std::memcpy(&value, page(pa).data() + page_offset(pa), size);
+  return value;
+}
+
+void PhysMem::write(PhysAddr pa, u8 size, u64 value) {
+  LZ_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  LZ_CHECK(page_offset(pa) + size <= kPageSize);
+  std::memcpy(page(pa).data() + page_offset(pa), &value, size);
+}
+
+void PhysMem::read_bytes(PhysAddr pa, void* out, u64 len) const {
+  auto* dst = static_cast<u8*>(out);
+  while (len > 0) {
+    const u64 chunk = std::min(len, kPageSize - page_offset(pa));
+    std::memcpy(dst, page(pa).data() + page_offset(pa), chunk);
+    pa += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+}
+
+void PhysMem::write_bytes(PhysAddr pa, const void* data, u64 len) {
+  const auto* src = static_cast<const u8*>(data);
+  while (len > 0) {
+    const u64 chunk = std::min(len, kPageSize - page_offset(pa));
+    std::memcpy(page(pa).data() + page_offset(pa), src, chunk);
+    pa += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+}
+
+u8* PhysMem::page_ptr(PhysAddr pa) { return page(pa).data(); }
+const u8* PhysMem::page_ptr(PhysAddr pa) const { return page(pa).data(); }
+
+}  // namespace lz::mem

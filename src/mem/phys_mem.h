@@ -1,0 +1,61 @@
+// Sparse physical memory with a frame allocator. Pages materialise on
+// first touch; the allocator hands out zeroed frames for page tables,
+// kernel structures and process memory. Allocation counts feed the
+// memory-overhead numbers reported in §9.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "support/status.h"
+#include "support/types.h"
+
+namespace lz::mem {
+
+class PhysMem {
+ public:
+  // [base, base + size) is the RAM window the frame allocator serves.
+  explicit PhysMem(PhysAddr base = 0x4000'0000, u64 size = u64{4} << 30)
+      : ram_base_(base), ram_size_(size), next_frame_(base) {}
+
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+
+  // --- Frame allocator ------------------------------------------------------
+  PhysAddr alloc_frame();
+  void free_frame(PhysAddr pa);
+  u64 frames_in_use() const { return frames_in_use_; }
+  u64 frames_peak() const { return frames_peak_; }
+
+  // --- Raw access (hypervisor/device view; no translation, no checks) ------
+  u64 read(PhysAddr pa, u8 size) const;
+  void write(PhysAddr pa, u8 size, u64 value);
+  void read_bytes(PhysAddr pa, void* out, u64 len) const;
+  void write_bytes(PhysAddr pa, const void* data, u64 len);
+  u32 read_word(PhysAddr pa) const { return static_cast<u32>(read(pa, 4)); }
+
+  // Direct pointer to the backing page (created on demand). Valid until the
+  // PhysMem is destroyed; pages are never reclaimed, only reused.
+  u8* page_ptr(PhysAddr pa);
+  const u8* page_ptr(PhysAddr pa) const;
+
+  bool in_ram(PhysAddr pa) const {
+    return pa >= ram_base_ && pa < ram_base_ + ram_size_;
+  }
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+  Page& page(PhysAddr pa) const;
+
+  PhysAddr ram_base_;
+  u64 ram_size_;
+  PhysAddr next_frame_;
+  std::vector<PhysAddr> free_list_;
+  u64 frames_in_use_ = 0;
+  u64 frames_peak_ = 0;
+  mutable std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace lz::mem

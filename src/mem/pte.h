@@ -1,0 +1,122 @@
+// Page-table entry layout, ARMv8-A VMSA (4 KB granule).
+//
+// Stage-1 descriptors use the AP[2:1]/UXN/PXN/nG bits LightZone's isolation
+// mechanisms manipulate: AP[1] marks a page EL0-accessible ("user page" —
+// the bit PAN keys off), AP[2] write-protects, UXN/PXN split execute rights
+// by privilege, and nG=0 ("global") keeps an entry visible to all ASIDs,
+// which is what makes LightZone's TTBR0 switches cheap for unprotected
+// memory (§8.2).
+//
+// Stage-2 descriptors carry S2AP read/write and XN, used to confine
+// kernel-mode (LightZone) processes regardless of their stage-1 tables.
+#pragma once
+
+#include "support/bits.h"
+#include "support/types.h"
+
+namespace lz::mem {
+
+// Software view of stage-1 page permissions/attributes.
+struct S1Attrs {
+  bool valid = true;
+  bool user = false;        // AP[1]: accessible from EL0 ("user page")
+  bool read_only = false;   // AP[2]
+  bool uxn = true;          // unprivileged execute never
+  bool pxn = true;          // privileged execute never
+  bool global = false;      // !nG: entry shared across ASIDs
+  bool af = true;           // access flag
+
+  friend bool operator==(const S1Attrs&, const S1Attrs&) = default;
+};
+
+struct S2Attrs {
+  bool valid = true;
+  bool read = true;   // S2AP[0]
+  bool write = true;  // S2AP[1]
+  bool exec = true;   // !XN
+
+  friend bool operator==(const S2Attrs&, const S2Attrs&) = default;
+};
+
+namespace pte {
+
+inline constexpr u64 kValid = u64{1} << 0;
+inline constexpr u64 kTable = u64{1} << 1;  // table descriptor (levels 0-2)
+inline constexpr u64 kPage = u64{1} << 1;   // page descriptor (level 3)
+inline constexpr u64 kAp1User = u64{1} << 6;
+inline constexpr u64 kAp2ReadOnly = u64{1} << 7;
+inline constexpr u64 kAf = u64{1} << 10;
+inline constexpr u64 kNotGlobal = u64{1} << 11;
+inline constexpr u64 kPxn = u64{1} << 53;
+inline constexpr u64 kUxn = u64{1} << 54;
+inline constexpr u64 kAddrMask = ((u64{1} << 48) - 1) & ~kPageMask;
+
+// Stage-2 only.
+inline constexpr u64 kS2Read = u64{1} << 6;
+inline constexpr u64 kS2Write = u64{1} << 7;
+inline constexpr u64 kS2Xn = u64{1} << 54;
+
+constexpr u64 addr(u64 desc) { return desc & kAddrMask; }
+constexpr bool valid(u64 desc) { return desc & kValid; }
+constexpr bool is_table(u64 desc) { return (desc & (kValid | kTable)) == (kValid | kTable); }
+
+constexpr u64 make_table(PhysAddr next) { return (next & kAddrMask) | kValid | kTable; }
+
+constexpr u64 make_s1_page(u64 out_addr, const S1Attrs& a) {
+  u64 d = (out_addr & kAddrMask) | kValid | kPage;
+  if (a.user) d |= kAp1User;
+  if (a.read_only) d |= kAp2ReadOnly;
+  if (a.af) d |= kAf;
+  if (!a.global) d |= kNotGlobal;
+  if (a.pxn) d |= kPxn;
+  if (a.uxn) d |= kUxn;
+  return d;
+}
+
+constexpr S1Attrs s1_attrs(u64 desc) {
+  S1Attrs a;
+  a.valid = valid(desc);
+  a.user = desc & kAp1User;
+  a.read_only = desc & kAp2ReadOnly;
+  a.af = desc & kAf;
+  a.global = !(desc & kNotGlobal);
+  a.pxn = desc & kPxn;
+  a.uxn = desc & kUxn;
+  return a;
+}
+
+constexpr u64 make_s2_page(PhysAddr out_addr, const S2Attrs& a) {
+  u64 d = (out_addr & kAddrMask) | kValid | kPage | kAf;
+  if (a.read) d |= kS2Read;
+  if (a.write) d |= kS2Write;
+  if (!a.exec) d |= kS2Xn;
+  return d;
+}
+
+constexpr S2Attrs s2_attrs(u64 desc) {
+  S2Attrs a;
+  a.valid = valid(desc);
+  a.read = desc & kS2Read;
+  a.write = desc & kS2Write;
+  a.exec = !(desc & kS2Xn);
+  return a;
+}
+
+}  // namespace pte
+
+// TTBR values carry the ASID in bits [63:48] and the root table base in the
+// low bits, as on real hardware.
+constexpr u64 make_ttbr(PhysAddr root, u16 asid) {
+  return (u64{asid} << 48) | (root & pte::kAddrMask);
+}
+constexpr PhysAddr ttbr_base(u64 ttbr) { return ttbr & pte::kAddrMask; }
+constexpr u16 ttbr_asid(u64 ttbr) { return static_cast<u16>(ttbr >> 48); }
+
+// VTTBR: VMID in [63:48], stage-2 root below.
+constexpr u64 make_vttbr(PhysAddr root, u16 vmid) {
+  return (u64{vmid} << 48) | (root & pte::kAddrMask);
+}
+constexpr PhysAddr vttbr_base(u64 vttbr) { return vttbr & pte::kAddrMask; }
+constexpr u16 vttbr_vmid(u64 vttbr) { return static_cast<u16>(vttbr >> 48); }
+
+}  // namespace lz::mem

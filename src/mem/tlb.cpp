@@ -1,0 +1,90 @@
+#include "mem/tlb.h"
+
+namespace lz::mem {
+
+std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
+                                    Cycles l2_hit_cost) {
+  for (const auto& e : l1_) {
+    if (matches(e, vpage, asid, vmid)) {
+      ++stats_.l1_hits;
+      return Hit{&e, 0, true};
+    }
+  }
+  for (const auto& e : l2_) {
+    if (matches(e, vpage, asid, vmid)) {
+      ++stats_.l2_hits;
+      place(l1_, e);  // promote
+      return Hit{&e, l2_hit_cost, false};
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void Tlb::insert(const TlbEntry& e) {
+  place(l1_, e);
+  place(l2_, e);
+}
+
+void Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
+  if (level.empty()) return;
+  // Refresh an existing translation for the same (vpage, asid, vmid) so a
+  // permission change does not leave a stale duplicate behind.
+  for (auto& slot : level) {
+    if (matches(slot, e.vpage, e.asid, e.vmid)) {
+      slot = e;
+      return;
+    }
+  }
+  for (auto& slot : level) {
+    if (!slot.valid) {
+      slot = e;
+      return;
+    }
+  }
+  level[rng_.below(level.size())] = e;  // random replacement
+}
+
+void Tlb::invalidate_all() {
+  ++stats_.invalidations;
+  for (auto& e : l1_) e.valid = false;
+  for (auto& e : l2_) e.valid = false;
+}
+
+void Tlb::invalidate_vmid(u16 vmid) {
+  ++stats_.invalidations;
+  for (auto& e : l1_) {
+    if (e.vmid == vmid) e.valid = false;
+  }
+  for (auto& e : l2_) {
+    if (e.vmid == vmid) e.valid = false;
+  }
+}
+
+void Tlb::invalidate_asid(u16 asid, u16 vmid) {
+  ++stats_.invalidations;
+  for (auto& e : l1_) {
+    if (e.vmid == vmid && !e.global && e.asid == asid) e.valid = false;
+  }
+  for (auto& e : l2_) {
+    if (e.vmid == vmid && !e.global && e.asid == asid) e.valid = false;
+  }
+}
+
+void Tlb::invalidate_va(u64 vpage, u16 vmid) {
+  ++stats_.invalidations;
+  for (auto& e : l1_) {
+    if (e.vmid == vmid && e.vpage == vpage) e.valid = false;
+  }
+  for (auto& e : l2_) {
+    if (e.vmid == vmid && e.vpage == vpage) e.valid = false;
+  }
+}
+
+std::size_t Tlb::valid_entries() const {
+  std::size_t n = 0;
+  for (const auto& e : l2_) n += e.valid;
+  return n;
+}
+
+}  // namespace lz::mem

@@ -1,0 +1,75 @@
+// Combined-stage software TLB, two levels (micro-TLB + main TLB), tagged
+// with ASID and VMID and honouring the global bit. This is where LightZone's
+// domain-switch economics come from: per-page-table ASIDs let TTBR0 updates
+// skip TLB invalidation entirely (§4.1.2), and marking unprotected memory
+// global keeps its entries shared across all domains (§8.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mem/pte.h"
+#include "support/rng.h"
+#include "support/types.h"
+
+namespace lz::mem {
+
+struct TlbEntry {
+  bool valid = false;
+  u64 vpage = 0;    // VA >> 12
+  u16 asid = 0;
+  u16 vmid = 0;
+  bool global = false;   // matches any ASID within its VMID
+  bool stage2_on = false;
+  u64 ipa_page = 0;      // stage-1 output (== ppage when stage-2 off)
+  PhysAddr ppage = 0;    // final machine frame
+  S1Attrs s1;
+  S2Attrs s2;            // meaningful when stage2_on
+};
+
+struct TlbStats {
+  u64 l1_hits = 0;
+  u64 l2_hits = 0;
+  u64 misses = 0;
+  u64 invalidations = 0;
+};
+
+class Tlb {
+ public:
+  Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed = 42)
+      : l1_(l1_entries), l2_(l2_entries), rng_(seed) {}
+
+  struct Hit {
+    const TlbEntry* entry;
+    Cycles extra_cost;  // 0 on micro-TLB hit, tlb_l2_hit on main-TLB hit
+    bool from_l1;
+  };
+
+  // Look up (vpage, asid, vmid). Promotes main-TLB hits into the micro-TLB.
+  std::optional<Hit> lookup(u64 vpage, u16 asid, u16 vmid, Cycles l2_hit_cost);
+
+  void insert(const TlbEntry& e);
+
+  void invalidate_all();
+  void invalidate_vmid(u16 vmid);
+  void invalidate_asid(u16 asid, u16 vmid);   // non-global entries of an ASID
+  void invalidate_va(u64 vpage, u16 vmid);    // all ASIDs + global, one page
+
+  const TlbStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  std::size_t valid_entries() const;
+
+ private:
+  static bool matches(const TlbEntry& e, u64 vpage, u16 asid, u16 vmid) {
+    return e.valid && e.vpage == vpage && e.vmid == vmid &&
+           (e.global || e.asid == asid);
+  }
+  void place(std::vector<TlbEntry>& level, const TlbEntry& e);
+
+  std::vector<TlbEntry> l1_;
+  std::vector<TlbEntry> l2_;
+  Rng rng_;
+  TlbStats stats_;
+};
+
+}  // namespace lz::mem

@@ -1,0 +1,769 @@
+#include "sim/core.h"
+
+#include "support/bits.h"
+
+namespace lz::sim {
+
+using arch::Cond;
+using arch::ExceptionClass;
+using arch::FaultStatus;
+using arch::Insn;
+using arch::Op;
+using arch::VectorKind;
+using mem::pte::kAddrMask;
+
+namespace {
+
+constexpr u32 kMaxNestedFaults = 8;
+
+bool is_el2_reg(SysReg r) { return arch::sysreg_info(r).min_el == 2; }
+
+}  // namespace
+
+Core::Core(const arch::Platform& platform, mem::PhysMem& pm, mem::Tlb& tlb,
+           CycleAccount& account)
+    : plat_(platform), pm_(pm), tlb_(tlb), account_(account) {
+  pstate_.el = ExceptionLevel::kEl0;
+  set_sysreg(SysReg::kHcrEl2, arch::hcr::kRw);
+}
+
+void Core::set_handler(ExceptionLevel el, TrapHandler handler) {
+  handlers_[static_cast<int>(el)] = std::move(handler);
+}
+
+bool Core::has_handler(ExceptionLevel el) const {
+  return static_cast<bool>(handlers_[static_cast<int>(el)]);
+}
+
+bool Core::stage2_enabled() const {
+  return sysreg(SysReg::kHcrEl2) & arch::hcr::kVm;
+}
+
+u16 Core::current_vmid() const {
+  return stage2_enabled() ? mem::vttbr_vmid(sysreg(SysReg::kVttbrEl2)) : 0;
+}
+
+u16 Core::current_asid() const {
+  return mem::ttbr_asid(sysreg(SysReg::kTtbr0El1));
+}
+
+// --- Translation -------------------------------------------------------------
+
+bool Core::check_perms(const mem::TlbEntry& e, AccessType type, bool unpriv,
+                       ExceptionLevel el) const {
+  // Stage-1 checks only; stage-2 is checked separately by the caller.
+  const bool user_access = (el == ExceptionLevel::kEl0) || unpriv;
+  switch (type) {
+    case AccessType::kFetch:
+      if (el == ExceptionLevel::kEl0) return e.s1.user && !e.s1.uxn;
+      return !e.s1.pxn;
+    case AccessType::kRead:
+      if (user_access) return e.s1.user;
+      // Privileged read: PAN blocks access to user pages.
+      if (e.s1.user && pstate_.pan) return false;
+      return true;
+    case AccessType::kWrite:
+      if (e.s1.read_only) return false;
+      if (user_access) return e.s1.user;
+      if (e.s1.user && pstate_.pan) return false;
+      return true;
+  }
+  return false;
+}
+
+std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
+                                                  Translation* out) {
+  const u64 hcr = sysreg(SysReg::kHcrEl2);
+  const bool s2_on = hcr & arch::hcr::kVm;
+  const auto range = mem::classify_va(va);
+  if (range == mem::VaRange::kInvalid) {
+    out->fault_level = 0;
+    return std::nullopt;
+  }
+  const u64 ttbr = range == mem::VaRange::kLower ? sysreg(SysReg::kTtbr0El1)
+                                                 : sysreg(SysReg::kTtbr1El1);
+  const PhysAddr s2_root = mem::vttbr_base(sysreg(SysReg::kVttbrEl2));
+
+  unsigned s2_table_walks = 0;
+  mem::TableAddrMapper mapper;
+  if (s2_on) {
+    mapper = [this, s2_root, &s2_table_walks](u64 ipa)
+        -> std::optional<PhysAddr> {
+      const auto w = mem::walk_stage2(pm_, s2_root, ipa);
+      // Hardware walk caches make repeated table translations cheap; we
+      // charge one level per table hop rather than a full nested walk.
+      s2_table_walks += 1;
+      if (!w.ok || !w.attrs.read) return std::nullopt;
+      return w.out_addr;
+    };
+  }
+
+  const auto s1 = mem::walk_stage1(pm_, mem::ttbr_base(ttbr), va, mapper);
+  account_.charge(CostKind::kTlb, (s1.mem_accesses + s2_table_walks) *
+                                      plat_.tlb_walk_per_level);
+  if (!s1.ok) {
+    out->fault_level = s1.fault_level;
+    if (s1.s2_table_fault) {
+      out->stage2_fault = true;
+      out->fault_ipa = s1.s2_fault_ipa;
+    }
+    return std::nullopt;
+  }
+
+  mem::TlbEntry e;
+  e.valid = true;
+  e.vpage = vpage;
+  e.asid = current_asid();
+  e.vmid = current_vmid();
+  e.global = s1.attrs.global;
+  e.stage2_on = s2_on;
+  e.ipa_page = page_floor(s1.out_addr);
+  e.s1 = s1.attrs;
+  if (s2_on) {
+    const auto s2 = mem::walk_stage2(pm_, s2_root, s1.out_addr);
+    account_.charge(CostKind::kTlb,
+                    s2.mem_accesses * plat_.tlb_walk_per_level);
+    if (!s2.ok) {
+      out->stage2_fault = true;
+      out->fault_level = s2.fault_level;
+      out->fault_ipa = s1.out_addr;
+      return std::nullopt;
+    }
+    e.ppage = page_floor(s2.out_addr);
+    e.s2 = s2.attrs;
+  } else {
+    e.ppage = page_floor(s1.out_addr);
+  }
+  tlb_.insert(e);
+  return e;
+}
+
+Core::Translation Core::translate(VirtAddr va, AccessType type,
+                                  bool unprivileged) {
+  Translation out;
+  const u64 vpage = page_index(va);
+
+  std::optional<mem::TlbEntry> entry;
+  if (auto hit = tlb_.lookup(vpage, current_asid(), current_vmid(),
+                             plat_.tlb_l2_hit)) {
+    account_.charge(CostKind::kTlb, hit->extra_cost);
+    entry = *hit->entry;
+  } else {
+    entry = translate_slow(va, vpage, &out);
+    if (!entry) return out;  // translation fault recorded in `out`
+  }
+
+  if (!check_perms(*entry, type, unprivileged, pstate_.el)) {
+    out.permission = true;
+    out.fault_level = 3;
+    return out;
+  }
+  if (entry->stage2_on) {
+    const bool ok = type == AccessType::kFetch
+                        ? (entry->s2.read && entry->s2.exec)
+                        : (type == AccessType::kRead ? entry->s2.read
+                                                     : entry->s2.write);
+    if (!ok) {
+      out.permission = true;
+      out.stage2_fault = true;
+      out.fault_level = 3;
+      out.fault_ipa = entry->ipa_page | page_offset(va);
+      return out;
+    }
+  }
+  out.ok = true;
+  out.pa = entry->ppage | page_offset(va);
+  return out;
+}
+
+// --- Exceptions --------------------------------------------------------------
+
+ExceptionLevel Core::route_sync_target(ExceptionClass ec, bool stage2) const {
+  const u64 hcr = sysreg(SysReg::kHcrEl2);
+  if (stage2) return ExceptionLevel::kEl2;
+  switch (ec) {
+    case ExceptionClass::kHvc64:
+    case ExceptionClass::kSmc64:
+    case ExceptionClass::kMsrMrsTrap:
+      return ExceptionLevel::kEl2;
+    default:
+      break;
+  }
+  if (pstate_.el == ExceptionLevel::kEl0 && (hcr & arch::hcr::kTge)) {
+    return ExceptionLevel::kEl2;  // VHE host: EL0 exceptions land at EL2
+  }
+  if (pstate_.el == ExceptionLevel::kEl2) return ExceptionLevel::kEl2;
+  return ExceptionLevel::kEl1;
+}
+
+void Core::take_exception(const TrapInfo& info) {
+  const auto target = info.target;
+  const auto from = info.from;
+  LZ_CHECK(target >= from || from == ExceptionLevel::kEl2);
+
+  const bool el2 = target == ExceptionLevel::kEl2;
+  set_sysreg(el2 ? SysReg::kElrEl2 : SysReg::kElrEl1, info.pc);
+  set_sysreg(el2 ? SysReg::kSpsrEl2 : SysReg::kSpsrEl1, pstate_.to_spsr());
+  set_sysreg(el2 ? SysReg::kEsrEl2 : SysReg::kEsrEl1, info.esr);
+  set_sysreg(el2 ? SysReg::kFarEl2 : SysReg::kFarEl1, info.far);
+  if (el2) set_sysreg(SysReg::kHpfarEl2, info.ipa);
+
+  account_.charge(CostKind::kExcp, plat_.excp(from, target));
+  pstate_.el = target;
+  pstate_.irq_masked = true;
+
+  last_trap_ = info;
+
+  auto& handler = handlers_[static_cast<int>(target)];
+  if (handler) {
+    if (handler(info) == TrapAction::kStop) stop_requested_ = true;
+    return;
+  }
+  // No privileged C++ software at this level: vector to simulated code.
+  const u64 vbar = sysreg(el2 ? SysReg::kVbarEl2 : SysReg::kVbarEl1);
+  const bool same_el = from == target;
+  const bool from_el0 = from == ExceptionLevel::kEl0;
+  u64 off;
+  if (from_el0 && !same_el) {
+    off = static_cast<u64>(VectorKind::kSyncLower64);
+  } else {
+    off = static_cast<u64>(same_el ? VectorKind::kSyncCurrentSpx
+                                   : VectorKind::kSyncLower64);
+  }
+  if (vbar == 0) {
+    stop_requested_ = true;
+    stop_unhandled_ = true;
+    return;
+  }
+  pc_ = vbar + off;
+}
+
+void Core::raise_sync(ExceptionClass ec, u32 iss, u64 far, u64 ipa,
+                      bool stage2) {
+  TrapInfo info;
+  info.from = pstate_.el;
+  info.target = route_sync_target(ec, stage2);
+  info.ec = ec;
+  info.esr = arch::make_esr(ec, iss);
+  info.far = far;
+  info.ipa = ipa;
+  info.stage2 = stage2;
+  info.pc = pending_elr_;
+  take_exception(info);
+}
+
+void Core::eret_from(ExceptionLevel from_el) {
+  const bool el2 = from_el == ExceptionLevel::kEl2;
+  const u64 elr = sysreg(el2 ? SysReg::kElrEl2 : SysReg::kElrEl1);
+  const u64 spsr = sysreg(el2 ? SysReg::kSpsrEl2 : SysReg::kSpsrEl1);
+  const auto new_state = arch::PState::from_spsr(spsr);
+  account_.charge(CostKind::kExcp, plat_.eret(from_el, new_state.el));
+  pstate_ = new_state;
+  pc_ = elr;
+}
+
+// --- Execution ---------------------------------------------------------------
+
+RunResult Core::run(u64 max_steps) {
+  RunResult result;
+  stop_requested_ = false;
+  stop_unhandled_ = false;
+  for (u64 i = 0; i < max_steps; ++i) {
+    step();
+    ++result.steps;
+    if (stop_requested_) {
+      result.reason =
+          stop_unhandled_ ? StopReason::kUnhandled : StopReason::kHandlerStop;
+      return result;
+    }
+  }
+  result.reason = StopReason::kMaxSteps;
+  return result;
+}
+
+void Core::step() {
+  const u64 insn_pc = pc_;
+  pending_elr_ = insn_pc;  // faults return to the faulting instruction
+
+  if (irq_pending_ && !pstate_.irq_masked) {
+    irq_pending_ = false;
+    TrapInfo info;
+    info.from = pstate_.el;
+    // Physical IRQs route to EL2 when HCR_EL2.IMO is set (guest worlds and
+    // LightZone processes) or under TGE (VHE host); otherwise to EL1.
+    const u64 hcr = sysreg(SysReg::kHcrEl2);
+    info.target = (hcr & (arch::hcr::kImo | arch::hcr::kTge)) ||
+                          pstate_.el == ExceptionLevel::kEl2
+                      ? ExceptionLevel::kEl2
+                      : ExceptionLevel::kEl1;
+    info.ec = ExceptionClass::kIrq;
+    info.esr = 0;
+    info.pc = insn_pc;  // resume at the interrupted instruction
+    take_exception(info);
+    return;
+  }
+
+  const auto fetch = translate(insn_pc, AccessType::kFetch, false);
+  if (!fetch.ok) {
+    ++nested_faults_;
+    if (nested_faults_ > kMaxNestedFaults) {
+      stop_requested_ = true;
+      stop_unhandled_ = true;
+      return;
+    }
+    const bool lower = pstate_.el == ExceptionLevel::kEl0 || fetch.stage2_fault;
+    const auto ec = lower ? ExceptionClass::kInsnAbortLowerEl
+                          : ExceptionClass::kInsnAbortSameEl;
+    const auto fs = fetch.permission
+                        ? arch::permission_fault(fetch.fault_level)
+                        : arch::translation_fault(fetch.fault_level);
+    raise_sync(ec, arch::make_abort_iss(fs, false), insn_pc, fetch.fault_ipa,
+               fetch.stage2_fault);
+    return;
+  }
+  nested_faults_ = 0;
+
+  const u32 word = pm_.read_word(fetch.pa);
+  const Insn& insn = decode_cached(word);
+  account_.charge(CostKind::kInsn, plat_.insn_base);
+  pc_ = insn_pc + 4;
+
+  execute(insn);
+  if (on_insn) on_insn(insn);
+}
+
+bool Core::cond_holds(Cond cond) const {
+  const auto& p = pstate_;
+  switch (cond) {
+    case Cond::kEq: return p.z;
+    case Cond::kNe: return !p.z;
+    case Cond::kCs: return p.c;
+    case Cond::kCc: return !p.c;
+    case Cond::kMi: return p.n;
+    case Cond::kPl: return !p.n;
+    case Cond::kVs: return p.v;
+    case Cond::kVc: return !p.v;
+    case Cond::kHi: return p.c && !p.z;
+    case Cond::kLs: return !p.c || p.z;
+    case Cond::kGe: return p.n == p.v;
+    case Cond::kLt: return p.n != p.v;
+    case Cond::kGt: return !p.z && p.n == p.v;
+    case Cond::kLe: return p.z || p.n != p.v;
+    case Cond::kAl: return true;
+  }
+  return true;
+}
+
+void Core::execute(const Insn& insn) {
+  const u64 insn_pc = pc_ - 4;
+  switch (insn.op) {
+    case Op::kNop:
+      return;
+    case Op::kUdf:
+      raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+      return;
+
+    case Op::kMovz:
+      set_x(insn.rd, insn.imm << (insn.hw * 16));
+      return;
+    case Op::kMovk: {
+      const unsigned sh = insn.hw * 16;
+      const u64 mask = ~(u64{0xffff} << sh);
+      set_x(insn.rd, (x(insn.rd) & mask) | (insn.imm << sh));
+      return;
+    }
+    case Op::kMovn:
+      set_x(insn.rd, ~(insn.imm << (insn.hw * 16)));
+      return;
+
+    case Op::kAddImm:
+      set_x(insn.rd, reg_or_sp(insn.rn) + insn.imm);
+      return;
+    case Op::kSubImm:
+      set_x(insn.rd, reg_or_sp(insn.rn) - insn.imm);
+      return;
+    case Op::kSubsImm: {
+      const u64 a = x(insn.rn), b = insn.imm, r = a - b;
+      set_flags_sub(a, b, r);
+      set_x(insn.rd, r);
+      return;
+    }
+    case Op::kAddReg:
+      set_x(insn.rd, x(insn.rn) + x(insn.rm));
+      return;
+    case Op::kSubReg:
+      set_x(insn.rd, x(insn.rn) - x(insn.rm));
+      return;
+    case Op::kSubsReg: {
+      const u64 a = x(insn.rn), b = x(insn.rm), r = a - b;
+      set_flags_sub(a, b, r);
+      set_x(insn.rd, r);
+      return;
+    }
+    case Op::kAndReg:
+      set_x(insn.rd, x(insn.rn) & x(insn.rm));
+      return;
+    case Op::kOrrReg:
+      set_x(insn.rd, x(insn.rn) | x(insn.rm));
+      return;
+    case Op::kEorReg:
+      set_x(insn.rd, x(insn.rn) ^ x(insn.rm));
+      return;
+    case Op::kAndsReg: {
+      const u64 r = x(insn.rn) & x(insn.rm);
+      pstate_.n = r >> 63;
+      pstate_.z = r == 0;
+      pstate_.c = pstate_.v = false;
+      set_x(insn.rd, r);
+      return;
+    }
+    case Op::kLslImm:
+      set_x(insn.rd, x(insn.rn) << insn.shift);
+      return;
+
+    case Op::kB:
+      pc_ = insn_pc + insn.offset;
+      return;
+    case Op::kBl:
+      set_x(arch::kLrIndex, insn_pc + 4);
+      pc_ = insn_pc + insn.offset;
+      return;
+    case Op::kBCond:
+      if (cond_holds(insn.cond)) pc_ = insn_pc + insn.offset;
+      return;
+    case Op::kCbz:
+      if (x(insn.rt) == 0) pc_ = insn_pc + insn.offset;
+      return;
+    case Op::kCbnz:
+      if (x(insn.rt) != 0) pc_ = insn_pc + insn.offset;
+      return;
+    case Op::kBr:
+      pc_ = x(insn.rn);
+      return;
+    case Op::kBlr:
+      set_x(arch::kLrIndex, insn_pc + 4);
+      pc_ = x(insn.rn);
+      return;
+    case Op::kRet:
+      pc_ = x(insn.rn);
+      return;
+
+    case Op::kLdrImm:
+    case Op::kStrImm:
+    case Op::kLdrReg:
+    case Op::kStrReg:
+    case Op::kLdtr:
+    case Op::kSttr:
+      exec_ldst(insn);
+      return;
+
+    case Op::kMsrReg:
+    case Op::kMrs:
+    case Op::kMsrImm:
+    case Op::kSys:
+      exec_system(insn);
+      return;
+    case Op::kIsb:
+      account_.charge(CostKind::kInsn, plat_.isb);
+      return;
+    case Op::kDsb:
+    case Op::kDmb:
+      account_.charge(CostKind::kInsn, plat_.dsb);
+      return;
+
+    case Op::kSvc:
+      pending_elr_ = pc_;  // return to the instruction after SVC
+      raise_sync(ExceptionClass::kSvc64, static_cast<u32>(insn.imm), 0, 0,
+                 false);
+      return;
+    case Op::kHvc:
+      if (pstate_.el == ExceptionLevel::kEl0) {
+        pending_elr_ = insn_pc;
+        raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+        return;
+      }
+      pending_elr_ = pc_;
+      raise_sync(ExceptionClass::kHvc64, static_cast<u32>(insn.imm), 0, 0,
+                 false);
+      return;
+    case Op::kSmc:
+      pending_elr_ = pc_;
+      raise_sync(ExceptionClass::kSmc64, static_cast<u32>(insn.imm), 0, 0,
+                 false);
+      return;
+    case Op::kBrk:
+      pending_elr_ = insn_pc;
+      raise_sync(ExceptionClass::kBrk64, static_cast<u32>(insn.imm), 0, 0,
+                 false);
+      return;
+    case Op::kEret: {
+      if (pstate_.el == ExceptionLevel::kEl0) {
+        raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+        return;
+      }
+      eret_from(pstate_.el);
+      return;
+    }
+  }
+}
+
+u64 Core::reg_or_sp(unsigned i) const {
+  // In address-generation contexts, register 31 is SP, not XZR.
+  if (i == 31) return sp_[static_cast<int>(pstate_.el)];
+  return x_[i];
+}
+
+void Core::set_flags_sub(u64 a, u64 b, u64 r) {
+  pstate_.n = r >> 63;
+  pstate_.z = r == 0;
+  pstate_.c = a >= b;
+  pstate_.v = ((a ^ b) & (a ^ r)) >> 63;
+}
+
+void Core::exec_ldst(const Insn& insn) {
+  u64 base = reg_or_sp(insn.rn);
+  u64 va = base;
+  if (insn.op == Op::kLdrReg || insn.op == Op::kStrReg) {
+    va += x(insn.rm) << insn.shift;
+  } else {
+    va += static_cast<u64>(insn.offset);
+  }
+
+  const bool unpriv = insn.is_unprivileged_ldst();
+  const auto type = insn.is_load() ? AccessType::kRead : AccessType::kWrite;
+  const auto tr = translate(va, type, unpriv);
+  if (!tr.ok) {
+    const bool lower =
+        pstate_.el == ExceptionLevel::kEl0 || tr.stage2_fault;
+    const auto ec = lower ? ExceptionClass::kDataAbortLowerEl
+                          : ExceptionClass::kDataAbortSameEl;
+    const auto fs = tr.permission ? arch::permission_fault(tr.fault_level)
+                                  : arch::translation_fault(tr.fault_level);
+    raise_sync(ec, arch::make_abort_iss(fs, type == AccessType::kWrite), va,
+               tr.fault_ipa, tr.stage2_fault);
+    return;
+  }
+
+  account_.charge(CostKind::kMem, plat_.mem_access);
+  if (insn.is_load()) {
+    u64 v = pm_.read(tr.pa, insn.size);
+    if (insn.sign_ext) v = static_cast<u64>(sign_extend(v, insn.size * 8));
+    set_x(insn.rt, v);
+  } else {
+    pm_.write(tr.pa, insn.size, x(insn.rt));
+  }
+
+  check_watchpoints(va, type == AccessType::kWrite);
+}
+
+void Core::check_watchpoints(VirtAddr va, bool is_write) {
+  (void)is_write;
+  if (pstate_.el != ExceptionLevel::kEl0) return;  // baseline watches EL0
+  static constexpr SysReg kPairs[][2] = {
+      {SysReg::kDbgwvr0El1, SysReg::kDbgwcr0El1},
+      {SysReg::kDbgwvr1El1, SysReg::kDbgwcr1El1},
+      {SysReg::kDbgwvr2El1, SysReg::kDbgwcr2El1},
+      {SysReg::kDbgwvr3El1, SysReg::kDbgwcr3El1},
+  };
+  for (const auto& pair : kPairs) {
+    const u64 wcr = sysreg(pair[1]);
+    if (!(wcr & 1)) continue;
+    // WCR.MASK [28:24]: watch a 2^mask-byte naturally aligned region.
+    const unsigned mask = (wcr >> 24) & 0x1f;
+    const u64 wvr = sysreg(pair[0]);
+    if ((va >> mask) == (wvr >> mask)) {
+      pending_elr_ = pc_ - 4;
+      raise_sync(ExceptionClass::kBrk64, /*iss=*/0x22, va, 0, false);
+      return;
+    }
+  }
+}
+
+Cycles Core::sysreg_write_cost(SysReg r) const {
+  switch (r) {
+    case SysReg::kHcrEl2: return plat_.sysreg_write_hcr;
+    case SysReg::kVttbrEl2: return plat_.sysreg_write_vttbr;
+    case SysReg::kTtbr0El1: return plat_.sysreg_write_ttbr0;
+    default:
+      if (arch::is_watchpoint_reg(r)) return plat_.dbg_reg_write;
+      return plat_.sysreg_write;
+  }
+}
+
+void Core::exec_system(const Insn& insn) {
+  const u64 hcr = sysreg(SysReg::kHcrEl2);
+  const auto el = pstate_.el;
+  const u64 insn_pc = pc_ - 4;
+
+  if (insn.op == Op::kMsrImm) {
+    if (insn.pstate == arch::kPStatePan) {
+      if (el == ExceptionLevel::kEl0) {
+        pending_elr_ = insn_pc;
+        raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+        return;
+      }
+      pstate_.pan = insn.imm & 1;
+      account_.charge(CostKind::kSysreg, plat_.pan_toggle);
+      return;
+    }
+    if (insn.pstate == arch::kPStateDaifSet ||
+        insn.pstate == arch::kPStateDaifClr) {
+      if (el == ExceptionLevel::kEl0) {
+        pending_elr_ = insn_pc;
+        raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+        return;
+      }
+      pstate_.irq_masked = insn.pstate == arch::kPStateDaifSet;
+      account_.charge(CostKind::kSysreg, plat_.sysreg_write);
+      return;
+    }
+    pending_elr_ = insn_pc;
+    raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+    return;
+  }
+
+  if (insn.op == Op::kSys) {
+    // DC/IC/AT/TLBI space. TLBI is CRn == 8.
+    if (el == ExceptionLevel::kEl0) {
+      pending_elr_ = insn_pc;
+      raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+      return;
+    }
+    if (insn.sys.crn == 8) {
+      if (el == ExceptionLevel::kEl1 && (hcr & arch::hcr::kTtlb)) {
+        pending_elr_ = insn_pc;
+        raise_sync(ExceptionClass::kMsrMrsTrap, insn.raw & 0x1ffffff, 0, 0,
+                   false);
+        return;
+      }
+      tlb_.invalidate_vmid(current_vmid());
+      account_.charge(CostKind::kSysreg, plat_.dsb);
+      return;
+    }
+    // DC/IC/AT: charge a barrier-ish cost; AT additionally updates PAR_EL1.
+    if (insn.sys.crn == 7 && insn.sys.crm == 8) {
+      const auto tr = translate(x(insn.rt), AccessType::kRead, false);
+      set_sysreg(SysReg::kParEl1, tr.ok ? (tr.pa & kAddrMask) : 1);
+    }
+    account_.charge(CostKind::kSysreg, plat_.dsb);
+    return;
+  }
+
+  // MSR/MRS register forms.
+  const bool is_read = insn.op == Op::kMrs;
+  if (!insn.sysreg) {
+    pending_elr_ = insn_pc;
+    raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+    return;
+  }
+  const SysReg r = *insn.sysreg;
+  const auto& info = arch::sysreg_info(r);
+
+  // EL0 may only touch min_el==0 registers.
+  if (static_cast<u8>(el) < info.min_el) {
+    pending_elr_ = insn_pc;
+    if (el == ExceptionLevel::kEl1 && is_el2_reg(r)) {
+      // Nested-virtualization style trap: EL2-register access from a guest
+      // kernel routes to the hypervisor (the Lowvisor emulates it).
+      raise_sync(ExceptionClass::kMsrMrsTrap, insn.raw & 0x1ffffff, 0, 0,
+                 false);
+    } else {
+      raise_sync(ExceptionClass::kUnknown, 0, 0, 0, false);
+    }
+    return;
+  }
+
+  // HCR_EL2.TVM / TRVM: trap stage-1 control accesses from EL1 to EL2.
+  if (el == ExceptionLevel::kEl1 && arch::is_stage1_control_reg(r)) {
+    const bool trap = is_read ? (hcr & arch::hcr::kTrvm)
+                              : (hcr & arch::hcr::kTvm);
+    if (trap) {
+      pending_elr_ = insn_pc;
+      raise_sync(ExceptionClass::kMsrMrsTrap, insn.raw & 0x1ffffff, 0, 0,
+                 false);
+      return;
+    }
+  }
+
+  if (is_read) {
+    u64 v;
+    switch (r) {
+      case SysReg::kNzcv: v = pstate_.to_spsr() & (u64{0xf} << 28); break;
+      case SysReg::kDaif: v = u64{pstate_.irq_masked} << 7; break;
+      default: v = sysreg(r); break;
+    }
+    set_x(insn.rt, v);
+    account_.charge(CostKind::kSysreg, plat_.sysreg_read);
+    return;
+  }
+
+  const u64 v = x(insn.rt);
+  switch (r) {
+    case SysReg::kNzcv:
+      pstate_.n = (v >> 31) & 1;
+      pstate_.z = (v >> 30) & 1;
+      pstate_.c = (v >> 29) & 1;
+      pstate_.v = (v >> 28) & 1;
+      break;
+    case SysReg::kDaif:
+      pstate_.irq_masked = (v >> 7) & 1;
+      break;
+    default:
+      set_sysreg(r, v);
+      break;
+  }
+  account_.charge(CostKind::kSysreg, sysreg_write_cost(r));
+}
+
+const Insn& Core::decode_cached(u32 word) {
+  // Decoding is pure; cache by encoding (self-modifying code still works
+  // because the cache is keyed by the word's value, not its address).
+  auto it = decode_cache_.find(word);
+  if (it != decode_cache_.end()) return it->second;
+  if (decode_cache_.size() > 65536) decode_cache_.clear();
+  return decode_cache_.emplace(word, arch::decode(word)).first->second;
+}
+
+Core::MemResult Core::mem_read(VirtAddr va, u8 size) {
+  MemResult r;
+  const auto tr = translate(va, AccessType::kRead, false);
+  if (!tr.ok) {
+    const bool lower = pstate_.el == ExceptionLevel::kEl0 || tr.stage2_fault;
+    const auto fs = tr.permission ? arch::permission_fault(tr.fault_level)
+                                  : arch::translation_fault(tr.fault_level);
+    pending_elr_ = pc_;
+    raise_sync(lower ? ExceptionClass::kDataAbortLowerEl
+                     : ExceptionClass::kDataAbortSameEl,
+               arch::make_abort_iss(fs, false), va, tr.fault_ipa,
+               tr.stage2_fault);
+    return r;
+  }
+  account_.charge(CostKind::kMem, plat_.mem_access);
+  r.ok = true;
+  r.pa = tr.pa;
+  r.value = pm_.read(tr.pa, size);
+  return r;
+}
+
+Core::MemResult Core::mem_write(VirtAddr va, u8 size, u64 value) {
+  MemResult r;
+  const auto tr = translate(va, AccessType::kWrite, false);
+  if (!tr.ok) {
+    const bool lower = pstate_.el == ExceptionLevel::kEl0 || tr.stage2_fault;
+    const auto fs = tr.permission ? arch::permission_fault(tr.fault_level)
+                                  : arch::translation_fault(tr.fault_level);
+    pending_elr_ = pc_;
+    raise_sync(lower ? ExceptionClass::kDataAbortLowerEl
+                     : ExceptionClass::kDataAbortSameEl,
+               arch::make_abort_iss(fs, true), va, tr.fault_ipa,
+               tr.stage2_fault);
+    return r;
+  }
+  account_.charge(CostKind::kMem, plat_.mem_access);
+  pm_.write(tr.pa, size, value);
+  r.ok = true;
+  r.pa = tr.pa;
+  return r;
+}
+
+}  // namespace lz::sim

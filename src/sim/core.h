@@ -1,0 +1,192 @@
+// The simulated CPU core. Executes the modelled A64 subset with full
+// two-stage address translation, permission checking (including PAN and
+// unprivileged load/store semantics), architectural exception entry/return,
+// and cycle accounting against the selected Platform.
+//
+// Privileged software (host kernel, Lowvisor, guest kernels, the LightZone
+// kernel module) is C++ that runs as registered trap handlers and operates
+// on the core's architectural state; user-level and LightZone-process code
+// is *simulated instructions*. An exception level with no registered
+// handler vectors to simulated code at VBAR_ELx — which is how the
+// LightZone API library's EL1 forwarding stub and the TTBR1-mapped secure
+// call gate run as real instruction streams.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "arch/decode.h"
+#include "arch/exception.h"
+#include "arch/insn.h"
+#include "arch/platform.h"
+#include "arch/pstate.h"
+#include "arch/sysreg.h"
+#include "mem/page_table.h"
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+#include "sim/cost.h"
+
+namespace lz::sim {
+
+using arch::ExceptionClass;
+using arch::ExceptionLevel;
+using arch::SysReg;
+
+struct TrapInfo {
+  ExceptionLevel target = ExceptionLevel::kEl1;
+  ExceptionLevel from = ExceptionLevel::kEl0;
+  ExceptionClass ec = ExceptionClass::kUnknown;
+  u64 esr = 0;
+  u64 far = 0;        // faulting VA (aborts)
+  u64 ipa = 0;        // faulting IPA (stage-2 aborts)
+  VirtAddr pc = 0;    // preferred return address (== ELR at entry)
+  bool stage2 = false;
+};
+
+// What a C++ trap handler tells the core to do next.
+enum class TrapAction : u8 {
+  kResume,  // handler updated state (ELR/regs/pstate); continue executing
+  kStop,    // stop the run loop (process exit, kill, host-level transfer)
+};
+
+enum class StopReason : u8 {
+  kHandlerStop,
+  kMaxSteps,
+  kUnhandled,  // exception with no handler and no valid vector code
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kMaxSteps;
+  u64 steps = 0;
+};
+
+enum class AccessType : u8 { kRead, kWrite, kFetch };
+
+class Core {
+ public:
+  Core(const arch::Platform& platform, mem::PhysMem& pm, mem::Tlb& tlb,
+       CycleAccount& account);
+
+  // --- Architectural state --------------------------------------------------
+  u64 x(unsigned i) const { return i == 31 ? 0 : x_[i]; }
+  void set_x(unsigned i, u64 v) {
+    if (i != 31) x_[i] = v;
+  }
+  u64 pc() const { return pc_; }
+  void set_pc(u64 pc) { pc_ = pc; }
+  arch::PState& pstate() { return pstate_; }
+  const arch::PState& pstate() const { return pstate_; }
+  u64 sp(ExceptionLevel el) const { return sp_[static_cast<int>(el)]; }
+  void set_sp(ExceptionLevel el, u64 v) { sp_[static_cast<int>(el)] = v; }
+
+  u64 sysreg(SysReg r) const { return sysregs_[static_cast<size_t>(r)]; }
+  void set_sysreg(SysReg r, u64 v) { sysregs_[static_cast<size_t>(r)] = v; }
+
+  // --- Trap handlers (privileged C++ software) ------------------------------
+  using TrapHandler = std::function<TrapAction(const TrapInfo&)>;
+  void set_handler(ExceptionLevel el, TrapHandler handler);
+  bool has_handler(ExceptionLevel el) const;
+
+  // --- Execution -------------------------------------------------------------
+  // Executes until a handler stops the core or `max_steps` instructions ran.
+  RunResult run(u64 max_steps = 1'000'000);
+  // Executes exactly one instruction (or takes one exception).
+  void step();
+
+  // Architectural ERET performed from C++ handler code at `from_el`:
+  // restores PC from ELR_ELx and PSTATE from SPSR_ELx and charges the
+  // platform's return cost.
+  void eret_from(ExceptionLevel from_el);
+
+  // Memory access through the full translation machinery in the *current*
+  // execution context (used by workloads and the kernel's user-memory
+  // accessors). Returns nullopt and raises no exception on fault if
+  // `probe_only`; otherwise faults route through normal exception entry.
+  struct MemResult {
+    bool ok = false;
+    u64 value = 0;
+    PhysAddr pa = 0;
+  };
+  MemResult mem_read(VirtAddr va, u8 size);
+  MemResult mem_write(VirtAddr va, u8 size, u64 value);
+
+  // Translate-only probe (no exception, no data access, still charges
+  // TLB/walk costs): the building block for workload-level memory checks.
+  struct Translation {
+    bool ok = false;
+    PhysAddr pa = 0;
+    bool stage2_fault = false;
+    unsigned fault_level = 0;
+    u64 fault_ipa = 0;
+    bool permission = false;  // permission (vs translation) fault
+  };
+  Translation translate(VirtAddr va, AccessType type, bool unprivileged);
+
+  // Stage-2 world: on when HCR_EL2.VM is set.
+  bool stage2_enabled() const;
+  u16 current_vmid() const;
+  u16 current_asid() const;
+
+  // Event hook consulted on every committed instruction (used by tests and
+  // the scheduler model); may be empty.
+  std::function<void(const arch::Insn&)> on_insn;
+
+  const arch::Platform& platform() const { return plat_; }
+  CycleAccount& account() { return account_; }
+  mem::Tlb& tlb() { return tlb_; }
+  mem::PhysMem& phys_mem() { return pm_; }
+
+  // Take an exception explicitly (used by privileged C++ code to inject
+  // e.g. an IRQ or to emulate trapped behaviour).
+  void take_exception(const TrapInfo& info);
+
+  // Assert the IRQ line; the interrupt is taken before the next
+  // instruction once PSTATE.I allows it, routed per HCR_EL2.IMO.
+  void inject_irq() { irq_pending_ = true; }
+  bool irq_pending() const { return irq_pending_; }
+
+  // Most recent stop cause when a handler returned kStop.
+  const TrapInfo& last_trap() const { return last_trap_; }
+
+ private:
+  void execute(const arch::Insn& insn);
+  void raise_sync(ExceptionClass ec, u32 iss, u64 far, u64 ipa, bool stage2);
+  ExceptionLevel route_sync_target(ExceptionClass ec, bool stage2) const;
+  bool cond_holds(arch::Cond cond) const;
+  void exec_system(const arch::Insn& insn);
+  void exec_ldst(const arch::Insn& insn);
+  void check_watchpoints(VirtAddr va, bool is_write);
+  u64 reg_or_sp(unsigned i) const;
+  void set_flags_sub(u64 a, u64 b, u64 r);
+  bool check_perms(const mem::TlbEntry& e, AccessType type, bool unpriv,
+                   ExceptionLevel el) const;
+  std::optional<mem::TlbEntry> translate_slow(VirtAddr va, u64 vpage,
+                                              Translation* out);
+  Cycles sysreg_write_cost(SysReg r) const;
+
+  const arch::Platform& plat_;
+  mem::PhysMem& pm_;
+  mem::Tlb& tlb_;
+  CycleAccount& account_;
+
+  std::array<u64, 31> x_{};
+  std::array<u64, 3> sp_{};
+  u64 pc_ = 0;
+  arch::PState pstate_;
+  std::array<u64, arch::kNumSysRegs> sysregs_{};
+
+  const arch::Insn& decode_cached(u32 word);
+
+  std::array<TrapHandler, 3> handlers_{};
+  std::unordered_map<u32, arch::Insn> decode_cache_;
+  bool stop_requested_ = false;
+  bool stop_unhandled_ = false;
+  TrapInfo last_trap_;
+  u64 pending_elr_ = 0;  // preferred return address for the next exception
+  u32 nested_faults_ = 0;
+  bool irq_pending_ = false;
+};
+
+}  // namespace lz::sim

@@ -1,0 +1,22 @@
+#include "sim/cost.h"
+
+namespace lz::sim {
+
+const char* to_string(CostKind kind) {
+  switch (kind) {
+    case CostKind::kInsn: return "insn";
+    case CostKind::kMem: return "mem";
+    case CostKind::kTlb: return "tlb";
+    case CostKind::kExcp: return "exception";
+    case CostKind::kGpr: return "gpr-switch";
+    case CostKind::kSysreg: return "sysreg";
+    case CostKind::kCtx: return "bulk-ctx";
+    case CostKind::kDispatch: return "dispatch";
+    case CostKind::kGate: return "call-gate";
+    case CostKind::kWorkload: return "workload";
+    case CostKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace lz::sim

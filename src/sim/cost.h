@@ -1,0 +1,53 @@
+// Cycle accounting. Every architectural event charges cycles into a
+// category so benchmarks can report both totals and breakdowns
+// (e.g. how much of a trap round-trip is register switching).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "support/types.h"
+
+namespace lz::sim {
+
+enum class CostKind : u8 {
+  kInsn,       // instruction execution base cost
+  kMem,        // data memory accesses (L1 hits)
+  kTlb,        // TLB L2 hits and walk costs
+  kExcp,       // hardware exception entry / return
+  kGpr,        // general-purpose register save/restore
+  kSysreg,     // system-register reads/writes
+  kCtx,        // bulk context (FP/SIMD, GIC, timers)
+  kDispatch,   // software handler dispatch / bookkeeping
+  kGate,       // secure call-gate execution
+  kWorkload,   // modelled application work (event-level workloads)
+  kCount,
+};
+
+inline constexpr std::size_t kNumCostKinds =
+    static_cast<std::size_t>(CostKind::kCount);
+
+const char* to_string(CostKind kind);
+
+class CycleAccount {
+ public:
+  void charge(CostKind kind, Cycles c) {
+    total_ += c;
+    by_kind_[static_cast<std::size_t>(kind)] += c;
+  }
+
+  Cycles total() const { return total_; }
+  Cycles of(CostKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)];
+  }
+  void reset() {
+    total_ = 0;
+    by_kind_.fill(0);
+  }
+
+ private:
+  Cycles total_ = 0;
+  std::array<Cycles, kNumCostKinds> by_kind_{};
+};
+
+}  // namespace lz::sim

@@ -1,0 +1,46 @@
+// Machine: one simulated SoC — physical memory, a TLB, a core, and a cycle
+// account, parameterised by a Platform cost model. Privileged C++ layers
+// (kernel, hypervisor, LightZone module) hang off the machine and charge
+// their software costs into the same account the core charges into.
+#pragma once
+
+#include <memory>
+
+#include "arch/platform.h"
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+#include "sim/core.h"
+#include "sim/cost.h"
+
+namespace lz::sim {
+
+class Machine {
+ public:
+  explicit Machine(const arch::Platform& platform, u64 seed = 42)
+      : plat_(platform),
+        pm_(std::make_unique<mem::PhysMem>()),
+        // Micro-TLB + main TLB sized like a little ARM core; the main TLB
+        // is what keeps per-domain (per-ASID) entries resident in Table 5.
+        tlb_(std::make_unique<mem::Tlb>(16, 1024, seed)),
+        core_(std::make_unique<Core>(platform, *pm_, *tlb_, account_)) {}
+
+  const arch::Platform& platform() const { return plat_; }
+  mem::PhysMem& mem() { return *pm_; }
+  mem::Tlb& tlb() { return *tlb_; }
+  Core& core() { return *core_; }
+  CycleAccount& account() { return account_; }
+
+  Cycles cycles() const { return account_.total(); }
+  void charge(CostKind kind, Cycles c) { account_.charge(kind, c); }
+
+  double seconds(Cycles c) const { return c / (plat_.freq_ghz * 1e9); }
+
+ private:
+  const arch::Platform& plat_;
+  CycleAccount account_;
+  std::unique_ptr<mem::PhysMem> pm_;
+  std::unique_ptr<mem::Tlb> tlb_;
+  std::unique_ptr<Core> core_;
+};
+
+}  // namespace lz::sim

@@ -1,0 +1,34 @@
+// Bit-field helpers for instruction encodings and page-table entries.
+#pragma once
+
+#include "support/types.h"
+
+namespace lz {
+
+// Extract bits [hi:lo] (inclusive) of v, shifted down to bit 0.
+constexpr u64 bits(u64 v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const u64 mask = width >= 64 ? ~u64{0} : ((u64{1} << width) - 1);
+  return (v >> lo) & mask;
+}
+
+constexpr u64 bit(u64 v, unsigned pos) { return (v >> pos) & 1; }
+
+// Place value into bits [hi:lo] of a zeroed field.
+constexpr u64 place(u64 value, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const u64 mask = width >= 64 ? ~u64{0} : ((u64{1} << width) - 1);
+  return (value & mask) << lo;
+}
+
+// Sign-extend the low `width` bits of v to 64 bits.
+constexpr i64 sign_extend(u64 v, unsigned width) {
+  const u64 sign = u64{1} << (width - 1);
+  const u64 mask = (width >= 64) ? ~u64{0} : ((u64{1} << width) - 1);
+  v &= mask;
+  return static_cast<i64>((v ^ sign) - sign);
+}
+
+constexpr bool is_aligned(u64 v, u64 align) { return (v & (align - 1)) == 0; }
+
+}  // namespace lz

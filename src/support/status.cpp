@@ -1,0 +1,21 @@
+#include "support/status.h"
+
+namespace lz {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "OK";
+    case Errc::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Errc::kNotFound: return "NOT_FOUND";
+    case Errc::kAlreadyExists: return "ALREADY_EXISTS";
+    case Errc::kPermissionDenied: return "PERMISSION_DENIED";
+    case Errc::kOutOfRange: return "OUT_OF_RANGE";
+    case Errc::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Errc::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Errc::kUnimplemented: return "UNIMPLEMENTED";
+    case Errc::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace lz

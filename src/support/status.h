@@ -1,0 +1,125 @@
+// Lightweight status / result types. The model is exception-free on hot
+// paths (instruction execution, translation); fallible operations return
+// Status or Result<T>. Programming errors use LZ_CHECK which aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lz {
+
+enum class Errc {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+const char* errc_name(Errc e);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : errc_(Errc::kOk) {}
+  Status(Errc errc, std::string msg) : errc_(errc), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return errc_ == Errc::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Errc errc() const { return errc_; }
+  const std::string& message() const { return msg_; }
+
+  std::string to_string() const {
+    return is_ok() ? "OK" : std::string(errc_name(errc_)) + ": " + msg_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.errc_ == b.errc_;
+  }
+
+ private:
+  Errc errc_;
+  std::string msg_;
+};
+
+inline Status err(Errc errc, std::string msg) {
+  return Status(errc, std::move(msg));
+}
+
+// Minimal expected-like result: holds T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : var_(std::move(status)) {}     // NOLINT(implicit)
+  Result(Errc errc, std::string msg) : var_(Status(errc, std::move(msg))) {}
+
+  bool is_ok() const { return std::holds_alternative<T>(var_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    check_ok();
+    return std::get<T>(var_);
+  }
+  T&& take() && {
+    check_ok();
+    return std::get<T>(std::move(var_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(var_);
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(var_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> var_;
+};
+
+#define LZ_CHECK(cond)                                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "LZ_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#define LZ_CHECK_OK(expr)                                                 \
+  do {                                                                    \
+    ::lz::Status lz_check_status_ = (expr);                               \
+    if (!lz_check_status_.is_ok()) {                                      \
+      std::fprintf(stderr, "LZ_CHECK_OK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, lz_check_status_.to_string().c_str());       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define LZ_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::lz::Status lz_ret_status_ = (expr);           \
+    if (!lz_ret_status_.is_ok()) return lz_ret_status_; \
+  } while (0)
+
+}  // namespace lz

@@ -1,0 +1,40 @@
+// Fundamental scalar types and address aliases used across the LightZone
+// model. Addresses are plain 64-bit integers; the three address kinds the
+// architecture distinguishes get their own aliases so signatures document
+// which translation regime a value lives in:
+//   VirtAddr  - stage-1 input (what a process or kernel dereferences)
+//   IntermAddr- intermediate physical address (stage-1 output, stage-2 input)
+//   PhysAddr  - machine physical address (stage-2 output / RAM index)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lz {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+using VirtAddr = u64;
+using IntermAddr = u64;
+using PhysAddr = u64;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB granule
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+constexpr u64 page_floor(u64 addr) { return addr & ~kPageMask; }
+constexpr u64 page_ceil(u64 addr) { return (addr + kPageMask) & ~kPageMask; }
+constexpr u64 page_offset(u64 addr) { return addr & kPageMask; }
+constexpr bool page_aligned(u64 addr) { return page_offset(addr) == 0; }
+constexpr u64 page_index(u64 addr) { return addr >> kPageShift; }
+
+// Cycle counts are the simulator's currency; keep them wide.
+using Cycles = u64;
+
+}  // namespace lz

@@ -1,0 +1,294 @@
+#include "workloads/app_driver.h"
+
+#include <algorithm>
+
+#include "sim/assembler.h"
+
+namespace lz::workload {
+
+using arch::ExceptionLevel;
+using core::Env;
+using core::LzProc;
+using sim::CostKind;
+
+const char* to_string(Mechanism mech) {
+  switch (mech) {
+    case Mechanism::kNone: return "vanilla";
+    case Mechanism::kLzPan: return "LightZone-PAN";
+    case Mechanism::kLzTtbr: return "LightZone-TTBR";
+    case Mechanism::kWatchpoint: return "Watchpoint";
+    case Mechanism::kLwc: return "lwC";
+  }
+  return "?";
+}
+
+namespace {
+
+// Marginal empty-syscall cost for this configuration, measured by
+// differencing two unrolled runs (the same method the Table 4 calibration
+// validates against the paper).
+Cycles measure_marginal_syscall(const AppConfig& config, bool lightzone) {
+  const auto placement = config.placement == Placement::kHost
+                             ? Env::Placement::kHost
+                             : Env::Placement::kGuest;
+  const auto run = [&](unsigned n) -> Cycles {
+    Env env(*config.platform, placement, config.seed);
+    auto& proc = env.new_process();
+    sim::Asm a;
+    for (unsigned i = 0; i < n; ++i) {
+      a.movz(8, kernel::nr::kEmpty);
+      a.svc(0);
+    }
+    a.movz(8, kernel::nr::kExit);
+    a.svc(0);
+    for (u64 off = 0; off < a.size_bytes(); off += kPageSize) {
+      LZ_CHECK_OK(env.kern().populate_page(
+          proc, Env::kCodeVa + off, kernel::kProtRead | kernel::kProtExec));
+    }
+    const auto walk = proc.pgt().lookup(Env::kCodeVa);
+    a.install(env.machine->mem(), page_floor(walk.out_addr));
+
+    const Cycles start = env.machine->cycles();
+    if (lightzone) {
+      LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+      lz.run(100'000'000);
+    } else if (config.placement == Placement::kHost) {
+      env.host->run_user_process(proc, 100'000'000);
+    } else {
+      env.vm->run_user_process(proc, 100'000'000);
+    }
+    LZ_CHECK(!proc.alive() && proc.kill_reason().empty());
+    return env.machine->cycles() - start;
+  };
+  const Cycles c1 = run(32);
+  const Cycles c2 = run(96);
+  return (c2 - c1) / 64;
+}
+
+}  // namespace
+
+AppDriver::AppDriver(const AppConfig& config) : config_(config) {
+  env_ = std::make_unique<Env>(*config.platform,
+                               config.placement == Placement::kHost
+                                   ? Env::Placement::kHost
+                                   : Env::Placement::kGuest,
+                               config.seed);
+  proc_ = &env_->new_process();
+  syscall_cost_ = measure_marginal_syscall(config, is_lz());
+
+  switch (config_.mech) {
+    case Mechanism::kNone:
+      break;
+    case Mechanism::kLzPan:
+      lz_.emplace(LzProc::enter(*env_->module, *proc_,
+                                /*allow_scalable=*/false, /*insn_san=*/2));
+      break;
+    case Mechanism::kLzTtbr:
+      lz_.emplace(LzProc::enter(*env_->module, *proc_,
+                                /*allow_scalable=*/true, /*insn_san=*/1));
+      break;
+    case Mechanism::kWatchpoint:
+      wp_ = std::make_unique<baseline::WatchpointIsolation>(
+          *env_->host, env_->vm.get());
+      break;
+    case Mechanism::kLwc:
+      lwc_ = std::make_unique<baseline::LwcIsolation>(*env_->host,
+                                                      env_->vm.get());
+      break;
+  }
+}
+
+AppDriver::~AppDriver() {
+  if (lz_ && lz_->module().active() == &lz_->ctx()) lz_->exit_world();
+}
+
+void AppDriver::setup_domains(VirtAddr base, u64 slot, int count) {
+  base_ = base;
+  slot_ = slot;
+  domains_ = count;
+  auto& core = machine().core();
+  switch (config_.mech) {
+    case Mechanism::kNone:
+      populate_and_enter_el0();
+      return;
+    case Mechanism::kLzPan: {
+      // All slots live in the single PAN-protected domain (user pages).
+      for (int d = 0; d < count; ++d) {
+        const VirtAddr va = base + static_cast<u64>(d) * slot;
+        LZ_CHECK_OK(lz_->module().prot(
+            lz_->ctx(), va, slot, core::kPgtAll,
+            core::kLzRead | core::kLzWrite | core::kLzUser));
+        LZ_CHECK_OK(lz_->module().touch_page(lz_->ctx(), va, true, false));
+      }
+      lz_->enter_world();
+      core.pstate().el = ExceptionLevel::kEl1;
+      core.pstate().pan = true;
+      core.set_sysreg(sim::SysReg::kTtbr0El1,
+                      lz_->module().domain_ttbr(lz_->ctx(), 0));
+      core.set_sysreg(sim::SysReg::kTtbr1El1, lz_->ctx().ctx.ttbr1);
+      core.set_sysreg(sim::SysReg::kVbarEl1, lz_->ctx().ctx.vbar);
+      return;
+    }
+    case Mechanism::kLzTtbr: {
+      auto& module = lz_->module();
+      auto& ctx = lz_->ctx();
+      const VirtAddr entry = Env::kCodeVa + 0x40;
+      LZ_CHECK(count + 1 <= static_cast<int>(ctx.opts().max_gates));
+      // Gate 0 returns to the default (no-domain) table pgt0; domain d
+      // lives in its own table behind gate d+1.
+      LZ_CHECK_OK(module.map_gate_pgt(ctx, 0, 0));
+      LZ_CHECK_OK(module.set_gate_entry(ctx, 0, entry));
+      for (int d = 0; d < count; ++d) {
+        const VirtAddr va = base + static_cast<u64>(d) * slot;
+        const int pgt = module.alloc_pgt(ctx);
+        LZ_CHECK(pgt >= 1);
+        LZ_CHECK_OK(module.prot(ctx, va, slot, pgt,
+                                core::kLzRead | core::kLzWrite));
+        LZ_CHECK_OK(module.map_gate_pgt(ctx, pgt, d + 1));
+        LZ_CHECK_OK(module.set_gate_entry(ctx, d + 1, entry));
+        LZ_CHECK_OK(module.touch_page(ctx, va, true, false));
+      }
+      lz_->enter_world();
+      core.pstate().el = ExceptionLevel::kEl1;
+      core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
+      core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
+      core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+      // Warm the gates and domain pages.
+      for (int d = 0; d < count; ++d) {
+        enter_domain(d);
+        (void)core.mem_read(base + static_cast<u64>(d) * slot, 8);
+      }
+      return;
+    }
+    case Mechanism::kWatchpoint: {
+      // Only the first 16 slots can be protected (the baseline's cap).
+      const int protected_count =
+          std::min(count, baseline::WatchpointIsolation::kMaxDomains);
+      populate_and_enter_el0();
+      LZ_CHECK_OK(wp_->setup_arena(base, slot, protected_count));
+      return;
+    }
+    case Mechanism::kLwc: {
+      for (int d = 0; d < count; ++d) {
+        const int id = lwc_->create_context();
+        LZ_CHECK_OK(
+            lwc_->attach(id, base + static_cast<u64>(d) * slot, slot));
+      }
+      populate_and_enter_el0();
+      return;
+    }
+  }
+}
+
+void AppDriver::populate_and_enter_el0() {
+  // The domain slots live inside the process's heap VMA: back them with
+  // frames and put the core into this process's EL0 context so the
+  // workload's data accesses translate through its page table.
+  auto& k = env_->kern();
+  for (int d = 0; d < domains_; ++d) {
+    for (u64 off = 0; off < slot_; off += kPageSize) {
+      LZ_CHECK_OK(k.populate_page(*proc_, base_ + static_cast<u64>(d) * slot_ + off,
+                                  kernel::kProtRead | kernel::kProtWrite));
+    }
+  }
+  k.load_ctx(*proc_, machine().core());
+  machine().core().pstate().el = ExceptionLevel::kEl0;
+}
+
+int AppDriver::protected_domains() const {
+  if (config_.mech == Mechanism::kWatchpoint) {
+    return std::min(domains_, baseline::WatchpointIsolation::kMaxDomains);
+  }
+  if (config_.mech == Mechanism::kNone) return 0;
+  return domains_;
+}
+
+Cycles AppDriver::enter_domain(int domain) {
+  switch (config_.mech) {
+    case Mechanism::kNone:
+      return 0;
+    case Mechanism::kLzPan:
+      return lz_->set_pan(false);
+    case Mechanism::kLzTtbr:
+      return lz_->lz_switch_to_ttbr_gate(domain + 1);
+    case Mechanism::kWatchpoint:
+      // Only 16 hardware-watchable domains exist; higher-numbered logical
+      // domains share them (the baseline's scalability failure, Table 1).
+      return wp_->switch_to(domain % protected_domains());
+    case Mechanism::kLwc:
+      return lwc_->switch_to(domain);
+  }
+  return 0;
+}
+
+Cycles AppDriver::exit_domain(int domain) {
+  (void)domain;
+  switch (config_.mech) {
+    case Mechanism::kNone:
+      return 0;
+    case Mechanism::kLzPan:
+      return lz_->set_pan(true);
+    case Mechanism::kLzTtbr:
+      // Returning to the default table revokes access.
+      return lz_->lz_switch_to_ttbr_gate(0);
+    case Mechanism::kWatchpoint:
+      return wp_->exit_domains();
+    case Mechanism::kLwc:
+      return lwc_->switch_to(0);
+  }
+  return 0;
+}
+
+Cycles AppDriver::domain_setup_cost() const {
+  const auto& plat = *config_.platform;
+  switch (config_.mech) {
+    case Mechanism::kNone:
+      return 0;
+    case Mechanism::kLzPan:
+      // One lz_prot module call (a LightZone syscall) + PTE updates.
+      return syscall_cost_ + 12 * plat.mem_access;
+    case Mechanism::kLzTtbr:
+      // One batched setup call (lz_alloc + lz_prot + lz_map_gate_pgt are
+      // issued together when a key domain is created) + table updates.
+      return syscall_cost_ + 40 * plat.mem_access;
+    case Mechanism::kWatchpoint:
+      return syscall_cost_ + 8 * plat.mem_access;
+    case Mechanism::kLwc:
+      // lwCreate is a heavyweight fork-like call.
+      return 3 * syscall_cost_ + 400 * plat.insn_base;
+  }
+  return 0;
+}
+
+Cycles AppDriver::tlb_miss_cost(bool huge_pages) const {
+  const auto& plat = *config_.platform;
+  // Native: 4-level stage-1 walk (2 levels with huge pages).
+  const unsigned native_levels = huge_pages ? 2 : 4;
+  unsigned levels = native_levels;
+  if (is_lz()) {
+    if (config_.mech == Mechanism::kLzTtbr &&
+        lz_->ctx().opts().fake_phys) {
+      // Fake-physical randomisation defeats walk-cache contiguity: pay the
+      // stage-2 hop for each stage-1 level plus the final stage-2 walk.
+      levels = native_levels * 2 + 3;
+    } else {
+      // Identity stage-2: walk caches absorb the table hops; only the
+      // final stage-2 translation adds levels.
+      levels = native_levels + 3;
+    }
+  }
+  Cycles cost = levels * plat.tlb_walk_per_level;
+  if (config_.placement == Placement::kGuest && is_lz()) {
+    // Nested TLB pressure: the guest kernel's VM and the LightZone VM
+    // compete for TLB and walk-cache capacity.
+    cost *= 2;
+  }
+  return cost;
+}
+
+u64 AppDriver::isolation_table_pages() const {
+  if (lz_) return lz_->ctx().isolation_table_pages();
+  return 0;
+}
+
+}  // namespace lz::workload

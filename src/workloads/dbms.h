@@ -1,0 +1,47 @@
+// MySQL-like multi-threaded database model (Fig. 4, §9.2): connection
+// threads serve sysbench-style OLTP read-write transactions against 10
+// tables of 10,000 rows. Isolation protects (a) each connection thread's
+// stack in its own TTBR domain and (b) the MEMORY storage engine's
+// in-memory data (HP_PTRS) behind PAN — matching the paper's split.
+//
+// The database itself is real: a small row store with point selects,
+// range scans, updates, inserts and deletes, executed against simulated
+// protected memory for the HP_PTRS rows.
+#pragma once
+
+#include "workloads/app_driver.h"
+
+namespace lz::workload {
+
+struct DbmsParams {
+  int transactions = 1200;
+  int connections = 16;  // connection threads (stack domains)
+  int tables = 10;
+  int rows_per_table = 10'000;
+  // sysbench oltp_read_write profile: 10 point selects, 1 range, 2
+  // updates, 1 delete+insert, begin/commit.
+  int point_selects = 10;
+  int range_scans = 1;
+  int updates = 2;
+  int inserts = 1;
+  int syscalls_per_txn = 9;        // batched network I/O
+  double tlb_misses_per_txn = 250;  // buffer pool + row store working set
+  Cycles app_cpu_cycles_per_txn = 0;
+  double io_seconds_per_txn = 350e-6;  // the paper calls MySQL I/O-bound
+
+  static DbmsParams defaults(const arch::Platform& platform);
+};
+
+struct DbmsResult {
+  double cpu_cycles_per_txn = 0;
+  u64 rows_checksum = 0;  // proof the row operations ran
+  u64 isolation_table_pages = 0;
+};
+
+DbmsResult run_dbms(const AppConfig& config, const DbmsParams& params);
+
+// Closed-loop throughput with `threads` client threads.
+double dbms_tps(const DbmsResult& result, const DbmsParams& params,
+                const AppConfig& config, int threads, int cores);
+
+}  // namespace lz::workload

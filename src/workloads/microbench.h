@@ -1,0 +1,55 @@
+// Microbenchmark harnesses reproducing the paper's Table 4 (trap costs)
+// and Table 5 (domain-switch costs). Shared by the calibration tests and
+// the bench binaries.
+#pragma once
+
+#include "arch/platform.h"
+#include "support/types.h"
+
+namespace lz::workload {
+
+enum class Placement { kHost, kGuest };
+
+// --- Table 4: empty trap-and-return round-trips ------------------------------
+struct TrapCosts {
+  Cycles host_syscall = 0;       // host user mode -> host hypervisor mode
+  Cycles guest_syscall = 0;      // guest user mode -> guest kernel mode
+  Cycles lz_host_trap = 0;       // LightZone kernel mode -> host hyp mode
+  Cycles lz_guest_trap_min = 0;  // LightZone kernel mode -> guest kernel
+  Cycles lz_guest_trap_max = 0;  //   (fluctuates with rescheduling, §8.1)
+  Cycles kvm_hypercall = 0;      // KVM VHE hypercall (full world switch)
+  Cycles hcr_update = 0;
+  Cycles vttbr_update = 0;
+};
+
+TrapCosts measure_trap_costs(const arch::Platform& platform);
+
+// Ablations of the §5.2 optimisations (reported by bench/table4_traps):
+// LightZone host trap with conventional HCR/VTTBR switching, and the
+// nested trap without the shared-pt_regs / deferred-sysreg optimisations.
+struct TrapAblations {
+  Cycles lz_host_trap_no_cond_sysreg = 0;
+  Cycles lz_guest_trap_no_shared_ptregs = 0;
+  Cycles lz_guest_trap_no_deferred_sysregs = 0;
+};
+TrapAblations measure_trap_ablations(const arch::Platform& platform);
+
+// --- Table 5: domain switching ------------------------------------------------
+// The paper's program: create `domains` 4 KiB memory domains, attach each
+// to its own stage-1 page table (or, for domains == 1, protect them all
+// with PAN), then randomly switch + access 8 bytes, `iters` times.
+// Returns average cycles per switch-and-access.
+double lz_switch_avg_cycles(const arch::Platform& platform,
+                            Placement placement, int domains,
+                            int iters = 10'000, u64 seed = 42,
+                            bool asid_tags = true);
+
+double watchpoint_switch_avg_cycles(const arch::Platform& platform,
+                                    Placement placement, int domains,
+                                    int iters = 10'000, u64 seed = 42);
+
+double lwc_switch_avg_cycles(const arch::Platform& platform,
+                             Placement placement, int domains,
+                             int iters = 10'000, u64 seed = 42);
+
+}  // namespace lz::workload

@@ -1,0 +1,35 @@
+// NVM data-isolation benchmark (Fig. 5, §9.3), after Merr [63]: multiple
+// 2 MB string buffers (NVM emulated by DRAM, as in the paper), each
+// isolated in its own domain; every operation switches into the buffer's
+// domain, performs a fixed-complexity substring search (7,000-8,500
+// cycles), and leaves. PAN mode keeps all buffers in one protected domain;
+// TTBR mode gives each buffer its own page table. Buffers are mapped with
+// huge pages, so baseline TLB pressure is minimal.
+#pragma once
+
+#include "workloads/app_driver.h"
+
+namespace lz::workload {
+
+struct NvmParams {
+  int searches = 20'000;
+  int buffers = 8;               // = domains in the scalable configuration
+  u64 buffer_bytes = 2 << 20;    // modelled logical size (huge-page mapped)
+  Cycles search_cycles_min = 7'000;
+  Cycles search_cycles_max = 8'500;
+  double tlb_misses_per_search = 0.5;  // huge pages keep this low
+};
+
+struct NvmResult {
+  double cycles_per_search = 0;
+  u64 matches = 0;  // proof the searches ran
+  u64 isolation_table_pages = 0;
+};
+
+NvmResult run_nvm(const AppConfig& config, const NvmParams& params);
+
+// Time overhead relative to a vanilla run with identical parameters.
+double nvm_overhead_pct(const NvmResult& protected_run,
+                        const NvmResult& baseline_run);
+
+}  // namespace lz::workload

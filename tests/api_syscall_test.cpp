@@ -1,0 +1,256 @@
+// The LightZone API as *syscalls*: a simulated program configures its own
+// isolation entirely from inside the per-process VM — lz_alloc, lz_prot,
+// lz_map_gate_pgt, gate-entry registration — then switches domains through
+// the gate it just set up. This is the paper's actual API surface
+// (user-space library issuing calls served by the kernel module).
+//
+// Also covers signal handling for LightZone processes: frames carry PAN and
+// TTBR0 (§6), rt_sigreturn restores them, and a handler cannot leave PAN
+// disabled behind the interrupted code's back.
+#include <gtest/gtest.h>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+
+namespace lz::core {
+namespace {
+
+using kernel::nr::kEmpty;
+using kernel::nr::kExit;
+using kernel::nr::kRtSigaction;
+using kernel::nr::kRtSigreturn;
+using sim::Asm;
+
+void InstallCode(Env& env, kernel::Process& proc, Asm& a) {
+  for (u64 off = 0; off < a.size_bytes(); off += kPageSize) {
+    LZ_CHECK_OK(env.kern().populate_page(
+        proc, Env::kCodeVa + off, kernel::kProtRead | kernel::kProtExec));
+  }
+  const auto walk = proc.pgt().lookup(Env::kCodeVa);
+  a.install(env.machine->mem(), page_floor(walk.out_addr));
+}
+
+class ApiSyscallTest : public ::testing::Test {
+ protected:
+  ApiSyscallTest()
+      : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {}
+  Env env;
+};
+
+TEST_F(ApiSyscallTest, SelfServiceDomainSetupAndSwitch) {
+  auto& proc = env.new_process();
+  const VirtAddr dom_va = Env::kHeapVa + 0x40000;
+
+  // Two-pass assembly: the program embeds its own entry address as an
+  // immediate, so assemble once with a guess, then rebuild with the real
+  // offset until it is stable (mov_imm64 width converges immediately for
+  // code-segment addresses).
+  VirtAddr entry = Env::kCodeVa + 0x100;
+  Asm a;
+  for (int pass = 0; pass < 3; ++pass) {
+    a = Asm();
+    // x19 = lz_alloc()
+    a.movz(8, lznr::kAlloc);
+    a.svc(0);
+    a.mov_reg(5, 0);
+    // lz_prot(dom_va, 4096, x19, READ | WRITE)
+    a.mov_imm64(0, dom_va);
+    a.movz(1, kPageSize);
+    a.mov_reg(2, 5);
+    a.movz(3, kLzRead | kLzWrite);
+    a.movz(8, lznr::kProt);
+    a.svc(0);
+    a.mov_reg(6, 0);  // stash status
+    // lz_map_gate_pgt(x5, gate 3)
+    a.mov_reg(0, 5);
+    a.movz(1, 3);
+    a.movz(8, lznr::kMapGatePgt);
+    a.svc(0);
+    // lz_set_gate_entry(3, entry): the program registers its own static
+    // entry point, exactly like code emitted "before compilation" would.
+    a.movz(0, 3);
+    a.mov_imm64(1, entry);
+    a.movz(8, lznr::kSetGateEntry);
+    a.svc(0);
+    // lz_switch_to_ttbr_gate(3)
+    a.mov_imm64(17, UpperLayout::gate_va(3));
+    a.blr(17);
+    if (Env::kCodeVa + a.size_bytes() == entry) break;
+    entry = Env::kCodeVa + a.size_bytes();
+  }
+  ASSERT_EQ(Env::kCodeVa + a.size_bytes(), entry);
+  // Inside the domain now.
+  a.mov_imm64(1, dom_va);
+  a.movz(2, 321);
+  a.str(2, 1, 0);
+  a.ldr(3, 1, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  lz.run();
+  EXPECT_FALSE(proc.alive());
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(5), 1u);    // first allocated pgt id
+  EXPECT_EQ(env.machine->core().x(6), 0u);    // lz_prot succeeded
+  EXPECT_EQ(env.machine->core().x(3), 321u);  // domain access worked
+}
+
+TEST_F(ApiSyscallTest, ApiSyscallsRequireLightZoneEntry) {
+  // A plain (non-LightZone) process calling lz_alloc gets EPERM.
+  auto& proc = env.new_process();
+  Asm a;
+  a.movz(8, lznr::kAlloc);
+  a.svc(0);
+  a.mov_reg(9, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+  env.host->run_user_process(proc);
+  EXPECT_EQ(env.machine->core().x(9), kernel::kEperm);
+}
+
+TEST_F(ApiSyscallTest, FreeViaSyscallRevokesGate) {
+  auto& proc = env.new_process();
+  Asm a;
+  a.movz(8, lznr::kAlloc);
+  a.svc(0);
+  a.mov_reg(5, 0);
+  a.mov_reg(0, 5);  // lz_free(pgt)
+  a.movz(8, lznr::kFree);
+  a.svc(0);
+  a.mov_reg(6, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  lz.run();
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(6), 0u);
+}
+
+// --- Signals across LightZone (§6) ---------------------------------------------
+
+TEST_F(ApiSyscallTest, SignalHandlerRunsAndSigreturnRestoresContext) {
+  auto& proc = env.new_process();
+  const VirtAddr flag_va = Env::kHeapVa;
+
+  Asm a;
+  auto handler = a.new_label();
+  auto after = a.new_label();
+  // rt_sigaction(11, handler)
+  a.movz(0, 11);
+  a.movz(1, 0);      // two-word placeholder, patched with the handler
+  a.movk(1, 0, 1);   // address once it is known
+  const std::size_t patch_idx = a.insn_count() - 2;
+  a.movz(8, kRtSigaction);
+  a.svc(0);
+  // x21 = sentinel that must survive the signal round-trip.
+  a.mov_imm64(21, 0x1234567890ull);
+  // Trigger delivery: the test hooks kEmpty to queue signal 11.
+  a.movz(8, kEmpty);
+  a.svc(0);
+  a.b(after);
+
+  a.bind(handler);
+  const VirtAddr handler_va = Env::kCodeVa + a.size_bytes();
+  // The handler clobbers x21 and records itself in memory; sigreturn must
+  // undo the register clobber but keep the memory write.
+  a.mov_imm64(21, 0xdead);
+  a.mov_imm64(1, flag_va);
+  a.movz(2, 77);
+  a.str(2, 1, 0);
+  a.movz(8, kRtSigreturn);
+  a.svc(0);
+
+  a.bind(after);
+  a.mov_imm64(1, flag_va);
+  a.ldr(22, 1, 0);  // x22 = 77 if the handler really ran
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+
+  // Patch the handler address into the rt_sigaction argument.
+  {
+    const auto walk = proc.pgt().lookup(Env::kCodeVa);
+    const PhysAddr code_pa = page_floor(walk.out_addr);
+    env.machine->mem().write(code_pa + patch_idx * 4, 4,
+                             arch::enc::movz(1, handler_va & 0xffff));
+    env.machine->mem().write(
+        code_pa + (patch_idx + 1) * 4, 4,
+        arch::enc::movk(1, (handler_va >> 16) & 0xffff, 1));
+  }
+
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  env.kern().register_syscall(
+      kEmpty, [this, &proc](kernel::Process&, const kernel::SyscallArgs&)
+                  -> u64 {
+        env.kern().queue_signal(proc, 11);
+        return 0;
+      });
+  lz.run();
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(22), 77u)      // handler ran
+      << "signal handler never executed";
+  EXPECT_EQ(env.machine->core().x(21), 0x1234567890ull)  // regs restored
+      << "rt_sigreturn did not restore the interrupted registers";
+}
+
+TEST_F(ApiSyscallTest, SignalFramePreservesPanAcrossHandler) {
+  auto& proc = env.new_process();
+  const VirtAddr secret_va = Env::kHeapVa + 0x10000;
+
+  Asm a;
+  auto handler = a.new_label();
+  auto after = a.new_label();
+  a.movz(0, 11);
+  a.movz(1, 0);      // two-word placeholder for the handler address
+  a.movk(1, 0, 1);
+  const std::size_t patch_idx = a.insn_count() - 2;
+  a.movz(8, kRtSigaction);
+  a.svc(0);
+  // PAN is set (the LightZone default); the interrupted code relies on it.
+  a.movz(8, kEmpty);
+  a.svc(0);  // signal lands here
+  a.b(after);
+
+  a.bind(handler);
+  const VirtAddr handler_va = Env::kCodeVa + a.size_bytes();
+  a.msr_pan(0);  // handler legitimately opens the protected domain...
+  a.movz(8, kRtSigreturn);
+  a.svc(0);      // ...but sigreturn restores SPSR.PAN = 1
+
+  a.bind(after);
+  a.mov_imm64(1, secret_va);
+  a.ldr(2, 1, 0);  // must fault: PAN was restored by the signal frame
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+  {
+    const auto walk = proc.pgt().lookup(Env::kCodeVa);
+    const PhysAddr code_pa = page_floor(walk.out_addr);
+    env.machine->mem().write(code_pa + patch_idx * 4, 4,
+                             arch::enc::movz(1, handler_va & 0xffff));
+    env.machine->mem().write(
+        code_pa + (patch_idx + 1) * 4, 4,
+        arch::enc::movk(1, (handler_va >> 16) & 0xffff, 1));
+  }
+
+  LzProc lz = LzProc::enter(*env.module, proc, true, 2);
+  LZ_CHECK(lz.lz_prot(secret_va, kPageSize, kPgtAll,
+                      kLzRead | kLzWrite | kLzUser) == 0);
+  env.kern().register_syscall(
+      kEmpty, [this, &proc](kernel::Process&, const kernel::SyscallArgs&)
+                  -> u64 {
+        env.kern().queue_signal(proc, 11);
+        return 0;
+      });
+  lz.run();
+  EXPECT_FALSE(proc.alive());
+  EXPECT_NE(proc.kill_reason().find("protected domain"), std::string::npos)
+      << proc.kill_reason();
+}
+
+}  // namespace
+}  // namespace lz::core

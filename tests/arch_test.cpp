@@ -1,0 +1,252 @@
+// Unit tests for the architecture layer: instruction encode/decode
+// round-trips, system-register encodings, and platform cost-model sanity.
+#include <gtest/gtest.h>
+
+#include "arch/decode.h"
+#include "arch/encode.h"
+#include "arch/platform.h"
+#include "arch/sysreg.h"
+#include "support/bits.h"
+
+namespace lz::arch {
+namespace {
+
+namespace e = enc;
+
+TEST(BitsTest, ExtractAndSignExtend) {
+  EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+  EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+  EXPECT_EQ(bit(0x80000000u, 31), 1u);
+  EXPECT_EQ(sign_extend(0x1ff, 9), -1);
+  EXPECT_EQ(sign_extend(0x0ff, 9), 255);
+  EXPECT_EQ(sign_extend(0x100, 9), -256);
+}
+
+TEST(DecodeTest, MoveWideRoundTrip) {
+  auto insn = decode(e::movz(3, 0xbeef, 1));
+  EXPECT_EQ(insn.op, Op::kMovz);
+  EXPECT_EQ(insn.rd, 3);
+  EXPECT_EQ(insn.imm, 0xbeefu);
+  EXPECT_EQ(insn.hw, 1);
+
+  insn = decode(e::movk(30, 0x1234, 3));
+  EXPECT_EQ(insn.op, Op::kMovk);
+  EXPECT_EQ(insn.hw, 3);
+
+  insn = decode(e::movn(0, 0));
+  EXPECT_EQ(insn.op, Op::kMovn);
+}
+
+TEST(DecodeTest, AddSubImmediate) {
+  auto insn = decode(e::add_imm(1, 2, 100));
+  EXPECT_EQ(insn.op, Op::kAddImm);
+  EXPECT_EQ(insn.rd, 1);
+  EXPECT_EQ(insn.rn, 2);
+  EXPECT_EQ(insn.imm, 100u);
+
+  insn = decode(e::sub_imm(1, 2, 4095));
+  EXPECT_EQ(insn.op, Op::kSubImm);
+  EXPECT_EQ(insn.imm, 4095u);
+
+  insn = decode(e::cmp_imm(5, 7));
+  EXPECT_EQ(insn.op, Op::kSubsImm);
+  EXPECT_EQ(insn.rd, 31);
+}
+
+TEST(DecodeTest, Branches) {
+  auto insn = decode(e::b(64));
+  EXPECT_EQ(insn.op, Op::kB);
+  EXPECT_EQ(insn.offset, 64);
+
+  insn = decode(e::b(-4));
+  EXPECT_EQ(insn.offset, -4);
+
+  insn = decode(e::bl(0x100));
+  EXPECT_EQ(insn.op, Op::kBl);
+
+  insn = decode(e::b_cond(Cond::kNe, -8));
+  EXPECT_EQ(insn.op, Op::kBCond);
+  EXPECT_EQ(insn.cond, Cond::kNe);
+  EXPECT_EQ(insn.offset, -8);
+
+  insn = decode(e::cbz(9, 12));
+  EXPECT_EQ(insn.op, Op::kCbz);
+  EXPECT_EQ(insn.rt, 9);
+
+  insn = decode(e::cbnz(9, 12));
+  EXPECT_EQ(insn.op, Op::kCbnz);
+
+  insn = decode(e::br(17));
+  EXPECT_EQ(insn.op, Op::kBr);
+  EXPECT_EQ(insn.rn, 17);
+
+  insn = decode(e::blr(2));
+  EXPECT_EQ(insn.op, Op::kBlr);
+
+  insn = decode(e::ret());
+  EXPECT_EQ(insn.op, Op::kRet);
+  EXPECT_EQ(insn.rn, 30);
+}
+
+TEST(DecodeTest, LoadStoreImmediate) {
+  auto insn = decode(e::ldr_imm(1, 2, 64, 8));
+  EXPECT_EQ(insn.op, Op::kLdrImm);
+  EXPECT_EQ(insn.size, 8);
+  EXPECT_EQ(insn.offset, 64);
+
+  insn = decode(e::str_imm(1, 2, 16, 4));
+  EXPECT_EQ(insn.op, Op::kStrImm);
+  EXPECT_EQ(insn.size, 4);
+  EXPECT_EQ(insn.offset, 16);
+
+  insn = decode(e::ldr_imm(0, 1, 3, 1));
+  EXPECT_EQ(insn.size, 1);
+  EXPECT_EQ(insn.offset, 3);
+}
+
+TEST(DecodeTest, LoadStoreRegisterOffset) {
+  auto insn = decode(e::ldr_reg(1, 2, 3));
+  EXPECT_EQ(insn.op, Op::kLdrReg);
+  EXPECT_EQ(insn.rm, 3);
+  EXPECT_EQ(insn.shift, 3);  // scaled LSL #3
+
+  insn = decode(e::str_reg(1, 2, 3, /*scaled=*/false));
+  EXPECT_EQ(insn.op, Op::kStrReg);
+  EXPECT_EQ(insn.shift, 0);
+}
+
+TEST(DecodeTest, UnprivilegedLoadStore) {
+  auto insn = decode(e::ldtr(1, 2, -16, 8));
+  EXPECT_EQ(insn.op, Op::kLdtr);
+  EXPECT_EQ(insn.offset, -16);
+  EXPECT_TRUE(insn.is_unprivileged_ldst());
+
+  insn = decode(e::sttr(1, 2, 0, 4));
+  EXPECT_EQ(insn.op, Op::kSttr);
+  EXPECT_EQ(insn.size, 4);
+
+  insn = decode(e::ldtr(1, 2, 0, 2, /*sign_ext=*/true));
+  EXPECT_EQ(insn.op, Op::kLdtr);
+  EXPECT_TRUE(insn.sign_ext);
+}
+
+TEST(DecodeTest, SystemRegisters) {
+  auto insn = decode(e::msr(SysReg::kTtbr0El1, 5));
+  EXPECT_EQ(insn.op, Op::kMsrReg);
+  ASSERT_TRUE(insn.sysreg.has_value());
+  EXPECT_EQ(*insn.sysreg, SysReg::kTtbr0El1);
+  EXPECT_EQ(insn.rt, 5);
+
+  insn = decode(e::mrs(7, SysReg::kHcrEl2));
+  EXPECT_EQ(insn.op, Op::kMrs);
+  EXPECT_EQ(*insn.sysreg, SysReg::kHcrEl2);
+
+  // Every modelled register must round-trip through its encoding.
+  for (std::size_t i = 0; i < kNumSysRegs; ++i) {
+    const auto reg = static_cast<SysReg>(i);
+    const auto enc0 = sysreg_encoding(reg);
+    const auto back = sysreg_from_encoding(enc0);
+    ASSERT_TRUE(back.has_value()) << sysreg_name(reg);
+    EXPECT_EQ(*back, reg);
+  }
+}
+
+TEST(DecodeTest, MsrImmediatePan) {
+  auto insn = decode(e::msr_pan(1));
+  EXPECT_EQ(insn.op, Op::kMsrImm);
+  EXPECT_EQ(insn.pstate, kPStatePan);
+  EXPECT_EQ(insn.imm, 1u);
+
+  insn = decode(e::msr_pan(0));
+  EXPECT_EQ(insn.imm, 0u);
+}
+
+TEST(DecodeTest, SystemSpacePredicate) {
+  EXPECT_TRUE(in_system_space(e::msr(SysReg::kTtbr0El1, 0)));
+  EXPECT_TRUE(in_system_space(e::isb()));
+  EXPECT_TRUE(in_system_space(e::nop()));
+  EXPECT_TRUE(in_system_space(e::tlbi_vmalle1()));
+  EXPECT_FALSE(in_system_space(e::add_imm(0, 0, 1)));
+  EXPECT_FALSE(in_system_space(e::svc(0)));
+}
+
+TEST(DecodeTest, ExceptionGeneration) {
+  EXPECT_EQ(decode(e::svc(42)).op, Op::kSvc);
+  EXPECT_EQ(decode(e::svc(42)).imm, 42u);
+  EXPECT_EQ(decode(e::hvc(1)).op, Op::kHvc);
+  EXPECT_EQ(decode(e::smc(0)).op, Op::kSmc);
+  EXPECT_EQ(decode(e::brk(0x42)).op, Op::kBrk);
+  EXPECT_EQ(decode(e::eret()).op, Op::kEret);
+  EXPECT_EQ(decode(e::udf()).op, Op::kUdf);
+}
+
+TEST(DecodeTest, Barriers) {
+  EXPECT_EQ(decode(e::isb()).op, Op::kIsb);
+  EXPECT_EQ(decode(e::dsb()).op, Op::kDsb);
+  EXPECT_EQ(decode(e::dmb()).op, Op::kDmb);
+  EXPECT_EQ(decode(e::nop()).op, Op::kNop);
+}
+
+TEST(DecodeTest, SysSpace) {
+  auto insn = decode(e::tlbi_vmalle1());
+  EXPECT_EQ(insn.op, Op::kSys);
+  EXPECT_EQ(insn.sys.crn, 8);
+
+  insn = decode(e::at_s1e1r(3));
+  EXPECT_EQ(insn.op, Op::kSys);
+  EXPECT_EQ(insn.sys.crn, 7);
+  EXPECT_EQ(insn.rt, 3);
+}
+
+TEST(DecodeTest, LogicalAndShift) {
+  EXPECT_EQ(decode(e::and_reg(1, 2, 3)).op, Op::kAndReg);
+  EXPECT_EQ(decode(e::orr_reg(1, 2, 3)).op, Op::kOrrReg);
+  EXPECT_EQ(decode(e::eor_reg(1, 2, 3)).op, Op::kEorReg);
+  EXPECT_EQ(decode(e::ands_reg(1, 2, 3)).op, Op::kAndsReg);
+  EXPECT_EQ(decode(e::mov_reg(4, 5)).op, Op::kOrrReg);
+
+  auto insn = decode(e::lsl_imm(1, 2, 3));
+  EXPECT_EQ(insn.op, Op::kLslImm);
+  EXPECT_EQ(insn.shift, 3);
+}
+
+// Table 3 instruction-format claim: system instructions have
+// bits(31,22) == 0b1101010100.
+TEST(DecodeTest, Table3FormatClaim) {
+  const u32 w = e::msr(SysReg::kSctlrEl1, 0);
+  EXPECT_EQ(bits(w, 31, 22), 0b1101010100u);
+  const auto insn = decode(w);
+  EXPECT_EQ(insn.sys.op0, 3);   // op0 at bits(20,19)
+  EXPECT_EQ(insn.sys.crn, 1);   // CRn at bits(15,12)
+}
+
+TEST(PlatformTest, TwoSoCs) {
+  const auto& carmel = Platform::carmel();
+  const auto& cortex = Platform::cortex_a55();
+  EXPECT_EQ(carmel.name, "Carmel");
+  EXPECT_EQ(cortex.name, "Cortex-A55");
+  // The paper's Table 4: HCR_EL2/VTTBR_EL2 writes are dramatically more
+  // expensive on Carmel.
+  EXPECT_GT(carmel.sysreg_write_hcr, 10 * cortex.sysreg_write_hcr);
+  EXPECT_GT(carmel.sysreg_write_vttbr, 10 * cortex.sysreg_write_vttbr);
+  // Measured values are embedded directly.
+  EXPECT_EQ(cortex.sysreg_write_hcr, 88u);
+  EXPECT_EQ(cortex.sysreg_write_vttbr, 37u);
+}
+
+TEST(SysRegTest, Classification) {
+  EXPECT_TRUE(is_stage1_control_reg(SysReg::kTtbr0El1));
+  EXPECT_TRUE(is_stage1_control_reg(SysReg::kSctlrEl1));
+  EXPECT_FALSE(is_stage1_control_reg(SysReg::kHcrEl2));
+  EXPECT_FALSE(is_stage1_control_reg(SysReg::kVbarEl1));
+  EXPECT_TRUE(is_watchpoint_reg(SysReg::kDbgwvr0El1));
+  EXPECT_FALSE(is_watchpoint_reg(SysReg::kTtbr0El1));
+
+  std::size_t count = 0;
+  const auto* regs = el1_context_regs(&count);
+  EXPECT_EQ(count, 20u);
+  EXPECT_NE(regs, nullptr);
+}
+
+}  // namespace
+}  // namespace lz::arch

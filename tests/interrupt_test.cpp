@@ -1,0 +1,148 @@
+// Interrupt handling (§5.1.3): physical IRQs are routed per HCR_EL2.IMO —
+// to the host kernel for host processes and guest VMs (a VM exit), and
+// *directly to hypervisor mode* for LightZone processes, which resume
+// afterwards. Includes the eager-stage-2 ablation (§5.2: eagerly mapping
+// stage-2 during the stage-1 fault avoids back-to-back faults).
+#include <gtest/gtest.h>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+
+namespace lz::core {
+namespace {
+
+using kernel::nr::kExit;
+using sim::Asm;
+
+void InstallCode(Env& env, kernel::Process& proc, Asm& a) {
+  LZ_CHECK_OK(env.kern().populate_page(proc, Env::kCodeVa,
+                                       kernel::kProtRead | kernel::kProtExec));
+  const auto walk = proc.pgt().lookup(Env::kCodeVa);
+  a.install(env.machine->mem(), page_floor(walk.out_addr));
+}
+
+// A program that computes through a loop; interrupts must not perturb it.
+Asm LoopProgram(u16 iters) {
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(9, iters);
+  a.movz(10, 0);
+  a.bind(loop);
+  a.add_imm(10, 10, 2);
+  a.sub_imm(9, 9, 1);
+  a.cbnz(9, loop);
+  a.movz(8, kExit);
+  a.svc(0);
+  return a;
+}
+
+TEST(InterruptTest, HostProcessSurvivesIrqStorm) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& proc = env.new_process();
+  Asm a = LoopProgram(200);
+  InstallCode(env, proc, a);
+  int fired = 0, insns = 0;
+  env.machine->core().on_insn = [&](const arch::Insn&) {
+    if (++insns % 17 == 0) {
+      env.machine->core().inject_irq();
+      ++fired;
+    }
+  };
+  env.host->run_user_process(proc);
+  env.machine->core().on_insn = nullptr;
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(10), 400u);  // computation unperturbed
+  EXPECT_GT(fired, 20);
+}
+
+TEST(InterruptTest, GuestProcessIrqIsAVmExit) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kGuest);
+  auto& proc = env.new_process();
+  Asm a = LoopProgram(100);
+  InstallCode(env, proc, a);
+  int insns = 0;
+  env.machine->core().on_insn = [&](const arch::Insn&) {
+    if (++insns % 23 == 0) env.machine->core().inject_irq();
+  };
+  env.vm->run_user_process(proc);
+  env.machine->core().on_insn = nullptr;
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(10), 200u);
+}
+
+TEST(InterruptTest, LightZoneProcessIrqGoesStraightToEl2) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& proc = env.new_process();
+  Asm a = LoopProgram(100);
+  InstallCode(env, proc, a);
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  int insns = 0;
+  env.machine->core().on_insn = [&](const arch::Insn&) {
+    if (++insns % 13 == 0) env.machine->core().inject_irq();
+  };
+  lz.run();
+  env.machine->core().on_insn = nullptr;
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+  EXPECT_EQ(env.machine->core().x(10), 200u);
+  // Every one of those IRQs passed through the module's EL2 handler.
+  EXPECT_GT(lz.ctx().traps, 10u);
+}
+
+TEST(InterruptTest, IrqCostIsChargedPerDelivery) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& proc = env.new_process();
+  Asm a = LoopProgram(100);
+  InstallCode(env, proc, a);
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  // First run without IRQs.
+  const Cycles t0 = env.machine->cycles();
+  lz.run();
+  const Cycles quiet = env.machine->cycles() - t0;
+  // Second process with the same program and an IRQ storm.
+  Env env2(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& proc2 = env2.new_process();
+  Asm b = LoopProgram(100);
+  InstallCode(env2, proc2, b);
+  LzProc lz2 = LzProc::enter(*env2.module, proc2, true, 1);
+  int insns = 0;
+  env2.machine->core().on_insn = [&](const arch::Insn&) {
+    if (++insns % 10 == 0) env2.machine->core().inject_irq();
+  };
+  const Cycles t1 = env2.machine->cycles();
+  lz2.run();
+  env2.machine->core().on_insn = nullptr;
+  const Cycles noisy = env2.machine->cycles() - t1;
+  EXPECT_GT(noisy, quiet + 20 * 100);  // interrupt handling is not free
+}
+
+// --- Eager stage-2 mapping ablation (§5.2) -----------------------------------
+
+TEST(InterruptTest, EagerStage2AvoidsBackToBackFaults) {
+  const auto run_with = [](bool eager) {
+    Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+    auto& proc = env.new_process();
+    Asm a;
+    // Touch 8 fresh heap pages.
+    for (int i = 0; i < 8; ++i) {
+      a.mov_imm64(1, Env::kHeapVa + 0x3000 + i * kPageSize);
+      a.str(1, 1, 0);
+    }
+    a.movz(8, kExit);
+    a.svc(0);
+    InstallCode(env, proc, a);
+    LzOptions opts;
+    opts.eager_stage2 = eager;
+    LzProc lz = LzProc::enter(*env.module, proc, true, 1, &opts);
+    lz.run();
+    LZ_CHECK(proc.kill_reason().empty());
+    return std::pair{lz.ctx().s1_faults, lz.ctx().s2_faults};
+  };
+  const auto [eager_s1, eager_s2] = run_with(true);
+  const auto [lazy_s1, lazy_s2] = run_with(false);
+  EXPECT_EQ(eager_s2, 0u);   // never a second fault for the same page
+  EXPECT_GE(lazy_s2, 8u);    // one back-to-back stage-2 fault per page
+  EXPECT_EQ(eager_s1, lazy_s1);
+}
+
+}  // namespace
+}  // namespace lz::core

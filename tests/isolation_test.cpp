@@ -1,0 +1,190 @@
+// Inter-process and process-kernel isolation (§7.1.2): multiple LightZone
+// processes, ordinary processes and guest VMs sharing one machine must not
+// observe each other's memory; VMIDs keep their TLB entries apart; and the
+// machine stays healthy after a LightZone process is killed.
+#include <gtest/gtest.h>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+
+namespace lz::core {
+namespace {
+
+using kernel::nr::kExit;
+using sim::Asm;
+
+void InstallCode(Env& env, kernel::Process& proc, Asm& a) {
+  LZ_CHECK_OK(env.kern().populate_page(proc, Env::kCodeVa,
+                                       kernel::kProtRead | kernel::kProtExec));
+  const auto walk = proc.pgt().lookup(Env::kCodeVa);
+  a.install(env.machine->mem(), page_floor(walk.out_addr));
+}
+
+Asm StoreThenExit(VirtAddr va, u16 value) {
+  Asm a;
+  a.mov_imm64(1, va);
+  a.movz(2, value);
+  a.str(2, 1, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  return a;
+}
+
+Asm LoadThenExit(VirtAddr va) {
+  Asm a;
+  a.mov_imm64(1, va);
+  a.ldr(3, 1, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  return a;
+}
+
+TEST(IsolationTest, TwoLightZoneProcessesSeeSeparateMemory) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+
+  // Process A writes a secret at a heap VA.
+  auto& pa = env.new_process();
+  Asm a = StoreThenExit(Env::kHeapVa, 0xAAAA);
+  InstallCode(env, pa, a);
+  LzProc lza = LzProc::enter(*env.module, pa, true, 1);
+  lza.run();
+  ASSERT_TRUE(pa.kill_reason().empty()) << pa.kill_reason();
+
+  // Process B reads the same VA: it must get its own fresh (zero) page,
+  // not A's secret.
+  auto& pb = env.new_process();
+  Asm b = LoadThenExit(Env::kHeapVa);
+  InstallCode(env, pb, b);
+  LzProc lzb = LzProc::enter(*env.module, pb, true, 1);
+  lzb.run();
+  ASSERT_TRUE(pb.kill_reason().empty()) << pb.kill_reason();
+  EXPECT_EQ(env.machine->core().x(3), 0u);
+
+  // Distinct VMIDs and distinct fake-physical spaces.
+  EXPECT_NE(lza.ctx().vmid, lzb.ctx().vmid);
+
+  // A's secret is still intact in its own frame.
+  u64 secret = 0;
+  env.kern().copy_from_user(pa, Env::kHeapVa, &secret, 8);
+  EXPECT_EQ(secret, 0xAAAAu);
+}
+
+TEST(IsolationTest, TlbEntriesAreVmidScoped) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& pa = env.new_process();
+  Asm a = StoreThenExit(Env::kHeapVa, 0x1111);
+  InstallCode(env, pa, a);
+  LzProc lza = LzProc::enter(*env.module, pa, true, 1);
+  lza.run();
+
+  // Warm TLB entries for A exist; B's run with a different VMID must not
+  // hit them (it would read A's frame otherwise).
+  auto& pb = env.new_process();
+  Asm b = LoadThenExit(Env::kHeapVa);
+  InstallCode(env, pb, b);
+  LzProc lzb = LzProc::enter(*env.module, pb, true, 1);
+  lzb.run();
+  EXPECT_EQ(env.machine->core().x(3), 0u);
+}
+
+TEST(IsolationTest, KilledLzProcessDoesNotPoisonTheMachine) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+
+  // A malicious process dies on a protected-domain access.
+  auto& bad = env.new_process();
+  Asm a = LoadThenExit(Env::kHeapVa + 0x5000);
+  InstallCode(env, bad, a);
+  LzProc lz = LzProc::enter(*env.module, bad, true, 1);
+  LZ_CHECK(lz.lz_prot(Env::kHeapVa + 0x5000, kPageSize, 1 + 0 /*pgt0 is 0*/,
+                      kLzRead) == -1);  // pgt 1 does not exist yet: rejected
+  const int pgt = lz.lz_alloc();
+  LZ_CHECK(lz.lz_prot(Env::kHeapVa + 0x5000, kPageSize, pgt, kLzRead) == 0);
+  lz.run();
+  ASSERT_FALSE(bad.alive());
+
+  // An ordinary host process still runs normally afterwards.
+  auto& good = env.new_process();
+  Asm b;
+  b.movz(0, 5);
+  b.movz(8, kExit);
+  b.svc(0);
+  InstallCode(env, good, b);
+  env.host->run_user_process(good);
+  EXPECT_EQ(good.exit_code(), 5);
+
+  // And so does a guest VM with its own process.
+  Env genv(arch::Platform::cortex_a55(), Env::Placement::kGuest);
+  auto& gp = genv.new_process();
+  Asm c;
+  c.movz(0, 6);
+  c.movz(8, kExit);
+  c.svc(0);
+  InstallCode(genv, gp, c);
+  genv.vm->run_user_process(gp);
+  EXPECT_EQ(gp.exit_code(), 6);
+}
+
+TEST(IsolationTest, LzProcessCannotReadHostProcessMemory) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+
+  // Host process H faults in a heap page and stores a secret.
+  auto& h = env.new_process();
+  Asm ha = StoreThenExit(Env::kHeapVa, 0xBEEF);
+  InstallCode(env, h, ha);
+  env.host->run_user_process(h);
+  ASSERT_TRUE(h.kill_reason().empty());
+  const auto hwalk = h.pgt().lookup(Env::kHeapVa);
+  ASSERT_TRUE(hwalk.ok);
+  const PhysAddr h_frame = page_floor(hwalk.out_addr);
+
+  // A LightZone process tries to reach that frame through a forged TTBR0
+  // pointing at the raw frame address (sanitizer disabled to let the MSR
+  // through): stage-2 confinement must stop it.
+  auto& lzp = env.new_process();
+  Asm a;
+  a.mov_imm64(9, h_frame);
+  a.emit(arch::enc::msr(sim::SysReg::kTtbr0El1, 9));
+  a.isb();
+  a.mov_imm64(1, 0x1000);
+  a.ldr(3, 1, 0);
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, lzp, a);
+  LzProc lz = LzProc::enter(*env.module, lzp, true, /*insn_san=*/0);
+  lz.run();
+  EXPECT_FALSE(lzp.alive());
+  EXPECT_NE(env.machine->core().x(3), 0xBEEFu);
+
+  // H's secret is untouched.
+  u64 secret = 0;
+  env.kern().copy_from_user(h, Env::kHeapVa, &secret, 8);
+  EXPECT_EQ(secret, 0xBEEFu);
+}
+
+TEST(IsolationTest, FakePhysicalSpacesAreIndependentPerProcess) {
+  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  auto& pa = env.new_process();
+  auto& pb = env.new_process();
+  Asm a = StoreThenExit(Env::kHeapVa, 1);
+  InstallCode(env, pa, a);
+  Asm b = StoreThenExit(Env::kHeapVa, 2);
+  InstallCode(env, pb, b);
+  LzProc lza = LzProc::enter(*env.module, pa, true, 1);
+  LzProc lzb = LzProc::enter(*env.module, pb, true, 1);
+  lza.run();
+  lzb.run();
+  // Both fake spaces start at the same sequential addresses yet map to
+  // different frames — the randomization layer reveals nothing shared.
+  bool overlap_same_frame = false;
+  for (const auto& [vp_a, page_a] : lza.ctx().pages) {
+    for (const auto& [vp_b, page_b] : lzb.ctx().pages) {
+      if (page_a.ipa == page_b.ipa && page_a.real == page_b.real) {
+        overlap_same_frame = true;
+      }
+    }
+  }
+  EXPECT_FALSE(overlap_same_frame);
+}
+
+}  // namespace
+}  // namespace lz::core

@@ -1,0 +1,334 @@
+// Unit tests for the memory subsystem: physical memory, stage-1/stage-2
+// page tables and hardware walkers, the combined TLB, and the fake-physical
+// randomization layer.
+#include <gtest/gtest.h>
+
+#include "mem/fake_phys.h"
+#include "mem/page_table.h"
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+
+namespace lz::mem {
+namespace {
+
+TEST(PhysMemTest, FrameAllocatorReusesFreedFrames) {
+  PhysMem pm;
+  const PhysAddr a = pm.alloc_frame();
+  const PhysAddr b = pm.alloc_frame();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pm.frames_in_use(), 2u);
+  pm.free_frame(a);
+  EXPECT_EQ(pm.frames_in_use(), 1u);
+  const PhysAddr c = pm.alloc_frame();
+  EXPECT_EQ(c, a);  // LIFO reuse
+  EXPECT_EQ(pm.frames_peak(), 2u);
+}
+
+TEST(PhysMemTest, AllocatedFramesAreZeroed) {
+  PhysMem pm;
+  const PhysAddr a = pm.alloc_frame();
+  pm.write(a + 8, 8, 0xdeadbeefcafef00dull);
+  pm.free_frame(a);
+  const PhysAddr b = pm.alloc_frame();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(pm.read(b + 8, 8), 0u);
+}
+
+TEST(PhysMemTest, ReadWriteSizes) {
+  PhysMem pm;
+  const PhysAddr a = pm.alloc_frame();
+  pm.write(a, 8, 0x1122334455667788ull);
+  EXPECT_EQ(pm.read(a, 1), 0x88u);
+  EXPECT_EQ(pm.read(a, 2), 0x7788u);
+  EXPECT_EQ(pm.read(a, 4), 0x55667788u);
+  EXPECT_EQ(pm.read(a + 4, 4), 0x11223344u);
+}
+
+TEST(PhysMemTest, BulkCopyCrossesPages) {
+  PhysMem pm;
+  std::vector<u8> data(kPageSize + 100, 0xab);
+  const PhysAddr a = 0x8000'0000;
+  pm.write_bytes(a + 4000, data.data(), data.size());
+  std::vector<u8> out(data.size());
+  pm.read_bytes(a + 4000, out.data(), out.size());
+  EXPECT_EQ(data, out);
+}
+
+TEST(VaRangeTest, Classification) {
+  EXPECT_EQ(classify_va(0x400000), VaRange::kLower);
+  EXPECT_EQ(classify_va(0x0000'7fff'ffff'f000), VaRange::kLower);
+  EXPECT_EQ(classify_va(0xffff'0000'0000'0000), VaRange::kUpper);
+  EXPECT_EQ(classify_va(0x0001'0000'0000'0000), VaRange::kInvalid);
+}
+
+TEST(Stage1Test, MapLookupUnmap) {
+  PhysMem pm;
+  Stage1Table tbl(pm, /*asid=*/7);
+  S1Attrs attrs;
+  attrs.user = true;
+  ASSERT_TRUE(tbl.map(0x400000, 0x9000'0000, attrs).is_ok());
+
+  const auto walk = tbl.lookup(0x400123);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.out_addr, 0x9000'0123u);
+  EXPECT_TRUE(walk.attrs.user);
+  EXPECT_EQ(walk.mem_accesses, 4u);  // 4-level walk
+
+  EXPECT_FALSE(tbl.lookup(0x401000).ok);
+  ASSERT_TRUE(tbl.unmap(0x400000).is_ok());
+  EXPECT_FALSE(tbl.lookup(0x400000).ok);
+}
+
+TEST(Stage1Test, DoubleMapRejected) {
+  PhysMem pm;
+  Stage1Table tbl(pm);
+  ASSERT_TRUE(tbl.map(0x1000, 0x9000'0000, S1Attrs{}).is_ok());
+  EXPECT_FALSE(tbl.map(0x1000, 0x9000'1000, S1Attrs{}).is_ok());
+}
+
+TEST(Stage1Test, ProtectChangesAttrs) {
+  PhysMem pm;
+  Stage1Table tbl(pm);
+  S1Attrs attrs;
+  attrs.read_only = false;
+  ASSERT_TRUE(tbl.map(0x1000, 0x9000'0000, attrs).is_ok());
+  attrs.read_only = true;
+  ASSERT_TRUE(tbl.protect(0x1000, attrs).is_ok());
+  EXPECT_TRUE(tbl.lookup(0x1000).attrs.read_only);
+  EXPECT_EQ(tbl.lookup(0x1000).out_addr, 0x9000'0000u);
+}
+
+TEST(Stage1Test, UpperHalfMapping) {
+  PhysMem pm;
+  Stage1Table tbl(pm);
+  ASSERT_TRUE(tbl.map(0xffff'0000'0000'0000, 0x9000'0000, S1Attrs{}).is_ok());
+  EXPECT_TRUE(tbl.lookup(0xffff'0000'0000'0008).ok);
+}
+
+TEST(Stage1Test, ForEachVisitsAllMappings) {
+  PhysMem pm;
+  Stage1Table tbl(pm);
+  for (u64 i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        tbl.map(0x400000 + i * kPageSize, 0x9000'0000 + i * kPageSize,
+                S1Attrs{})
+            .is_ok());
+  }
+  u64 count = 0;
+  tbl.for_each([&](VirtAddr va, u64 desc) {
+    EXPECT_EQ(pte::addr(desc) - 0x9000'0000, va - 0x400000);
+    ++count;
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(Stage1Test, TableFramesAndDestructorFreeEverything) {
+  PhysMem pm;
+  const u64 before = pm.frames_in_use();
+  {
+    Stage1Table tbl(pm);
+    ASSERT_TRUE(tbl.map(0x400000, 0x9000'0000, S1Attrs{}).is_ok());
+    ASSERT_TRUE(
+        tbl.map(0xffff'0000'0000'0000, 0x9000'1000, S1Attrs{}).is_ok());
+    // Both VAs share L0..L2 tables (bits 47:39 and 38:30 are zero for
+    // each) and diverge only at L3: root + L1 + L2 + two L3 tables.
+    EXPECT_EQ(tbl.table_frames().size(), 5u);
+    EXPECT_EQ(pm.frames_in_use(), before + 5);
+  }
+  EXPECT_EQ(pm.frames_in_use(), before);
+}
+
+TEST(Stage1Test, CustomFrameOps) {
+  PhysMem pm;
+  u64 allocs = 0, frees = 0;
+  {
+    Stage1Table tbl(pm, 0,
+                    FrameOps{[&] {
+                               ++allocs;
+                               return pm.alloc_frame();
+                             },
+                             [&](PhysAddr pa) {
+                               ++frees;
+                               pm.free_frame(pa);
+                             },
+                             /*to_ipa=*/nullptr, /*to_pa=*/nullptr});
+    ASSERT_TRUE(tbl.map(0x1000, 0x9000'0000, S1Attrs{}).is_ok());
+    EXPECT_EQ(allocs, 4u);
+  }
+  EXPECT_EQ(frees, 4u);
+}
+
+TEST(Stage2Test, MapAndWalk) {
+  PhysMem pm;
+  Stage2Table s2(pm, /*vmid=*/3);
+  S2Attrs attrs{true, true, false, false};  // read-only
+  ASSERT_TRUE(s2.map(0x1000, 0xb000'0000, attrs).is_ok());
+  const auto walk = s2.lookup(0x1abc);
+  ASSERT_TRUE(walk.ok);
+  EXPECT_EQ(walk.out_addr, 0xb000'0abcu);
+  EXPECT_FALSE(walk.attrs.write);
+  EXPECT_EQ(walk.mem_accesses, 3u);  // 3-level walk
+}
+
+TEST(Stage2Test, OversizedIpaFaults) {
+  PhysMem pm;
+  Stage2Table s2(pm);
+  EXPECT_FALSE(s2.lookup(u64{1} << 40).ok);
+  EXPECT_FALSE(s2.map(u64{1} << 40, 0x9000'0000, S2Attrs{}).is_ok());
+}
+
+// Stage-1 walk with the stage-2 mapper: the table pointers themselves are
+// IPAs (the fake-physical scheme of §5.1.2).
+TEST(WalkTest, Stage1ThroughStage2TableMapper) {
+  PhysMem pm;
+  Stage2Table s2(pm);
+  FakePhysMap fake;
+
+  // Build a stage-1 table whose frames are registered at fake addresses.
+  std::vector<PhysAddr> frames;
+  Stage1Table tbl(pm, 0,
+                  FrameOps{[&] {
+                             const PhysAddr pa = pm.alloc_frame();
+                             frames.push_back(pa);
+                             const IntermAddr ipa = fake.fake_of(pa);
+                             LZ_CHECK_OK(s2.map(
+                                 ipa, pa, S2Attrs{true, true, false, false}));
+                             return pa;
+                           },
+                           [&](PhysAddr pa) { pm.free_frame(pa); },
+                           // Descriptors hold fake (IPA) pointers.
+                           [&](PhysAddr pa) { return fake.fake_of(pa); },
+                           [&](u64 ipa) { return *fake.real_of(ipa); }});
+
+  // Data page: real frame 0xb0000000 behind fake address.
+  const PhysAddr data_real = 0xb000'0000;
+  const IntermAddr data_fake = fake.fake_of(data_real);
+  ASSERT_TRUE(s2.map(data_fake, data_real, S2Attrs{}).is_ok());
+  ASSERT_TRUE(tbl.map(0x400000, data_fake, S1Attrs{}).is_ok());
+
+  // Hardware view: TTBR holds the *fake* root; every table hop and the
+  // final output go through stage-2.
+  const IntermAddr fake_root = fake.fake_of(tbl.root());
+  const auto s1 = walk_stage1(pm, ttbr_base(make_ttbr(fake_root, 0)),
+                              0x400040, s2.table_mapper());
+  ASSERT_TRUE(s1.ok);
+  EXPECT_EQ(s1.out_addr, data_fake + 0x40);
+  const auto final = walk_stage2(pm, s2.root(), s1.out_addr);
+  ASSERT_TRUE(final.ok);
+  EXPECT_EQ(final.out_addr, data_real + 0x40);
+}
+
+TEST(TlbTest, HitMissAndPromotion) {
+  Tlb tlb(2, 8);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x400;
+  e.asid = 1;
+  e.vmid = 0;
+  e.ppage = 0x9000'0000;
+  EXPECT_FALSE(tlb.lookup(0x400, 1, 0, 4).has_value());
+  tlb.insert(e);
+  auto hit = tlb.lookup(0x400, 1, 0, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_l1);
+  EXPECT_EQ(hit->extra_cost, 0u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+  EXPECT_EQ(tlb.stats().l1_hits, 1u);
+}
+
+TEST(TlbTest, AsidTagging) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x400;
+  e.asid = 1;
+  e.vmid = 0;
+  tlb.insert(e);
+  EXPECT_TRUE(tlb.lookup(0x400, 1, 0, 4).has_value());
+  EXPECT_FALSE(tlb.lookup(0x400, 2, 0, 4).has_value());  // other ASID
+  EXPECT_FALSE(tlb.lookup(0x400, 1, 1, 4).has_value());  // other VMID
+}
+
+TEST(TlbTest, GlobalEntriesMatchAnyAsid) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x400;
+  e.asid = 1;
+  e.vmid = 2;
+  e.global = true;
+  tlb.insert(e);
+  EXPECT_TRUE(tlb.lookup(0x400, 99, 2, 4).has_value());
+  EXPECT_FALSE(tlb.lookup(0x400, 99, 3, 4).has_value());  // still VMID-scoped
+}
+
+TEST(TlbTest, Invalidations) {
+  Tlb tlb(4, 16);
+  for (u16 asid = 1; asid <= 3; ++asid) {
+    TlbEntry e;
+    e.valid = true;
+    e.vpage = 0x400 + asid;
+    e.asid = asid;
+    e.vmid = 1;
+    tlb.insert(e);
+  }
+  tlb.invalidate_asid(2, 1);
+  EXPECT_TRUE(tlb.lookup(0x401, 1, 1, 4).has_value());
+  EXPECT_FALSE(tlb.lookup(0x402, 2, 1, 4).has_value());
+  tlb.invalidate_vmid(1);
+  EXPECT_FALSE(tlb.lookup(0x401, 1, 1, 4).has_value());
+}
+
+TEST(TlbTest, InvalidateVaHitsGlobalToo) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x500;
+  e.vmid = 0;
+  e.global = true;
+  tlb.insert(e);
+  tlb.invalidate_va(0x500, 0);
+  EXPECT_FALSE(tlb.lookup(0x500, 0, 0, 4).has_value());
+}
+
+TEST(TlbTest, L2PromotionAfterL1Eviction) {
+  Tlb tlb(1, 64);  // single-entry micro-TLB forces promotion traffic
+  TlbEntry a, b;
+  a.valid = b.valid = true;
+  a.vpage = 1;
+  b.vpage = 2;
+  tlb.insert(a);
+  tlb.insert(b);  // evicts `a` from L1
+  auto hit = tlb.lookup(1, 0, 0, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->from_l1);
+  EXPECT_EQ(hit->extra_cost, 4u);
+  // Promoted now.
+  hit = tlb.lookup(1, 0, 0, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_l1);
+}
+
+TEST(FakePhysTest, SequentialAllocationInFaultOrder) {
+  FakePhysMap fake;
+  // The paper's example: first and second faulting frames get fake pages
+  // 0x1000 and 0x2000 regardless of their real addresses.
+  EXPECT_EQ(fake.fake_of(0x470ec000), 0x1000u);
+  EXPECT_EQ(fake.fake_of(0x48800000), 0x2000u);
+  EXPECT_EQ(fake.fake_of(0x470ec000), 0x1000u);  // stable
+  EXPECT_EQ(fake.size(), 2u);
+}
+
+TEST(FakePhysTest, ReverseLookupAndErase) {
+  FakePhysMap fake;
+  const IntermAddr f = fake.fake_of(0xb000'0000);
+  EXPECT_EQ(fake.real_of(f + 0x123).value(), 0xb000'0123u);
+  EXPECT_EQ(fake.lookup_fake(0xb000'0000).value(), f);
+  EXPECT_FALSE(fake.real_of(0x9999'0000).has_value());
+  fake.erase_real(0xb000'0000);
+  EXPECT_FALSE(fake.real_of(f).has_value());
+  EXPECT_FALSE(fake.lookup_fake(0xb000'0000).has_value());
+}
+
+}  // namespace
+}  // namespace lz::mem

@@ -1,0 +1,309 @@
+// Application-workload tests: AES correctness (FIPS-197 vectors), the
+// event models' bookkeeping, and the headline shapes of Figures 3-5
+// (who wins, in what order, and roughly by how much).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "workloads/crypto/aes.h"
+#include "workloads/dbms.h"
+#include "workloads/httpd.h"
+#include "workloads/nvm.h"
+
+namespace lz::workload {
+namespace {
+
+// --- AES ----------------------------------------------------------------------
+
+TEST(AesTest, Fips197Vector) {
+  // FIPS-197 Appendix B.
+  const u8 key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  u8 block[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                  0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const u8 expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                           0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  const auto expanded = crypto::aes_expand_key(key);
+  crypto::aes_encrypt_block(expanded, block);
+  EXPECT_EQ(std::memcmp(block, expected, 16), 0);
+}
+
+TEST(AesTest, KeyExpansionMatchesFips197) {
+  const u8 key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const auto expanded = crypto::aes_expand_key(key);
+  // w4 of the FIPS-197 key schedule example: a0fafe17.
+  EXPECT_EQ(expanded.round_keys[16], 0xa0);
+  EXPECT_EQ(expanded.round_keys[17], 0xfa);
+  EXPECT_EQ(expanded.round_keys[18], 0xfe);
+  EXPECT_EQ(expanded.round_keys[19], 0x17);
+  // w43 ends b6630ca6.
+  EXPECT_EQ(expanded.round_keys[43 * 4 + 0], 0xb6);
+  EXPECT_EQ(expanded.round_keys[43 * 4 + 3], 0xa6);
+}
+
+TEST(AesTest, CbcChainsBlocks) {
+  const u8 key[16] = {};
+  const u8 iv[16] = {};
+  const auto expanded = crypto::aes_expand_key(key);
+  u8 data[32] = {};
+  crypto::aes_cbc_encrypt(expanded, iv, data, sizeof(data));
+  // Identical plaintext blocks must differ under CBC.
+  EXPECT_NE(std::memcmp(data, data + 16, 16), 0);
+}
+
+// --- Shared fixtures -----------------------------------------------------------
+
+AppConfig cfg(const arch::Platform& plat, Placement placement,
+              Mechanism mech) {
+  return AppConfig{&plat, placement, mech, 42};
+}
+
+// Throughput loss at saturation: 1 - T_prot/T_base = delta/(base+delta),
+// which is what the paper reports.
+double httpd_loss(const arch::Platform& plat, Placement placement,
+                  Mechanism mech, HttpdParams params) {
+  const auto base = run_httpd(cfg(plat, placement, Mechanism::kNone), params);
+  const auto prot = run_httpd(cfg(plat, placement, mech), params);
+  return 100.0 * (prot.cycles_per_request - base.cycles_per_request) /
+         prot.cycles_per_request;
+}
+
+// --- Fig. 3 shapes --------------------------------------------------------------
+
+TEST(HttpdTest, CarmelHostLossOrdering) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::carmel());
+  p.requests = 300;
+  const double pan =
+      httpd_loss(arch::Platform::carmel(), Placement::kHost,
+                 Mechanism::kLzPan, p);
+  const double ttbr =
+      httpd_loss(arch::Platform::carmel(), Placement::kHost,
+                 Mechanism::kLzTtbr, p);
+  const double wp =
+      httpd_loss(arch::Platform::carmel(), Placement::kHost,
+                 Mechanism::kWatchpoint, p);
+  const double lwc = httpd_loss(arch::Platform::carmel(), Placement::kHost,
+                                Mechanism::kLwc, p);
+  // Paper: 1.35% / 5.65% / 45.46% / 59.03%.
+  EXPECT_NEAR(pan, 1.35, 1.0);
+  EXPECT_NEAR(ttbr, 5.65, 1.5);
+  EXPECT_NEAR(wp, 45.46, 7.0);
+  EXPECT_NEAR(lwc, 59.03, 9.0);
+  EXPECT_LT(pan, ttbr);
+  EXPECT_LT(ttbr, wp);
+  EXPECT_LT(wp, lwc);
+}
+
+TEST(HttpdTest, CarmelGuestLightZonePaysNestedTraps) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::carmel());
+  p.requests = 300;
+  const double pan = httpd_loss(arch::Platform::carmel(), Placement::kGuest,
+                                Mechanism::kLzPan, p);
+  // Paper: 25.24% — slow LightZone<->guest-kernel switching on Carmel.
+  EXPECT_NEAR(pan, 25.24, 6.0);
+}
+
+TEST(HttpdTest, CortexLossesAreSmall) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::cortex_a55());
+  p.requests = 300;
+  for (auto placement : {Placement::kHost, Placement::kGuest}) {
+    const double pan = httpd_loss(arch::Platform::cortex_a55(), placement,
+                                  Mechanism::kLzPan, p);
+    const double ttbr = httpd_loss(arch::Platform::cortex_a55(), placement,
+                                   Mechanism::kLzTtbr, p);
+    // Paper: 0.91/1.98 (PAN), 3.01/2.03 (TTBR).
+    EXPECT_LT(pan, 3.5);
+    EXPECT_LT(ttbr, 4.5);
+    EXPECT_LT(pan, ttbr);
+  }
+}
+
+TEST(HttpdTest, ThroughputSaturatesWithConcurrency) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::cortex_a55());
+  p.requests = 100;
+  const AppConfig c = cfg(arch::Platform::cortex_a55(), Placement::kHost,
+                          Mechanism::kNone);
+  const auto r = run_httpd(c, p);
+  const double t1 = httpd_throughput_rps(r, p, c, 1);
+  const double t8 = httpd_throughput_rps(r, p, c, 8);
+  const double t64 = httpd_throughput_rps(r, p, c, 64);
+  EXPECT_GT(t8, t1 * 1.2);          // rising region (saturates early: 1 worker)
+  EXPECT_NEAR(t64, t8, t8 * 0.01);  // flat at the plateau
+}
+
+TEST(HttpdTest, CryptoActuallyRuns) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::cortex_a55());
+  p.requests = 50;
+  const auto a = run_httpd(cfg(arch::Platform::cortex_a55(), Placement::kHost,
+                               Mechanism::kNone),
+                           p);
+  const auto b = run_httpd(cfg(arch::Platform::cortex_a55(), Placement::kHost,
+                               Mechanism::kLzTtbr),
+                           p);
+  EXPECT_NE(a.response_checksum, 0);
+  // Same keys, same plaintext, same seed: identical ciphertext regardless
+  // of the isolation mechanism (protection must not change results).
+  EXPECT_EQ(a.response_checksum, b.response_checksum);
+}
+
+TEST(HttpdTest, PageTableMemoryOverheadScalesWithDomains) {
+  HttpdParams p = HttpdParams::defaults(arch::Platform::cortex_a55());
+  p.requests = 10;
+  const auto pan = run_httpd(cfg(arch::Platform::cortex_a55(),
+                                 Placement::kHost, Mechanism::kLzPan),
+                             p);
+  const auto ttbr = run_httpd(cfg(arch::Platform::cortex_a55(),
+                                  Placement::kHost, Mechanism::kLzTtbr),
+                              p);
+  // §9.1: scalable isolation has much higher page-table overhead (one
+  // stage-1 table per key) than PAN (one table).
+  EXPECT_GT(ttbr.isolation_table_pages, 3 * pan.isolation_table_pages);
+}
+
+// --- Fig. 4 shapes --------------------------------------------------------------
+
+// Throughput loss at the CPU-bound plateau (tps is 1/cpu there).
+double dbms_loss(const arch::Platform& plat, Placement placement,
+                 Mechanism mech, DbmsParams params) {
+  const auto base = run_dbms(cfg(plat, placement, Mechanism::kNone), params);
+  const auto prot = run_dbms(cfg(plat, placement, mech), params);
+  return 100.0 * (prot.cpu_cycles_per_txn - base.cpu_cycles_per_txn) /
+         prot.cpu_cycles_per_txn;
+}
+
+TEST(DbmsTest, CarmelHostShape) {
+  DbmsParams p = DbmsParams::defaults(arch::Platform::carmel());
+  p.transactions = 200;
+  const double pan = dbms_loss(arch::Platform::carmel(), Placement::kHost,
+                               Mechanism::kLzPan, p);
+  const double ttbr = dbms_loss(arch::Platform::carmel(), Placement::kHost,
+                                Mechanism::kLzTtbr, p);
+  const double wp = dbms_loss(arch::Platform::carmel(), Placement::kHost,
+                              Mechanism::kWatchpoint, p);
+  const double lwc = dbms_loss(arch::Platform::carmel(), Placement::kHost,
+                               Mechanism::kLwc, p);
+  // Paper: near-zero / 3.79% / 8.35% / 11.80%.
+  EXPECT_LT(pan, 2.0);
+  EXPECT_NEAR(ttbr, 3.79, 1.5);
+  EXPECT_NEAR(wp, 8.35, 2.5);
+  EXPECT_NEAR(lwc, 11.80, 4.0);
+  EXPECT_LT(pan, ttbr);
+  EXPECT_LT(ttbr, wp);
+  EXPECT_LT(wp, lwc);
+}
+
+TEST(DbmsTest, RowOperationsExecute) {
+  DbmsParams p = DbmsParams::defaults(arch::Platform::cortex_a55());
+  p.transactions = 50;
+  const auto base = run_dbms(cfg(arch::Platform::cortex_a55(),
+                                 Placement::kHost, Mechanism::kNone),
+                             p);
+  const auto prot = run_dbms(cfg(arch::Platform::cortex_a55(),
+                                 Placement::kHost, Mechanism::kLzTtbr),
+                             p);
+  EXPECT_NE(base.rows_checksum, 0u);
+  EXPECT_EQ(base.rows_checksum, prot.rows_checksum);
+}
+
+TEST(DbmsTest, ThroughputPlateausWithThreads) {
+  DbmsParams p = DbmsParams::defaults(arch::Platform::carmel());
+  p.transactions = 100;
+  const AppConfig c =
+      cfg(arch::Platform::carmel(), Placement::kHost, Mechanism::kNone);
+  const auto r = run_dbms(c, p);
+  const double t1 = dbms_tps(r, p, c, 1, 8);
+  const double t8 = dbms_tps(r, p, c, 8, 8);
+  const double t32 = dbms_tps(r, p, c, 32, 8);
+  EXPECT_GT(t8, t1 * 3);
+  EXPECT_NEAR(t32, t8, t8 * 0.35);
+}
+
+// --- Fig. 5 shapes --------------------------------------------------------------
+
+TEST(NvmTest, CarmelHostOverheads) {
+  NvmParams p;
+  p.searches = 3000;
+  p.buffers = 8;
+  const auto base = run_nvm(
+      cfg(arch::Platform::carmel(), Placement::kHost, Mechanism::kNone), p);
+  const auto pan = run_nvm(
+      cfg(arch::Platform::carmel(), Placement::kHost, Mechanism::kLzPan), p);
+  const auto ttbr = run_nvm(
+      cfg(arch::Platform::carmel(), Placement::kHost, Mechanism::kLzTtbr), p);
+  // Paper: PAN 1.75%, TTBR 12.92% on the host.
+  EXPECT_NEAR(nvm_overhead_pct(pan, base), 1.75, 1.5);
+  EXPECT_NEAR(nvm_overhead_pct(ttbr, base), 12.92, 3.5);
+  EXPECT_EQ(base.matches, 3000u);  // every search finds the needle
+  EXPECT_EQ(pan.matches, 3000u);
+}
+
+TEST(NvmTest, CortexOverheadsAreMinimal) {
+  NvmParams p;
+  p.searches = 3000;
+  p.buffers = 8;
+  const auto base = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                Placement::kHost, Mechanism::kNone),
+                            p);
+  const auto pan = run_nvm(cfg(arch::Platform::cortex_a55(),
+                               Placement::kHost, Mechanism::kLzPan),
+                           p);
+  const auto ttbr = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                Placement::kHost, Mechanism::kLzTtbr),
+                            p);
+  // Paper: PAN 0.26%, TTBR 1.81%.
+  EXPECT_LT(nvm_overhead_pct(pan, base), 1.5);
+  EXPECT_LT(nvm_overhead_pct(ttbr, base), 3.8);
+}
+
+TEST(NvmTest, OverheadStableAcrossDomainCounts) {
+  // Scalability: going from 4 to 64 buffers must not blow up the TTBR
+  // overhead (ASID-tagged tables keep switches cheap).
+  NvmParams p4;
+  p4.searches = 2000;
+  p4.buffers = 4;
+  NvmParams p64 = p4;
+  p64.buffers = 64;
+  const auto base4 = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                 Placement::kHost, Mechanism::kNone),
+                             p4);
+  const auto ttbr4 = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                 Placement::kHost, Mechanism::kLzTtbr),
+                             p4);
+  const auto base64 = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                  Placement::kHost, Mechanism::kNone),
+                              p64);
+  const auto ttbr64 = run_nvm(cfg(arch::Platform::cortex_a55(),
+                                  Placement::kHost, Mechanism::kLzTtbr),
+                              p64);
+  const double o4 = nvm_overhead_pct(ttbr4, base4);
+  const double o64 = nvm_overhead_pct(ttbr64, base64);
+  EXPECT_LT(o64, o4 * 2 + 2.0);
+}
+
+// Parameterised sweep: every (platform, placement) pair keeps the paper's
+// ordering LightZone-PAN <= LightZone-TTBR on the NVM benchmark.
+class NvmOrdering
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NvmOrdering, PanBeatsTtbr) {
+  const auto& plat = std::get<0>(GetParam()) == 0
+                         ? arch::Platform::cortex_a55()
+                         : arch::Platform::carmel();
+  const auto placement =
+      std::get<1>(GetParam()) == 0 ? Placement::kHost : Placement::kGuest;
+  NvmParams p;
+  p.searches = 1200;
+  p.buffers = 8;
+  const auto base = run_nvm(cfg(plat, placement, Mechanism::kNone), p);
+  const auto pan = run_nvm(cfg(plat, placement, Mechanism::kLzPan), p);
+  const auto ttbr = run_nvm(cfg(plat, placement, Mechanism::kLzTtbr), p);
+  EXPECT_LT(nvm_overhead_pct(pan, base), nvm_overhead_pct(ttbr, base));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, NvmOrdering,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace lz::workload
