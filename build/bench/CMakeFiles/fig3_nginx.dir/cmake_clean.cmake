@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nginx.dir/fig3_nginx.cpp.o"
+  "CMakeFiles/fig3_nginx.dir/fig3_nginx.cpp.o.d"
+  "fig3_nginx"
+  "fig3_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mysql.dir/fig4_mysql.cpp.o"
+  "CMakeFiles/fig4_mysql.dir/fig4_mysql.cpp.o.d"
+  "fig4_mysql"
+  "fig4_mysql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nvm.dir/fig5_nvm.cpp.o"
+  "CMakeFiles/fig5_nvm.dir/fig5_nvm.cpp.o.d"
+  "fig5_nvm"
+  "fig5_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_traps.dir/table4_traps.cpp.o"
+  "CMakeFiles/table4_traps.dir/table4_traps.cpp.o.d"
+  "table4_traps"
+  "table4_traps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_traps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_switch.dir/table5_switch.cpp.o"
+  "CMakeFiles/table5_switch.dir/table5_switch.cpp.o.d"
+  "table5_switch"
+  "table5_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

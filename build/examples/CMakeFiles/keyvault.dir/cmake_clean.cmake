@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyvault.dir/keyvault.cpp.o"
+  "CMakeFiles/keyvault.dir/keyvault.cpp.o.d"
+  "keyvault"
+  "keyvault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyvault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

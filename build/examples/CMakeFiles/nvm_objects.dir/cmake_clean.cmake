@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_objects.dir/nvm_objects.cpp.o"
+  "CMakeFiles/nvm_objects.dir/nvm_objects.cpp.o.d"
+  "nvm_objects"
+  "nvm_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lightzone/CMakeFiles/lz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lz_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lz_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lz_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lz_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/decode.cpp" "src/arch/CMakeFiles/lz_arch.dir/decode.cpp.o" "gcc" "src/arch/CMakeFiles/lz_arch.dir/decode.cpp.o.d"
+  "/root/repo/src/arch/encode.cpp" "src/arch/CMakeFiles/lz_arch.dir/encode.cpp.o" "gcc" "src/arch/CMakeFiles/lz_arch.dir/encode.cpp.o.d"
+  "/root/repo/src/arch/platform.cpp" "src/arch/CMakeFiles/lz_arch.dir/platform.cpp.o" "gcc" "src/arch/CMakeFiles/lz_arch.dir/platform.cpp.o.d"
+  "/root/repo/src/arch/sysreg.cpp" "src/arch/CMakeFiles/lz_arch.dir/sysreg.cpp.o" "gcc" "src/arch/CMakeFiles/lz_arch.dir/sysreg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

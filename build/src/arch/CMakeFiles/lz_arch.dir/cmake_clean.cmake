@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_arch.dir/decode.cpp.o"
+  "CMakeFiles/lz_arch.dir/decode.cpp.o.d"
+  "CMakeFiles/lz_arch.dir/encode.cpp.o"
+  "CMakeFiles/lz_arch.dir/encode.cpp.o.d"
+  "CMakeFiles/lz_arch.dir/platform.cpp.o"
+  "CMakeFiles/lz_arch.dir/platform.cpp.o.d"
+  "CMakeFiles/lz_arch.dir/sysreg.cpp.o"
+  "CMakeFiles/lz_arch.dir/sysreg.cpp.o.d"
+  "liblz_arch.a"
+  "liblz_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

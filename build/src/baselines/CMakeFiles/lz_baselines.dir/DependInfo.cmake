@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lwc.cpp" "src/baselines/CMakeFiles/lz_baselines.dir/lwc.cpp.o" "gcc" "src/baselines/CMakeFiles/lz_baselines.dir/lwc.cpp.o.d"
+  "/root/repo/src/baselines/watchpoint.cpp" "src/baselines/CMakeFiles/lz_baselines.dir/watchpoint.cpp.o" "gcc" "src/baselines/CMakeFiles/lz_baselines.dir/watchpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hv/CMakeFiles/lz_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lz_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lz_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

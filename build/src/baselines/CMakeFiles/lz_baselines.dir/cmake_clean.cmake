@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_baselines.dir/lwc.cpp.o"
+  "CMakeFiles/lz_baselines.dir/lwc.cpp.o.d"
+  "CMakeFiles/lz_baselines.dir/watchpoint.cpp.o"
+  "CMakeFiles/lz_baselines.dir/watchpoint.cpp.o.d"
+  "liblz_baselines.a"
+  "liblz_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblz_baselines.a"
+)

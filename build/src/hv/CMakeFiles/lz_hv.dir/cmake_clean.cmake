@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_hv.dir/guest.cpp.o"
+  "CMakeFiles/lz_hv.dir/guest.cpp.o.d"
+  "CMakeFiles/lz_hv.dir/host.cpp.o"
+  "CMakeFiles/lz_hv.dir/host.cpp.o.d"
+  "CMakeFiles/lz_hv.dir/world.cpp.o"
+  "CMakeFiles/lz_hv.dir/world.cpp.o.d"
+  "liblz_hv.a"
+  "liblz_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/lz_kernel.dir/kernel.cpp.o.d"
+  "liblz_kernel.a"
+  "liblz_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

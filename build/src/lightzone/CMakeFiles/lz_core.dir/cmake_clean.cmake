@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_core.dir/api.cpp.o"
+  "CMakeFiles/lz_core.dir/api.cpp.o.d"
+  "CMakeFiles/lz_core.dir/gate.cpp.o"
+  "CMakeFiles/lz_core.dir/gate.cpp.o.d"
+  "CMakeFiles/lz_core.dir/module.cpp.o"
+  "CMakeFiles/lz_core.dir/module.cpp.o.d"
+  "CMakeFiles/lz_core.dir/sanitizer.cpp.o"
+  "CMakeFiles/lz_core.dir/sanitizer.cpp.o.d"
+  "liblz_core.a"
+  "liblz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

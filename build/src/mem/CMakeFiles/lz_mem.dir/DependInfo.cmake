@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/fake_phys.cpp" "src/mem/CMakeFiles/lz_mem.dir/fake_phys.cpp.o" "gcc" "src/mem/CMakeFiles/lz_mem.dir/fake_phys.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/lz_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/lz_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/phys_mem.cpp" "src/mem/CMakeFiles/lz_mem.dir/phys_mem.cpp.o" "gcc" "src/mem/CMakeFiles/lz_mem.dir/phys_mem.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/lz_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/lz_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

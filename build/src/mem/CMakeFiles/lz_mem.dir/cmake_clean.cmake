@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_mem.dir/fake_phys.cpp.o"
+  "CMakeFiles/lz_mem.dir/fake_phys.cpp.o.d"
+  "CMakeFiles/lz_mem.dir/page_table.cpp.o"
+  "CMakeFiles/lz_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/lz_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/lz_mem.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/lz_mem.dir/tlb.cpp.o"
+  "CMakeFiles/lz_mem.dir/tlb.cpp.o.d"
+  "liblz_mem.a"
+  "liblz_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

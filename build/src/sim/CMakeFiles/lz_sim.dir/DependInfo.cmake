@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/sim/CMakeFiles/lz_sim.dir/assembler.cpp.o" "gcc" "src/sim/CMakeFiles/lz_sim.dir/assembler.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/lz_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/lz_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/cost.cpp" "src/sim/CMakeFiles/lz_sim.dir/cost.cpp.o" "gcc" "src/sim/CMakeFiles/lz_sim.dir/cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lz_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_sim.dir/assembler.cpp.o"
+  "CMakeFiles/lz_sim.dir/assembler.cpp.o.d"
+  "CMakeFiles/lz_sim.dir/core.cpp.o"
+  "CMakeFiles/lz_sim.dir/core.cpp.o.d"
+  "CMakeFiles/lz_sim.dir/cost.cpp.o"
+  "CMakeFiles/lz_sim.dir/cost.cpp.o.d"
+  "liblz_sim.a"
+  "liblz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_support.dir/status.cpp.o"
+  "CMakeFiles/lz_support.dir/status.cpp.o.d"
+  "liblz_support.a"
+  "liblz_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

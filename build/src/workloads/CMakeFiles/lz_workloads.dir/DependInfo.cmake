@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_driver.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/app_driver.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/app_driver.cpp.o.d"
+  "/root/repo/src/workloads/crypto/aes.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/crypto/aes.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/workloads/dbms.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/dbms.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/dbms.cpp.o.d"
+  "/root/repo/src/workloads/httpd.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/httpd.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/httpd.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/microbench.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/workloads/nvm.cpp" "src/workloads/CMakeFiles/lz_workloads.dir/nvm.cpp.o" "gcc" "src/workloads/CMakeFiles/lz_workloads.dir/nvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lightzone/CMakeFiles/lz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lz_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/lz_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lz_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lz_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lz_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lz_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

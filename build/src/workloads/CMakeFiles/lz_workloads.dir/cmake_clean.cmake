@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_workloads.dir/app_driver.cpp.o"
+  "CMakeFiles/lz_workloads.dir/app_driver.cpp.o.d"
+  "CMakeFiles/lz_workloads.dir/crypto/aes.cpp.o"
+  "CMakeFiles/lz_workloads.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/lz_workloads.dir/dbms.cpp.o"
+  "CMakeFiles/lz_workloads.dir/dbms.cpp.o.d"
+  "CMakeFiles/lz_workloads.dir/httpd.cpp.o"
+  "CMakeFiles/lz_workloads.dir/httpd.cpp.o.d"
+  "CMakeFiles/lz_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/lz_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/lz_workloads.dir/nvm.cpp.o"
+  "CMakeFiles/lz_workloads.dir/nvm.cpp.o.d"
+  "liblz_workloads.a"
+  "liblz_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_syscall_test.dir/api_syscall_test.cpp.o"
+  "CMakeFiles/api_syscall_test.dir/api_syscall_test.cpp.o.d"
+  "api_syscall_test"
+  "api_syscall_test.pdb"
+  "api_syscall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightzone_test.dir/lightzone_test.cpp.o"
+  "CMakeFiles/lightzone_test.dir/lightzone_test.cpp.o.d"
+  "lightzone_test"
+  "lightzone_test.pdb"
+  "lightzone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightzone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

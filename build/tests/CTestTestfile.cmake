@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/arch_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/hv_test[1]_include.cmake")
+include("/root/repo/build/tests/sanitizer_test[1]_include.cmake")
+include("/root/repo/build/tests/lightzone_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/security_pentest_test[1]_include.cmake")
+include("/root/repo/build/tests/api_syscall_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/interrupt_test[1]_include.cmake")
