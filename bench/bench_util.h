@@ -1,0 +1,136 @@
+// Shared plumbing for the bench binaries' observability flags.
+//
+// Every bench main accepts, in addition to the google-benchmark flags:
+//   --json <path>   write a machine-readable lz.bench.report.v1 document
+//                   (headline results + per-CostKind cycle breakdown +
+//                   counter snapshot) covering the table/figure printers
+//   --trace <path>  arm the lz::obs event ring for the same region and
+//                   dump it as Chrome trace-event JSON (Perfetto-openable)
+//
+// Both flags are stripped from argv before benchmark::Initialize sees it.
+// The report intentionally covers only the deterministic print_* phase,
+// not the wall-clock-driven BM_* loops, so two runs of the same binary
+// produce byte-identical artifacts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sim/cost.h"
+
+namespace lz::bench {
+
+struct ObsOptions {
+  std::string json_path;
+  std::string trace_path;
+};
+
+// Removes "--json <path>" / "--json=<path>" (and the same for --trace)
+// from argv so google-benchmark does not reject the unknown flags.
+inline ObsOptions strip_obs_flags(int* argc, char** argv) {
+  ObsOptions opts;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto take = [&](std::string_view flag, std::string* dst) {
+      if (arg == flag) {
+        if (i + 1 < *argc) *dst = argv[++i];
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+          arg[flag.size()] == '=') {
+        *dst = std::string(arg.substr(flag.size() + 1));
+        return true;
+      }
+      return false;
+    };
+    if (take("--json", &opts.json_path) ||
+        take("--trace", &opts.trace_path)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return opts;
+}
+
+// One per bench main. Construction resets all process-wide observability
+// state (so the report covers exactly this run) and arms the event ring
+// when a trace was requested; finish() assembles and writes the artifacts.
+class ObsSession {
+ public:
+  static constexpr std::size_t kTraceCapacity = 1u << 16;
+
+  ObsSession(std::string bench_name, int* argc, char** argv)
+      : opts_(strip_obs_flags(argc, argv)), report_(std::move(bench_name)) {
+    obs::reset_all();
+    if (!opts_.trace_path.empty()) obs::trace().arm(kTraceCapacity);
+    instance_ = this;
+  }
+  ~ObsSession() {
+    if (instance_ == this) instance_ = nullptr;
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  void add_result(std::string key, double value) {
+    report_.add_result(std::move(key), value);
+  }
+  void add_result(std::string key, u64 value) {
+    report_.add_result(std::move(key), value);
+  }
+
+  // Writes the requested artifacts. Call after the print_* phase and
+  // before benchmark::RunSpecifiedBenchmarks() so the gbench timing loops
+  // (wall-clock-dependent iteration counts) cannot perturb them.
+  void finish() {
+    if (!opts_.trace_path.empty()) {
+      obs::trace().disarm();
+      if (obs::trace().write_chrome_json(opts_.trace_path)) {
+        std::printf("obs: wrote %zu trace events to %s\n",
+                    obs::trace().size(), opts_.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                     opts_.trace_path.c_str());
+      }
+    }
+    if (opts_.json_path.empty()) return;
+    const auto& ledger = obs::cycle_ledger();
+    report_.set_cycles_total(ledger.total());
+    for (std::size_t k = 0; k < sim::kNumCostKinds; ++k) {
+      report_.add_cycles(sim::to_string(static_cast<sim::CostKind>(k)),
+                         ledger.of(k));
+    }
+    report_.add_counters(obs::registry().snapshot());
+    if (report_.write(opts_.json_path)) {
+      std::printf("obs: wrote report to %s\n", opts_.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "obs: failed to write report to %s\n",
+                   opts_.json_path.c_str());
+    }
+  }
+
+  static ObsSession* instance() { return instance_; }
+
+ private:
+  ObsOptions opts_;
+  obs::Report report_;
+  inline static ObsSession* instance_ = nullptr;
+};
+
+// Headline-number hook for the table printers: records into the active
+// session's report, if any (no-op when the binary runs without --json).
+inline void record(std::string key, double value) {
+  if (auto* s = ObsSession::instance()) s->add_result(std::move(key), value);
+}
+inline void record(std::string key, u64 value) {
+  if (auto* s = ObsSession::instance()) s->add_result(std::move(key), value);
+}
+
+}  // namespace lz::bench

@@ -4,8 +4,11 @@
 // plus the §9.1 memory-overhead numbers.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "workloads/httpd.h"
 
 namespace {
@@ -37,6 +40,12 @@ const Combo kCombos[] = {
      {1.98, 2.03, 6.04, 21.24}},
 };
 
+std::string slug_of(const char* label) {
+  std::string s(label);
+  for (char& c : s) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
+  return s;
+}
+
 void print_fig3() {
   std::printf(
       "Figure 3: Nginx throughput (requests/s), 1 worker, 1 KB HTTPS file,\n"
@@ -58,12 +67,18 @@ void print_fig3() {
         std::printf(" %8.0f", httpd_throughput_rps(result, params, config, c));
       }
       const double sat = httpd_throughput_rps(result, params, config, 64);
+      bench::record(slug_of(combo.label) + "." + to_string(kMechs[m]) +
+                        ".rps_at_64",
+                    sat);
       if (m == 0) {
         base_rps = sat;
         std::printf(" %10s\n", "(base)");
       } else {
-        std::printf("  %5.2f%% (paper %.2f%%)\n",
-                    100.0 * (base_rps - sat) / base_rps, combo.paper[m - 1]);
+        const double loss = 100.0 * (base_rps - sat) / base_rps;
+        std::printf("  %5.2f%% (paper %.2f%%)\n", loss, combo.paper[m - 1]);
+        bench::record(slug_of(combo.label) + "." + to_string(kMechs[m]) +
+                          ".loss_pct",
+                      loss);
       }
     }
     std::printf("\n");
@@ -94,6 +109,9 @@ void print_fig3() {
       100.0 * (ttbr.isolation_table_pages * kPageSize) /
           (base_mb * 1024 * 1024),
       static_cast<unsigned long long>(ttbr.isolation_table_pages));
+  bench::record("memory.key_page_fragmentation_pct", frag_pct);
+  bench::record("memory.pan_table_pages", pan.isolation_table_pages);
+  bench::record("memory.ttbr_table_pages", ttbr.isolation_table_pages);
 }
 
 void BM_HttpdRequest(benchmark::State& state) {
@@ -116,7 +134,9 @@ BENCHMARK(BM_HttpdRequest)
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("fig3_nginx", &argc, argv);
   print_fig3();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,8 +4,11 @@
 // Cortex Host/Guest — plus the §9.2 memory-overhead numbers.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "workloads/dbms.h"
 
 namespace {
@@ -36,6 +39,12 @@ const Combo kCombos[] = {
      {0.9, 2.35, 1.18, 5.47}},
 };
 
+std::string slug_of(const char* label) {
+  std::string s(label);
+  for (char& c : s) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
+  return s;
+}
+
 void print_fig4() {
   std::printf(
       "Figure 4: MySQL throughput (transactions/s), sysbench OLTP "
@@ -58,12 +67,18 @@ void print_fig4() {
         std::printf(" %8.0f", dbms_tps(result, params, config, t, cores));
       }
       const double sat = dbms_tps(result, params, config, 32, cores);
+      bench::record(slug_of(combo.label) + "." + to_string(kMechs[m]) +
+                        ".tps_at_32",
+                    sat);
       if (m == 0) {
         base_tps = sat;
         std::printf(" %10s\n", "(base)");
       } else {
-        std::printf("  %5.2f%% (paper ~%.2f%%)\n",
-                    100.0 * (base_tps - sat) / base_tps, combo.paper[m - 1]);
+        const double loss = 100.0 * (base_tps - sat) / base_tps;
+        std::printf("  %5.2f%% (paper ~%.2f%%)\n", loss, combo.paper[m - 1]);
+        bench::record(slug_of(combo.label) + "." + to_string(kMechs[m]) +
+                          ".loss_pct",
+                      loss);
       }
     }
     std::printf("\n");
@@ -86,6 +101,8 @@ void print_fig4() {
       static_cast<unsigned long long>(pan.isolation_table_pages),
       static_cast<unsigned long long>(ttbr.isolation_table_pages),
       params.connections);
+  bench::record("memory.pan_table_pages", pan.isolation_table_pages);
+  bench::record("memory.ttbr_table_pages", ttbr.isolation_table_pages);
 }
 
 void BM_DbmsTxn(benchmark::State& state) {
@@ -108,7 +125,9 @@ BENCHMARK(BM_DbmsTxn)
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("fig4_mysql", &argc, argv);
   print_fig4();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

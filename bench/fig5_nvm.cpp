@@ -4,8 +4,11 @@
 // Carmel Host/Guest and Cortex Host/Guest — plus the §9.3 memory numbers.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "workloads/nvm.h"
 
 namespace {
@@ -30,6 +33,12 @@ const Combo kCombos[] = {
     {&arch::Platform::cortex_a55(), Placement::kGuest, "Cortex Guest", 0.20,
      3.76},
 };
+
+std::string slug_of(const char* label) {
+  std::string s(label);
+  for (char& c : s) c = c == ' ' ? '_' : static_cast<char>(std::tolower(c));
+  return s;
+}
 
 void print_fig5() {
   std::printf(
@@ -59,7 +68,11 @@ void print_fig5() {
             {combo.plat, combo.placement, Mechanism::kNone, 42}, params);
         const auto prot =
             run_nvm({combo.plat, combo.placement, mech, 42}, params);
-        std::printf(" %6.2f%%", nvm_overhead_pct(prot, base));
+        const double overhead = nvm_overhead_pct(prot, base);
+        std::printf(" %6.2f%%", overhead);
+        bench::record(slug_of(combo.label) + "." + to_string(mech) +
+                          ".overhead_pct." + std::to_string(d),
+                      overhead);
       }
       std::printf("\n");
     }
@@ -84,6 +97,8 @@ void print_fig5() {
       static_cast<unsigned long long>(pan.isolation_table_pages),
       static_cast<unsigned long long>(ttbr.isolation_table_pages),
       params.buffers);
+  bench::record("memory.pan_table_pages", pan.isolation_table_pages);
+  bench::record("memory.ttbr_table_pages", ttbr.isolation_table_pages);
 }
 
 void BM_NvmSearch(benchmark::State& state) {
@@ -107,7 +122,9 @@ BENCHMARK(BM_NvmSearch)
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("fig5_nvm", &argc, argv);
   print_fig5();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "workloads/microbench.h"
 
 namespace {
@@ -41,6 +42,11 @@ void print_table1() {
   const double wp = watchpoint_switch_avg_cycles(plat, Placement::kHost, 3,
                                                  1000);
   const double lwc = lwc_switch_avg_cycles(plat, Placement::kHost, 3, 1000);
+  bench::record("cortex_host.lz_pan.1", pan);
+  bench::record("cortex_host.lz_ttbr.2", lz2);
+  bench::record("cortex_host.lz_ttbr.128", lz128);
+  bench::record("cortex_host.watchpoint.3", wp);
+  bench::record("cortex_host.lwc.3", lwc);
   std::printf(
       "\nMeasured on the %s model (host): LightZone PAN %.0f cyc/switch, "
       "TTBR %.0f (2 domains) .. %.0f (128 domains); Watchpoint %.0f; lwC "
@@ -66,7 +72,9 @@ BENCHMARK(BM_LzGateSwitch)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("table1_comparison", &argc, argv);
   print_table1();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

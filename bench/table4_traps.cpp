@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "workloads/microbench.h"
 
 namespace {
@@ -43,6 +44,21 @@ void print_table4() {
   const auto carmel = measure_trap_costs(arch::Platform::carmel());
   const auto cortex = measure_trap_costs(arch::Platform::cortex_a55());
 
+  const auto rec = [](const char* key, Cycles carmel_v, Cycles cortex_v) {
+    bench::record(std::string("carmel.") + key, carmel_v);
+    bench::record(std::string("cortex.") + key, cortex_v);
+  };
+  rec("host_syscall", carmel.host_syscall, cortex.host_syscall);
+  rec("guest_syscall", carmel.guest_syscall, cortex.guest_syscall);
+  rec("lz_host_trap", carmel.lz_host_trap, cortex.lz_host_trap);
+  rec("lz_guest_trap_min", carmel.lz_guest_trap_min,
+      cortex.lz_guest_trap_min);
+  rec("lz_guest_trap_max", carmel.lz_guest_trap_max,
+      cortex.lz_guest_trap_max);
+  rec("kvm_hypercall", carmel.kvm_hypercall, cortex.kvm_hypercall);
+  rec("hcr_update", carmel.hcr_update, cortex.hcr_update);
+  rec("vttbr_update", carmel.vttbr_update, cortex.vttbr_update);
+
   print_row("host user mode -> host hypervisor mode", carmel.host_syscall,
             cortex.host_syscall, {3848, 3848, 299, 299});
   print_row("guest user mode -> guest kernel mode", carmel.guest_syscall,
@@ -68,6 +84,14 @@ void print_table4() {
   std::printf("\nAblations of the Section 5.2 optimisations:\n");
   const auto abc = measure_trap_ablations(arch::Platform::carmel());
   const auto abx = measure_trap_ablations(arch::Platform::cortex_a55());
+  rec("ablation.lz_host_trap_no_cond_sysreg",
+      abc.lz_host_trap_no_cond_sysreg, abx.lz_host_trap_no_cond_sysreg);
+  rec("ablation.lz_guest_trap_no_shared_ptregs",
+      abc.lz_guest_trap_no_shared_ptregs,
+      abx.lz_guest_trap_no_shared_ptregs);
+  rec("ablation.lz_guest_trap_no_deferred_sysregs",
+      abc.lz_guest_trap_no_deferred_sysregs,
+      abx.lz_guest_trap_no_deferred_sysregs);
   std::printf(
       "  LightZone->host without conditional HCR/VTTBR:  Carmel %llu "
       "(vs %llu), Cortex %llu (vs %llu)\n",
@@ -102,7 +126,9 @@ BENCHMARK(BM_MeasureTrapCosts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("table4_traps", &argc, argv);
   print_table4();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

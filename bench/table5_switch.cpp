@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "workloads/microbench.h"
 
 namespace {
@@ -15,36 +17,62 @@ using namespace lz::workload;
 
 constexpr int kIters = 6000;
 
-void print_row_lz(const char* label, const arch::Platform& plat,
-                  Placement placement) {
+void print_row_lz(const char* label, const char* slug,
+                  const arch::Platform& plat, Placement placement) {
   std::printf("  %-13s %-11s", label, "LightZone");
-  std::printf(" %8.0f", lz_switch_avg_cycles(plat, placement, 1, kIters));
-  for (const int domains : {2, 3, 32, 64, 128}) {
-    std::printf(" %8.0f",
-                lz_switch_avg_cycles(plat, placement, domains, kIters));
+  for (const int domains : {1, 2, 3, 32, 64, 128}) {
+    const double avg = lz_switch_avg_cycles(plat, placement, domains, kIters);
+    std::printf(" %8.0f", avg);
+    bench::record(std::string(slug) + ".lz." + std::to_string(domains), avg);
   }
   std::printf("\n");
 }
 
-void print_row_wp(const char* label, const arch::Platform& plat,
-                  Placement placement) {
+void print_row_wp(const char* label, const char* slug,
+                  const arch::Platform& plat, Placement placement) {
   std::printf("  %-13s %-11s", label, "Watchpoint");
   for (const int domains : {1, 2, 3}) {
-    std::printf(" %8.0f",
-                watchpoint_switch_avg_cycles(plat, placement, domains,
-                                             kIters / 3));
+    const double avg =
+        watchpoint_switch_avg_cycles(plat, placement, domains, kIters / 3);
+    std::printf(" %8.0f", avg);
+    bench::record(std::string(slug) + ".wp." + std::to_string(domains), avg);
   }
   std::printf(" %8s %8s %8s\n", "-", "-", "-");
 }
 
-void print_row_lwc(const char* label, const arch::Platform& plat,
-                   Placement placement) {
+void print_row_lwc(const char* label, const char* slug,
+                   const arch::Platform& plat, Placement placement) {
   std::printf("  %-13s %-11s", label, "lwC (sim)");
   for (const int domains : {1, 2, 3, 32, 64, 128}) {
-    std::printf(" %8.0f",
-                lwc_switch_avg_cycles(plat, placement, domains, kIters / 3));
+    const double avg =
+        lwc_switch_avg_cycles(plat, placement, domains, kIters / 3);
+    std::printf(" %8.0f", avg);
+    bench::record(std::string(slug) + ".lwc." + std::to_string(domains), avg);
   }
   std::printf("\n");
+}
+
+// Table-wide TLB effectiveness: the per-page-table ASID design means gate
+// switches should keep a high hit rate; computed from the obs counters
+// accumulated while the rows above executed.
+void print_tlb_hit_rate() {
+  const auto& reg = obs::registry();
+  const auto val = [&reg](const char* name) {
+    const auto* c = reg.find(name);
+    return c == nullptr ? u64{0} : c->value();
+  };
+  const u64 hits = val("mem.tlb.l1_hit") + val("mem.tlb.l2_hit");
+  const u64 lookups = hits + val("mem.tlb.miss");
+  const double rate = lookups == 0 ? 0.0
+                                   : 100.0 * static_cast<double>(hits) /
+                                         static_cast<double>(lookups);
+  std::printf("TLB across the table: %llu lookups, %.2f%% hit rate, %llu "
+              "invalidations\n\n",
+              static_cast<unsigned long long>(lookups), rate,
+              static_cast<unsigned long long>(val("mem.tlb.invalidation")));
+  bench::record("tlb.lookups", lookups);
+  bench::record("tlb.hit_rate_pct", rate);
+  bench::record("tlb.invalidations", val("mem.tlb.invalidation"));
 }
 
 void print_table5() {
@@ -54,22 +82,30 @@ void print_table5() {
   std::printf("  %-13s %-11s %8s %8s %8s %8s %8s %8s\n", "", "", "1 (PAN)",
               "2", "3", "32", "64", "128");
 
-  print_row_wp("Carmel Host", arch::Platform::carmel(), Placement::kHost);
-  print_row_lz("Carmel Host", arch::Platform::carmel(), Placement::kHost);
+  print_row_wp("Carmel Host", "carmel_host", arch::Platform::carmel(),
+               Placement::kHost);
+  print_row_lz("Carmel Host", "carmel_host", arch::Platform::carmel(),
+               Placement::kHost);
   std::printf("  %-13s paper:     Watchpoint 6759/6787/6944; LightZone "
               "22/477/483/469/485/490\n", "");
-  print_row_wp("Carmel Guest", arch::Platform::carmel(), Placement::kGuest);
-  print_row_lz("Carmel Guest", arch::Platform::carmel(), Placement::kGuest);
+  print_row_wp("Carmel Guest", "carmel_guest", arch::Platform::carmel(),
+               Placement::kGuest);
+  print_row_lz("Carmel Guest", "carmel_guest", arch::Platform::carmel(),
+               Placement::kGuest);
   std::printf("  %-13s paper:     Watchpoint 2710/2733/2721; LightZone "
               "22/495/494/484/498/507\n", "");
-  print_row_wp("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
-  print_row_lz("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
+  print_row_wp("Cortex", "cortex_host", arch::Platform::cortex_a55(),
+               Placement::kHost);
+  print_row_lz("Cortex", "cortex_host", arch::Platform::cortex_a55(),
+               Placement::kHost);
   std::printf("  %-13s paper:     Watchpoint 915/930/927; LightZone "
               "11/59/57/64/74/82\n\n", "");
 
   std::printf("Extra series (not in the paper's table):\n");
-  print_row_lwc("Carmel Host", arch::Platform::carmel(), Placement::kHost);
-  print_row_lwc("Cortex", arch::Platform::cortex_a55(), Placement::kHost);
+  print_row_lwc("Carmel Host", "carmel_host", arch::Platform::carmel(),
+                Placement::kHost);
+  print_row_lwc("Cortex", "cortex_host", arch::Platform::cortex_a55(),
+                Placement::kHost);
 
   std::printf(
       "\nAblation: per-page-table ASIDs off (TLB invalidated on every TTBR "
@@ -82,8 +118,11 @@ void print_table5() {
         /*asid_tags=*/false);
     std::printf("  Cortex, %3d domains: %7.0f cycles tagged, %7.0f flushed\n",
                 domains, tagged, flushed);
+    bench::record("ablation.asid_tagged." + std::to_string(domains), tagged);
+    bench::record("ablation.asid_flushed." + std::to_string(domains), flushed);
   }
   std::printf("\n");
+  print_tlb_hit_rate();
 }
 
 void BM_SwitchSweep(benchmark::State& state) {
@@ -100,7 +139,9 @@ BENCHMARK(BM_SwitchSweep)->Arg(2)->Arg(128)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  lz::bench::ObsSession obs("table5_switch", &argc, argv);
   print_table5();
+  obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

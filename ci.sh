@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build (lz_obs is compiled with
+# -Wall -Wextra -Werror, see src/obs/CMakeLists.txt), run the full test
+# suite, then smoke-test the --json report path end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+# --json smoke test: run the Table 5 print phase only (no gbench loops),
+# then check the report exists and is well-formed JSON with the expected
+# schema tag and a non-empty counter section.
+report=/tmp/t5.json
+rm -f "$report"
+build/bench/table5_switch --json "$report" --benchmark_filter=NONE >/dev/null
+test -s "$report"
+grep -q '"schema":"lz.bench.report.v1"' "$report"
+grep -q '"counters":{' "$report"
+grep -q '"mem.tlb.l1_hit"' "$report"
+
+echo "ci.sh: OK"

@@ -1,5 +1,7 @@
 #include "hv/host.h"
 
+#include "obs/counters.h"
+
 namespace lz::hv {
 
 using arch::ExceptionClass;
@@ -7,6 +9,25 @@ using arch::ExceptionLevel;
 using sim::CostKind;
 using sim::TrapAction;
 using sim::TrapInfo;
+
+namespace {
+
+// Conditional-rewrite effectiveness of §5.2.1 (`hv.host.*`): `*_retained`
+// counts writes the optimisation elided, `*_write` the ones that hit silicon.
+struct HostCounters {
+  obs::Counter& hcr_write = obs::registry().counter("hv.host.hcr_write");
+  obs::Counter& hcr_retained = obs::registry().counter("hv.host.hcr_retained");
+  obs::Counter& vttbr_write = obs::registry().counter("hv.host.vttbr_write");
+  obs::Counter& vttbr_retained =
+      obs::registry().counter("hv.host.vttbr_retained");
+};
+
+HostCounters& host_counters() {
+  static HostCounters c;
+  return c;
+}
+
+}  // namespace
 
 Host::Host(sim::Machine& machine)
     : machine_(machine),
@@ -21,8 +42,10 @@ void Host::write_hcr(u64 value) {
   auto& core = machine_.core();
   if (conditional_sysreg_opt_ &&
       core.sysreg(sim::SysReg::kHcrEl2) == value) {
+    host_counters().hcr_retained.add();
     return;  // retained (§5.2.1)
   }
+  host_counters().hcr_write.add();
   core.set_sysreg(sim::SysReg::kHcrEl2, value);
   machine_.charge(CostKind::kSysreg, machine_.platform().sysreg_write_hcr);
 }
@@ -31,8 +54,10 @@ void Host::write_vttbr(u64 value) {
   auto& core = machine_.core();
   if (conditional_sysreg_opt_ &&
       core.sysreg(sim::SysReg::kVttbrEl2) == value) {
+    host_counters().vttbr_retained.add();
     return;
   }
+  host_counters().vttbr_write.add();
   core.set_sysreg(sim::SysReg::kVttbrEl2, value);
   machine_.charge(CostKind::kSysreg, machine_.platform().sysreg_write_vttbr);
 }

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
+
 namespace lz::kernel {
 
 using sim::CostKind;
+
+namespace {
+
+// Kernel-level activity shared by host and guest kernels (`kernel.*`).
+struct KernelCounters {
+  obs::Counter& syscall = obs::registry().counter("kernel.syscall.dispatched");
+  obs::Counter& fault_minor = obs::registry().counter("kernel.fault.minor");
+  obs::Counter& fault_sigsegv = obs::registry().counter("kernel.fault.sigsegv");
+  obs::Counter& signal_delivered =
+      obs::registry().counter("kernel.signal.delivered");
+  obs::Counter& signal_return =
+      obs::registry().counter("kernel.signal.returned");
+  obs::Counter& ctx_save = obs::registry().counter("kernel.ctx.save");
+  obs::Counter& ctx_load = obs::registry().counter("kernel.ctx.load");
+};
+
+KernelCounters& kernel_counters() {
+  static KernelCounters c;
+  return c;
+}
+
+}  // namespace
 
 Process::Process(Kernel& kernel, u32 pid, u16 asid)
     : kernel_(kernel),
@@ -154,16 +178,21 @@ Status Kernel::mprotect(Process& proc, VirtAddr va, u64 len, u8 prot) {
 Kernel::FaultOutcome Kernel::handle_user_fault(Process& proc, VirtAddr va,
                                                bool is_write, bool is_exec,
                                                bool permission_fault) {
-  const Vma* vma = proc.find_vma(va);
-  if (vma == nullptr) return FaultOutcome::kSigsegv;
-  if (is_exec && !(vma->prot & kProtExec)) return FaultOutcome::kSigsegv;
-  if (is_write && !(vma->prot & kProtWrite)) return FaultOutcome::kSigsegv;
-  if (!is_write && !is_exec && !(vma->prot & kProtRead)) {
+  const auto sigsegv = [] {
+    kernel_counters().fault_sigsegv.add();
     return FaultOutcome::kSigsegv;
+  };
+  const Vma* vma = proc.find_vma(va);
+  if (vma == nullptr) return sigsegv();
+  if (is_exec && !(vma->prot & kProtExec)) return sigsegv();
+  if (is_write && !(vma->prot & kProtWrite)) return sigsegv();
+  if (!is_write && !is_exec && !(vma->prot & kProtRead)) {
+    return sigsegv();
   }
-  if (permission_fault) return FaultOutcome::kSigsegv;  // real violation
+  if (permission_fault) return sigsegv();  // real violation
   LZ_CHECK_OK(populate_page(proc, va, vma->prot));
   ++proc.minor_faults;
+  kernel_counters().fault_minor.add();
   return FaultOutcome::kHandled;
 }
 
@@ -213,6 +242,7 @@ void Kernel::register_ioctl_device(u64 fd, IoctlHandler handler) {
 
 void Kernel::dispatch_syscall(Process& proc, sim::Core& core) {
   const auto& plat = machine_.platform();
+  kernel_counters().syscall.add();
   // Kernel entry: save pt_regs, dispatch through the syscall table.
   machine_.charge(CostKind::kGpr, plat.gpr_save_all());
   machine_.charge(CostKind::kDispatch, plat.dispatch_kernel);
@@ -349,6 +379,7 @@ bool Kernel::signal_return(Process& proc, sim::Core& core) {
   const auto st = arch::PState::from_spsr(frame[32]);
   core.set_sp(st.el, sp + kSigFrameWords * 8);
   machine_.charge(CostKind::kSysreg, machine_.platform().sysreg_write_ttbr0);
+  kernel_counters().signal_return.add();
   return true;
 }
 
@@ -388,6 +419,7 @@ bool Kernel::maybe_deliver_pending(Process& proc, sim::Core& core,
   core.set_sysreg(el2 ? sim::SysReg::kElrEl2 : sim::SysReg::kElrEl1,
                   proc.sigactions()[signo].handler);
   machine_.charge(CostKind::kDispatch, machine_.platform().dispatch_kernel);
+  kernel_counters().signal_delivered.add();
   return true;
 }
 
@@ -401,6 +433,7 @@ void Kernel::save_ctx(Process& proc, sim::Core& core) {
   ctx.ttbr0 = core.sysreg(sim::SysReg::kTtbr0El1);
   ctx.tpidr = core.sysreg(sim::SysReg::kTpidrEl0);
   machine_.charge(CostKind::kGpr, machine_.platform().gpr_save_all());
+  kernel_counters().ctx_save.add();
 }
 
 void Kernel::load_ctx(Process& proc, sim::Core& core) {
@@ -414,6 +447,7 @@ void Kernel::load_ctx(Process& proc, sim::Core& core) {
   core.set_sysreg(sim::SysReg::kTpidrEl0, ctx.tpidr);
   machine_.charge(CostKind::kGpr, machine_.platform().gpr_save_all());
   machine_.charge(CostKind::kSysreg, machine_.platform().sysreg_write_ttbr0);
+  kernel_counters().ctx_load.add();
 }
 
 }  // namespace lz::kernel

@@ -2,6 +2,9 @@
 
 #include <span>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace lz::core {
 
 using arch::ExceptionClass;
@@ -25,6 +28,27 @@ constexpr std::size_t kDeferredAccesses = 6;
 
 LzContext* ctx_of(kernel::Process& proc) {
   return dynamic_cast<LzContext*>(proc.extension());
+}
+
+// LightZone-module events (`lz.module.*`).
+struct LzCounters {
+  obs::Counter& gate_switch = obs::registry().counter("lz.module.gate_switch");
+  obs::Counter& pan_toggle = obs::registry().counter("lz.module.pan_toggle");
+  obs::Counter& hvc_forward = obs::registry().counter("lz.module.hvc_forward");
+  obs::Counter& s1_fault = obs::registry().counter("lz.module.s1_fault");
+  obs::Counter& s2_fault = obs::registry().counter("lz.module.s2_fault");
+  obs::Counter& sanitize_pass =
+      obs::registry().counter("lz.module.sanitize_pass");
+  obs::Counter& sanitize_fail =
+      obs::registry().counter("lz.module.sanitize_fail");
+  obs::Counter& killed = obs::registry().counter("lz.module.killed");
+  obs::Counter& world_enter = obs::registry().counter("lz.module.world_enter");
+  obs::Counter& world_exit = obs::registry().counter("lz.module.world_exit");
+};
+
+LzCounters& lz_counters() {
+  static LzCounters c;
+  return c;
 }
 
 }  // namespace
@@ -384,6 +408,8 @@ bool LzModule::sanitize_page(LzContext& ctx, PhysAddr frame) {
   const auto result = sanitize_words(
       std::span<const u32>(words, kPageSize / 4), ctx.opts().san_mode);
   ++ctx.sanitized_pages;
+  (result.ok ? lz_counters().sanitize_pass : lz_counters().sanitize_fail)
+      .add();
   // Scanning 1024 words costs real kernel time.
   machine().charge(CostKind::kDispatch,
                    (kPageSize / 4) * machine().platform().insn_base);
@@ -558,6 +584,8 @@ void LzModule::enter_world(LzContext& ctx) {
   saved_vttbr_ = core.sysreg(SysReg::kVttbrEl2);
   host_.write_hcr(lz_hcr(ctx));
   host_.write_vttbr(ctx.stage2->vttbr());
+  lz_counters().world_enter.add();
+  obs::trace().world_switch(obs::WorldKind::kLzEnter, ctx.vmid);
   core.set_handler(ExceptionLevel::kEl1, nullptr);  // stub owns EL1 vectors
   host_.push_delegate(this);
   active_ = &ctx;
@@ -568,6 +596,8 @@ void LzModule::exit_world(LzContext& ctx) {
   host_.pop_delegate(this);
   host_.write_hcr(saved_hcr_);
   host_.write_vttbr(saved_vttbr_);
+  lz_counters().world_exit.add();
+  obs::trace().world_switch(obs::WorldKind::kLzExit, ctx.vmid);
   active_ = nullptr;
 }
 
@@ -605,6 +635,16 @@ Cycles LzModule::exec_gate_switch(LzContext& ctx, int gate) {
   auto& core = machine().core();
   const VirtAddr entry = ctx.gates[gate].entry;
   LZ_CHECK(entry != 0);
+  lz_counters().gate_switch.add();
+  {
+    const int pgt = ctx.gates[gate].pgt;
+    const u16 asid =
+        pgt >= 0 && static_cast<std::size_t>(pgt) < ctx.pgts.size() &&
+                ctx.pgts[pgt].in_use
+            ? ctx.pgts[pgt].tbl->asid()
+            : 0;
+    obs::trace().gate_switch(static_cast<u16>(gate), asid);
+  }
   core.set_x(30, entry);
   core.set_pc(UpperLayout::gate_va(static_cast<u32>(gate)));
   const Cycles start = machine().cycles();
@@ -621,12 +661,15 @@ Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
   core.pstate().pan = pan;
   machine().charge(CostKind::kInsn, machine().platform().insn_base);
   machine().charge(CostKind::kSysreg, machine().platform().pan_toggle);
+  lz_counters().pan_toggle.add();
+  obs::trace().pan_toggle(pan);
   return machine().cycles() - start;
 }
 
 // --- Trap handling -----------------------------------------------------------
 
 sim::TrapAction LzModule::kill(LzContext& ctx, const std::string& reason) {
+  lz_counters().killed.add();
   ctx.proc().mark_killed("LightZone: " + reason);
   return TrapAction::kStop;
 }
@@ -646,6 +689,10 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
           elr2 >= UpperLayout::kStubVa + kPageSize) {
         return kill(*ctx, "unexpected hypercall from application code");
       }
+      lz_counters().hvc_forward.add();
+      obs::trace().hvc_forward(
+          static_cast<u32>(core.sysreg(SysReg::kEsrEl1)),
+          static_cast<u8>(arch::esr_ec(core.sysreg(SysReg::kEsrEl1))));
       if (nested()) charge_nested_entry(*ctx);
       // §5.2.1: HCR_EL2/VTTBR_EL2 are *retained* while the host kernel
       // serves the trap; the ablation charges the conventional switches.
@@ -661,6 +708,8 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
     case ExceptionClass::kInsnAbortLowerEl: {
       if (!info.stage2) return kill(*ctx, "unexpected lower-EL stage-1 abort");
       ++ctx->s2_faults;
+      lz_counters().s2_fault.add();
+      obs::trace().stage2_fault(info.ipa, ctx->vmid);
       // Stage-2 fault: with eager mapping this means the process reached
       // outside its VM; with the ablation it can be a legitimate deferred
       // stage-2 fill.
@@ -722,6 +771,7 @@ sim::TrapAction LzModule::handle_forwarded(LzContext& ctx) {
     case ExceptionClass::kDataAbortSameEl:
     case ExceptionClass::kInsnAbortSameEl: {
       ++ctx.s1_faults;
+      lz_counters().s1_fault.add();
       const auto action =
           handle_lz_fault(ctx, core.sysreg(SysReg::kFarEl1), esr1);
       if (action == TrapAction::kResume) core.eret_from(ExceptionLevel::kEl2);

@@ -1,23 +1,37 @@
 #include "mem/tlb.h"
 
+#include "obs/trace.h"
+
 namespace lz::mem {
+
+Tlb::Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed)
+    : l1_(l1_entries),
+      l2_(l2_entries),
+      rng_(seed),
+      c_l1_hit_(&obs::registry().counter("mem.tlb.l1_hit")),
+      c_l2_hit_(&obs::registry().counter("mem.tlb.l2_hit")),
+      c_miss_(&obs::registry().counter("mem.tlb.miss")),
+      c_inval_(&obs::registry().counter("mem.tlb.invalidation")) {}
 
 std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
                                     Cycles l2_hit_cost) {
   for (const auto& e : l1_) {
     if (matches(e, vpage, asid, vmid)) {
       ++stats_.l1_hits;
+      c_l1_hit_->add();
       return Hit{&e, 0, true};
     }
   }
   for (const auto& e : l2_) {
     if (matches(e, vpage, asid, vmid)) {
       ++stats_.l2_hits;
+      c_l2_hit_->add();
       place(l1_, e);  // promote
       return Hit{&e, l2_hit_cost, false};
     }
   }
   ++stats_.misses;
+  c_miss_->add();
   return std::nullopt;
 }
 
@@ -47,12 +61,16 @@ void Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
 
 void Tlb::invalidate_all() {
   ++stats_.invalidations;
+  c_inval_->add();
+  obs::trace().tlb_inval(obs::TlbScope::kAll, 0, 0);
   for (auto& e : l1_) e.valid = false;
   for (auto& e : l2_) e.valid = false;
 }
 
 void Tlb::invalidate_vmid(u16 vmid) {
   ++stats_.invalidations;
+  c_inval_->add();
+  obs::trace().tlb_inval(obs::TlbScope::kVmid, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid) e.valid = false;
   }
@@ -63,6 +81,8 @@ void Tlb::invalidate_vmid(u16 vmid) {
 
 void Tlb::invalidate_asid(u16 asid, u16 vmid) {
   ++stats_.invalidations;
+  c_inval_->add();
+  obs::trace().tlb_inval(obs::TlbScope::kAsid, asid, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && !e.global && e.asid == asid) e.valid = false;
   }
@@ -73,6 +93,8 @@ void Tlb::invalidate_asid(u16 asid, u16 vmid) {
 
 void Tlb::invalidate_va(u64 vpage, u16 vmid) {
   ++stats_.invalidations;
+  c_inval_->add();
+  obs::trace().tlb_inval(obs::TlbScope::kVa, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && e.vpage == vpage) e.valid = false;
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mem/pte.h"
+#include "obs/counters.h"
 #include "support/rng.h"
 #include "support/types.h"
 
@@ -32,12 +33,18 @@ struct TlbStats {
   u64 l2_hits = 0;
   u64 misses = 0;
   u64 invalidations = 0;
+
+  u64 lookups() const { return l1_hits + l2_hits + misses; }
+  // Fraction of lookups served from either TLB level (0 when idle).
+  double hit_rate() const {
+    const u64 n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(l1_hits + l2_hits) / n;
+  }
 };
 
 class Tlb {
  public:
-  Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed = 42)
-      : l1_(l1_entries), l2_(l2_entries), rng_(seed) {}
+  Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed = 42);
 
   struct Hit {
     const TlbEntry* entry;
@@ -70,6 +77,13 @@ class Tlb {
   std::vector<TlbEntry> l2_;
   Rng rng_;
   TlbStats stats_;
+
+  // Process-wide observability mirrors of stats_ (cached handles so the
+  // lookup hot path pays one pointer add per event, `mem.tlb.*`).
+  obs::Counter* c_l1_hit_;
+  obs::Counter* c_l2_hit_;
+  obs::Counter* c_miss_;
+  obs::Counter* c_inval_;
 };
 
 }  // namespace lz::mem

@@ -1,0 +1,63 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace lz::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+const Counter* Registry::find(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.emplace_back(name, c.value());
+  return snap;
+}
+
+Snapshot Registry::delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  out.reserve(after.size());
+  for (const auto& [name, value] : after) {
+    const auto it = std::lower_bound(
+        before.begin(), before.end(), name,
+        [](const auto& entry, const std::string& n) { return entry.first < n; });
+    const u64 prev =
+        (it != before.end() && it->first == name) ? it->second : 0;
+    out.emplace_back(name, value - prev);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+CycleLedger& cycle_ledger() {
+  static CycleLedger l;
+  return l;
+}
+
+void reset_all() {
+  registry().reset();
+  cycle_ledger().reset();
+  trace().clear();
+}
+
+}  // namespace lz::obs

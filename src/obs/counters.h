@@ -1,0 +1,101 @@
+// lz::obs — unified observability for the LightZone model.
+//
+// This header provides the *counter* half: named, hierarchical, cheap
+// monotonic counters with snapshot/delta/reset semantics, plus the global
+// CycleLedger that mirrors every CycleAccount charge so reports (and the
+// event trace's clock) can see simulated time without a reference to any
+// particular Machine.
+//
+// Naming convention: `subsystem.object.event`, e.g. `mem.tlb.l1_hit`,
+// `sim.core.insn_retired`, `hv.host.hcr_retained`, `lz.module.gate_switch`.
+// Registration returns a stable Counter* so hot paths increment through a
+// cached pointer — no string lookup, no allocation, one add.
+//
+// Everything here is process-global and single-threaded, matching the
+// simulator: determinism is part of the contract (snapshots are
+// name-sorted, values depend only on the executed work).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/types.h"
+
+namespace lz::obs {
+
+class Counter {
+ public:
+  void add(u64 n = 1) { value_ += n; }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+// One (name, value) pair per registered counter, sorted by name.
+using Snapshot = std::vector<std::pair<std::string, u64>>;
+
+class Registry {
+ public:
+  // Registers `name` on first use and returns a stable handle; subsequent
+  // calls with the same name return the same Counter.
+  Counter& counter(std::string_view name);
+
+  const Counter* find(std::string_view name) const;
+
+  // Name-sorted copy of every counter (std::map iteration order).
+  Snapshot snapshot() const;
+
+  // Per-name `after - before`; names absent from `before` count from zero.
+  // Entries that did not move are kept (delta 0) so schemas stay stable.
+  static Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+  // Zero every counter; registrations (and handles) stay valid.
+  void reset();
+
+  std::size_t size() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+};
+
+// The process-wide registry all subsystems wire into.
+Registry& registry();
+
+// Mirror of every CycleAccount charge in the process, indexed by the raw
+// CostKind value (obs sits below sim, so the enum itself lives there).
+// Doubles as the deterministic clock for the event trace: `total()` is the
+// total simulated work performed so far across all machines.
+class CycleLedger {
+ public:
+  static constexpr std::size_t kMaxKinds = 32;
+
+  void charge(std::size_t kind, u64 cycles) {
+    total_ += cycles;
+    by_kind_[kind] += cycles;
+  }
+  u64 total() const { return total_; }
+  u64 of(std::size_t kind) const { return by_kind_[kind]; }
+  void reset() {
+    total_ = 0;
+    by_kind_.fill(0);
+  }
+
+ private:
+  u64 total_ = 0;
+  std::array<u64, kMaxKinds> by_kind_{};
+};
+
+CycleLedger& cycle_ledger();
+
+// Convenience for tests and bench runs: zero the registry, the ledger and
+// the event trace (declared in trace.h) in one call.
+void reset_all();
+
+}  // namespace lz::obs

@@ -1,5 +1,7 @@
 #include "sim/core.h"
 
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 
 namespace lz::sim {
@@ -17,6 +19,21 @@ namespace {
 constexpr u32 kMaxNestedFaults = 8;
 
 bool is_el2_reg(SysReg r) { return arch::sysreg_info(r).min_el == 2; }
+
+// Cached registry handles shared by every Core in the process (`sim.core.*`).
+struct CoreCounters {
+  obs::Counter& excp_entry = obs::registry().counter("sim.core.excp_entry");
+  obs::Counter& eret = obs::registry().counter("sim.core.eret");
+  obs::Counter& insn_retired = obs::registry().counter("sim.core.insn_retired");
+  obs::Counter& irq = obs::registry().counter("sim.core.irq_taken");
+  obs::Counter& ttbr0_switch = obs::registry().counter("sim.core.ttbr0_switch");
+  obs::Counter& pan_toggle = obs::registry().counter("sim.core.pan_toggle");
+};
+
+CoreCounters& core_counters() {
+  static CoreCounters c;
+  return c;
+}
 
 }  // namespace
 
@@ -209,6 +226,9 @@ void Core::take_exception(const TrapInfo& info) {
   if (el2) set_sysreg(SysReg::kHpfarEl2, info.ipa);
 
   account_.charge(CostKind::kExcp, plat_.excp(from, target));
+  core_counters().excp_entry.add();
+  obs::trace().excp_entry(static_cast<u8>(info.ec), static_cast<u8>(from),
+                          static_cast<u8>(target), info.esr, info.stage2);
   pstate_.el = target;
   pstate_.irq_masked = true;
 
@@ -258,6 +278,9 @@ void Core::eret_from(ExceptionLevel from_el) {
   const u64 spsr = sysreg(el2 ? SysReg::kSpsrEl2 : SysReg::kSpsrEl1);
   const auto new_state = arch::PState::from_spsr(spsr);
   account_.charge(CostKind::kExcp, plat_.eret(from_el, new_state.el));
+  core_counters().eret.add();
+  obs::trace().excp_return(static_cast<u8>(from_el),
+                           static_cast<u8>(new_state.el));
   pstate_ = new_state;
   pc_ = elr;
 }
@@ -299,6 +322,8 @@ void Core::step() {
     info.ec = ExceptionClass::kIrq;
     info.esr = 0;
     info.pc = insn_pc;  // resume at the interrupted instruction
+    core_counters().irq.add();
+    obs::trace().irq(static_cast<u8>(info.target));
     take_exception(info);
     return;
   }
@@ -326,6 +351,7 @@ void Core::step() {
   const u32 word = pm_.read_word(fetch.pa);
   const Insn& insn = decode_cached(word);
   account_.charge(CostKind::kInsn, plat_.insn_base);
+  core_counters().insn_retired.add();
   pc_ = insn_pc + 4;
 
   execute(insn);
@@ -604,6 +630,8 @@ void Core::exec_system(const Insn& insn) {
       }
       pstate_.pan = insn.imm & 1;
       account_.charge(CostKind::kSysreg, plat_.pan_toggle);
+      core_counters().pan_toggle.add();
+      obs::trace().pan_toggle(pstate_.pan);
       return;
     }
     if (insn.pstate == arch::kPStateDaifSet ||
@@ -710,6 +738,12 @@ void Core::exec_system(const Insn& insn) {
       break;
     default:
       set_sysreg(r, v);
+      if (r == SysReg::kTtbr0El1) {
+        // The architectural signature of a LightZone domain switch: a bare
+        // TTBR0 update with no TLB maintenance (§4.1.2).
+        core_counters().ttbr0_switch.add();
+        obs::trace().ttbr_switch(mem::ttbr_asid(v), v);
+      }
       break;
   }
   account_.charge(CostKind::kSysreg, sysreg_write_cost(r));

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 
+#include "obs/counters.h"
 #include "support/types.h"
 
 namespace lz::sim {
@@ -29,11 +31,21 @@ inline constexpr std::size_t kNumCostKinds =
 
 const char* to_string(CostKind kind);
 
+static_assert(kNumCostKinds <= obs::CycleLedger::kMaxKinds,
+              "CostKind no longer fits the obs::CycleLedger mirror");
+
 class CycleAccount {
  public:
   void charge(CostKind kind, Cycles c) {
+    assert(static_cast<std::size_t>(kind) <
+               static_cast<std::size_t>(CostKind::kCount) &&
+           "charge() with an out-of-range CostKind");
     total_ += c;
     by_kind_[static_cast<std::size_t>(kind)] += c;
+    // Mirror into the process-wide ledger: reports aggregate per-kind
+    // spend across every Machine, and the event trace uses the ledger's
+    // running total as its deterministic clock.
+    obs::cycle_ledger().charge(static_cast<std::size_t>(kind), c);
   }
 
   Cycles total() const { return total_; }
