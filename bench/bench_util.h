@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,12 +29,14 @@ namespace lz::bench {
 struct ObsOptions {
   std::string json_path;
   std::string trace_path;
+  unsigned cores = 0;  // --cores N: size of the SMP machine (0 = not given)
 };
 
-// Removes "--json <path>" / "--json=<path>" (and the same for --trace)
-// from argv so google-benchmark does not reject the unknown flags.
+// Removes "--json <path>" / "--json=<path>" (and the same for --trace and
+// --cores) from argv so google-benchmark does not reject the unknown flags.
 inline ObsOptions strip_obs_flags(int* argc, char** argv) {
   ObsOptions opts;
+  std::string cores_str;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg(argv[i]);
@@ -50,12 +53,17 @@ inline ObsOptions strip_obs_flags(int* argc, char** argv) {
       return false;
     };
     if (take("--json", &opts.json_path) ||
-        take("--trace", &opts.trace_path)) {
+        take("--trace", &opts.trace_path) ||
+        take("--cores", &cores_str)) {
       continue;
     }
     argv[out++] = argv[i];
   }
   *argc = out;
+  if (!cores_str.empty()) {
+    const long n = std::strtol(cores_str.c_str(), nullptr, 10);
+    if (n >= 1 && n <= 64) opts.cores = static_cast<unsigned>(n);
+  }
   return opts;
 }
 
@@ -117,6 +125,8 @@ class ObsSession {
   }
 
   static ObsSession* instance() { return instance_; }
+
+  unsigned cores() const { return opts_.cores; }
 
  private:
   ObsOptions opts_;

@@ -21,4 +21,21 @@ grep -q '"schema":"lz.bench.report.v1"' "$report"
 grep -q '"counters":{' "$report"
 grep -q '"mem.tlb.l1_hit"' "$report"
 
+# SMP determinism smoke: the 4-core Table 5 run (per-core TLB hit rates,
+# concurrent scheduler threads) must be byte-identical across two runs.
+smp_a=/tmp/t5.smp.a.json
+smp_b=/tmp/t5.smp.b.json
+rm -f "$smp_a" "$smp_b"
+build/bench/table5_switch --cores 4 --json "$smp_a" --benchmark_filter=NONE >/dev/null
+build/bench/table5_switch --cores 4 --json "$smp_b" --benchmark_filter=NONE >/dev/null
+cmp "$smp_a" "$smp_b"
+grep -q '"sim.core3.tlb.l1_hit"' "$smp_a"
+
+# TSan build: the SMP scheduler, per-core TLB shootdown and obs counters
+# must be clean under the thread sanitizer.
+cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
+cmake --build build-tsan --target smp_test obs_test
+build-tsan/tests/smp_test
+build-tsan/tests/obs_test
+
 echo "ci.sh: OK"

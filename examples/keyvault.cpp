@@ -32,16 +32,16 @@ struct Vault {
   std::unique_ptr<LzProc> lz;
   std::array<u8, 16> keys[kSessions];
 
-  Vault() : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {
+  Vault() : env(Env::Options().platform(arch::Platform::cortex_a55())) {
     proc = &env.new_process();
     lz = std::make_unique<LzProc>(
         LzProc::enter(*env.module, *proc, true, /*insn_san=*/1));
     // One domain + one gate per session key.
     for (int s = 0; s < kSessions; ++s) {
-      const int pgt = lz->lz_alloc();
+      const int pgt = lz->lz_alloc().value();
       LZ_CHECK(pgt >= 1);
-      LZ_CHECK(lz->lz_prot(key_va(s), kPageSize, pgt, kLzRead) == 0);
-      LZ_CHECK(lz->lz_map_gate_pgt(pgt, s) == 0);
+      LZ_CHECK(lz->lz_prot(key_va(s), kPageSize, pgt, kLzRead).is_ok());
+      LZ_CHECK(lz->lz_map_gate_pgt(pgt, s).is_ok());
       for (auto& b : keys[s]) b = static_cast<u8>(0x10 * s + (&b - keys[s].data()));
       env.kern().copy_to_user(*proc, key_va(s), keys[s].data(), 16);
       // Fault the key page into the LightZone tables now.
@@ -62,7 +62,7 @@ struct Vault {
     core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
     core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
     core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
-    module.exec_gate_switch(ctx, session);
+    LZ_CHECK(module.exec_gate_switch(ctx, session).is_ok());
 
     u8 key[16];
     bool ok = true;
@@ -71,7 +71,7 @@ struct Vault {
       ok = ok && r.ok;
       if (r.ok) std::memcpy(key + off, &r.value, 8);
     }
-    module.exec_gate_switch(ctx, 0);  // revoke access
+    LZ_CHECK(module.exec_gate_switch(ctx, 0).is_ok());  // revoke access
     module.exit_world(ctx);
     if (!ok) return false;
 
@@ -118,7 +118,7 @@ int main() {
       proc, Env::kCodeVa, kernel::kProtRead | kernel::kProtExec));
   const auto walk = proc.pgt().lookup(Env::kCodeVa);
   a.install(vault.env.machine->mem(), page_floor(walk.out_addr));
-  LZ_CHECK(vault.lz->lz_set_gate_entry(0, entry) == 0);
+  LZ_CHECK(vault.lz->lz_set_gate_entry(0, entry).is_ok());
 
   vault.lz->run();
   std::printf("own key read:      x2 = %llx (succeeded)\n",

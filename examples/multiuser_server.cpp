@@ -30,17 +30,17 @@ struct Server {
   kernel::Process* proc;
   std::unique_ptr<LzProc> lz;
 
-  Server() : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {
+  Server() : env(Env::Options().platform(arch::Platform::cortex_a55())) {
     proc = &env.new_process();
     lz = std::make_unique<LzProc>(
         LzProc::enter(*env.module, *proc, true, /*insn_san=*/1));
     LZ_CHECK(lz->lz_prot(kStore, kPageSize, kPgtAll,
-                         kLzRead | kLzWrite | kLzUser) == 0);
+                         kLzRead | kLzWrite | kLzUser).is_ok());
     for (int u = 0; u < kUsers; ++u) {
-      const int pgt = lz->lz_alloc();
+      const int pgt = lz->lz_alloc().value();
       LZ_CHECK(lz->lz_prot(session_va(u), kPageSize, pgt,
-                           kLzRead | kLzWrite) == 0);
-      LZ_CHECK(lz->lz_map_gate_pgt(pgt, u) == 0);
+                           kLzRead | kLzWrite).is_ok());
+      LZ_CHECK(lz->lz_map_gate_pgt(pgt, u).is_ok());
     }
   }
 
@@ -72,7 +72,7 @@ int main() {
       a.mov_imm64(17, UpperLayout::gate_va(u));
       a.blr(17);
       const VirtAddr entry = Env::kCodeVa + a.size_bytes();
-      LZ_CHECK(server.lz->lz_set_gate_entry(u, entry) == 0);
+      LZ_CHECK(server.lz->lz_set_gate_entry(u, entry).is_ok());
       // Session bump inside the user's own domain.
       a.mov_imm64(1, session_va(u));
       a.ldr(2, 1, 0);
@@ -115,7 +115,7 @@ int main() {
   a.movz(8, kernel::nr::kExit);
   a.svc(0);
   server.install(a);
-  LZ_CHECK(server.lz->lz_set_gate_entry(2, entry) == 0);
+  LZ_CHECK(server.lz->lz_set_gate_entry(2, entry).is_ok());
   server.lz->run();
 
   std::printf("rogue handler: %s\n", server.proc->kill_reason().c_str());

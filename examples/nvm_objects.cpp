@@ -29,15 +29,15 @@ VirtAddr object_va(int obj) {
 int main() {
   std::printf("NVM objects: %d persistent objects, one domain each\n\n",
               kObjects);
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, /*insn_san=*/1);
 
   for (int o = 0; o < kObjects; ++o) {
-    const int pgt = lz.lz_alloc();
+    const int pgt = lz.lz_alloc().value();
     LZ_CHECK(lz.lz_prot(object_va(o), kPageSize, pgt,
-                        kLzRead | kLzWrite) == 0);
-    LZ_CHECK(lz.lz_map_gate_pgt(pgt, o) == 0);
+                        kLzRead | kLzWrite).is_ok());
+    LZ_CHECK(lz.lz_map_gate_pgt(pgt, o).is_ok());
     // Seed the "persistent" contents.
     const u64 seed = 0x1000 + o;
     env.kern().copy_to_user(proc, object_va(o), &seed, 8);
@@ -49,7 +49,7 @@ int main() {
     a.mov_imm64(17, UpperLayout::gate_va(o));
     a.blr(17);
     const VirtAddr entry = Env::kCodeVa + a.size_bytes();
-    LZ_CHECK(lz.lz_set_gate_entry(o, entry) == 0);
+    LZ_CHECK(lz.lz_set_gate_entry(o, entry).is_ok());
     a.mov_imm64(1, object_va(o));
     a.ldr(2, 1, 0);
     a.add_imm(2, 2, 1);
@@ -59,7 +59,7 @@ int main() {
   // object 3. The second visit uses its own gate (gate id kObjects) into
   // the same page table — the paper assigns one gate per *entry* even when
   // several entries switch to the same table (Section 6.2).
-  LZ_CHECK(lz.lz_map_gate_pgt(/*pgt=*/1, /*gate=*/kObjects) == 0);
+  LZ_CHECK(lz.lz_map_gate_pgt(/*pgt=*/1, /*gate=*/kObjects).is_ok());
   a.mov_imm64(17, UpperLayout::gate_va(kObjects));
   a.blr(17);
   const VirtAddr entry0b = Env::kCodeVa + a.size_bytes();
@@ -73,7 +73,7 @@ int main() {
       proc, Env::kCodeVa, kernel::kProtRead | kernel::kProtExec));
   const auto walk = proc.pgt().lookup(Env::kCodeVa);
   a.install(env.machine->mem(), page_floor(walk.out_addr));
-  LZ_CHECK(lz.lz_set_gate_entry(kObjects, entry0b) == 0);
+  LZ_CHECK(lz.lz_set_gate_entry(kObjects, entry0b).is_ok());
 
   lz.run();
   std::printf("process: %s\n", proc.kill_reason().c_str());

@@ -43,7 +43,7 @@ int main() {
   std::printf("LightZone quickstart (Listing 1) on the simulated %s SoC\n\n",
               arch::Platform::cortex_a55().name.data());
 
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc = env.new_process();
 
   // lz_enter(true, 1): scalable isolation + TTBR-rule sanitizer.
@@ -51,19 +51,19 @@ int main() {
                             /*insn_san=*/1);
 
   // pgt0 = lz_alloc(); pgt1 = lz_alloc();
-  const int pgt0 = lz.lz_alloc();
-  const int pgt1 = lz.lz_alloc();
+  const int pgt0 = lz.lz_alloc().value();
+  const int pgt1 = lz.lz_alloc().value();
   std::printf("allocated stage-1 page tables: pgt0=%d pgt1=%d\n", pgt0, pgt1);
 
   // lz_map_gate_pgt: call_gate0 -> pgt0, call_gate1 -> pgt1.
-  LZ_CHECK(lz.lz_map_gate_pgt(pgt0, 0) == 0);
-  LZ_CHECK(lz.lz_map_gate_pgt(pgt1, 1) == 0);
+  LZ_CHECK(lz.lz_map_gate_pgt(pgt0, 0).is_ok());
+  LZ_CHECK(lz.lz_map_gate_pgt(pgt1, 1).is_ok());
 
   // lz_prot: part data in separate tables; the key in all tables as a
   // PAN-protected user page.
-  LZ_CHECK(lz.lz_prot(kData0, kPageSize, pgt0, kLzRead | kLzWrite) == 0);
-  LZ_CHECK(lz.lz_prot(kData1, kPageSize, pgt1, kLzRead | kLzWrite) == 0);
-  LZ_CHECK(lz.lz_prot(kKey, kPageSize, kPgtAll, kLzRead | kLzUser) == 0);
+  LZ_CHECK(lz.lz_prot(kData0, kPageSize, pgt0, kLzRead | kLzWrite).is_ok());
+  LZ_CHECK(lz.lz_prot(kData1, kPageSize, pgt1, kLzRead | kLzWrite).is_ok());
+  LZ_CHECK(lz.lz_prot(kKey, kPageSize, kPgtAll, kLzRead | kLzUser).is_ok());
 
   // Seed the key (kernel-side write; the process reads it under PAN).
   const u64 key_value = 0x5eC12e7;
@@ -111,8 +111,8 @@ int main() {
   a.movz(8, kernel::nr::kExit);
   a.svc(0);
   install(env, proc, a);
-  LZ_CHECK(lz.lz_set_gate_entry(0, entry0) == 0);
-  LZ_CHECK(lz.lz_set_gate_entry(1, entry1) == 0);
+  LZ_CHECK(lz.lz_set_gate_entry(0, entry0).is_ok());
+  LZ_CHECK(lz.lz_set_gate_entry(1, entry1).is_ok());
 
   const auto result = lz.run();
   std::printf("process ran %llu instructions at EL1 and %s\n",

@@ -49,6 +49,9 @@ Platform make_cortex_a55() {
   p.isb = 8;
   p.dsb = 10;
   p.pan_toggle = 4;
+  // Small in-order cluster: DVM messages resolve inside one DSU.
+  p.dvm_bcast_base = 35;
+  p.dvm_bcast_per_core = 20;
   p.fp_simd_ctx = 180;
   p.gic_ctx = 60;
   p.timer_ctx = 12;
@@ -93,6 +96,10 @@ Platform make_carmel() {
   p.isb = 60;
   p.dsb = 48;
   p.pan_toggle = 9;
+  // Carmel clusters sit behind a coherence fabric; remote snoops are slow
+  // like every other cross-core operation on this SoC.
+  p.dvm_bcast_base = 180;
+  p.dvm_bcast_per_core = 95;
   p.fp_simd_ctx = 4000;
   p.gic_ctx = 1300;
   p.timer_ctx = 300;

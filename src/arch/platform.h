@@ -55,6 +55,14 @@ struct Platform {
   Cycles dsb = 10;
   Cycles pan_toggle = 5;           // MSR PAN, #imm incl. implicit sync
 
+  // DVM broadcast TLB shootdown (TLBI ...IS + DSB completion). The
+  // initiating core pays a fixed interconnect cost plus a per-remote-core
+  // snoop/ack; local-only TLBI stays folded into the trap-path constants.
+  // ReZone (PAPERS.md) measures broadcast TLBI as the dominating cost of
+  // multi-core isolation designs, so this is a first-class knob.
+  Cycles dvm_bcast_base = 40;
+  Cycles dvm_bcast_per_core = 25;
+
   // Bulk context pieces a full KVM world switch moves (one direction).
   Cycles fp_simd_ctx = 130;  // 32 x 128-bit SIMD registers
   Cycles gic_ctx = 45;       // ICH_* list registers and state

@@ -31,11 +31,15 @@ HostCounters& host_counters() {
 
 Host::Host(sim::Machine& machine)
     : machine_(machine),
-      kern_(std::make_unique<kernel::Kernel>(machine, "host")) {
-  machine_.core().set_handler(
-      ExceptionLevel::kEl2,
-      [this](const TrapInfo& info) { return handle_el2(info); });
-  machine_.core().set_sysreg(sim::SysReg::kHcrEl2, kHostHcr);
+      kern_(std::make_unique<kernel::Kernel>(machine, "host")),
+      percore_(machine.num_cores()) {
+  // The host owns EL2 on every core of the SoC.
+  for (unsigned id = 0; id < machine_.num_cores(); ++id) {
+    machine_.core(id).set_handler(
+        ExceptionLevel::kEl2,
+        [this](const TrapInfo& info) { return handle_el2(info); });
+    machine_.core(id).set_sysreg(sim::SysReg::kHcrEl2, kHostHcr);
+  }
 }
 
 void Host::write_hcr(u64 value) {
@@ -63,16 +67,18 @@ void Host::write_vttbr(u64 value) {
 }
 
 void Host::push_delegate(TrapDelegate* delegate) {
-  delegates_.push_back(delegate);
+  percore().delegates.push_back(delegate);
 }
 
 void Host::pop_delegate(TrapDelegate* delegate) {
-  LZ_CHECK(!delegates_.empty() && delegates_.back() == delegate);
-  delegates_.pop_back();
+  auto& delegates = percore().delegates;
+  LZ_CHECK(!delegates.empty() && delegates.back() == delegate);
+  delegates.pop_back();
 }
 
 sim::TrapAction Host::handle_el2(const TrapInfo& info) {
-  if (!delegates_.empty()) return delegates_.back()->on_el2_trap(info);
+  auto& delegates = percore().delegates;
+  if (!delegates.empty()) return delegates.back()->on_el2_trap(info);
   return host_process_trap(info);
 }
 
@@ -80,15 +86,15 @@ sim::RunResult Host::run_user_process(kernel::Process& proc, u64 max_steps) {
   auto& core = machine_.core();
   write_hcr(kHostHcr);
   kern_->load_ctx(proc, core);
-  current_proc_ = &proc;
+  percore().current_proc = &proc;
   const auto result = core.run(max_steps);
-  current_proc_ = nullptr;
+  percore().current_proc = nullptr;
   return result;
 }
 
 sim::TrapAction Host::host_process_trap(const TrapInfo& info) {
   auto& core = machine_.core();
-  kernel::Process* proc = current_proc_;
+  kernel::Process* proc = percore().current_proc;
   if (proc == nullptr) return TrapAction::kStop;
 
   switch (info.ec) {

@@ -3,8 +3,12 @@
 // allocation, and the conditional HCR_EL2/VTTBR_EL2 write optimisation of
 // §5.2.1. Guest VMs and LightZone processes register as trap delegates
 // while they are the active world.
+// SMP: the trap-delegate stack and the current host user process are
+// per-core (each core runs its own world), while VMID allocation and the
+// conditional-write toggle are machine-wide setup state.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -26,7 +30,9 @@ class Host {
   static constexpr u64 kHostHcr =
       arch::hcr::kE2h | arch::hcr::kTge | arch::hcr::kRw;
 
-  u16 alloc_vmid() { return next_vmid_++; }
+  u16 alloc_vmid() {
+    return static_cast<u16>(next_vmid_.fetch_add(1, std::memory_order_relaxed));
+  }
 
   // --- Conditional system-register switching (§5.2.1) ------------------------
   // Writes are skipped (and cost nothing) when the register already holds
@@ -38,6 +44,8 @@ class Host {
   void set_conditional_sysreg_opt(bool on) { conditional_sysreg_opt_ = on; }
 
   // --- EL2 trap routing -------------------------------------------------------
+  // Delegates stack per core: pushing from a bound scheduler worker (or
+  // under a main-thread CoreBinding) routes that core's traps only.
   void push_delegate(TrapDelegate* delegate);
   void pop_delegate(TrapDelegate* delegate);
 
@@ -47,17 +55,28 @@ class Host {
   sim::RunResult run_user_process(kernel::Process& proc,
                                   u64 max_steps = 10'000'000);
 
-  kernel::Process* current_user_process() { return current_proc_; }
+  kernel::Process* current_user_process() {
+    return percore().current_proc;
+  }
 
  private:
+  // World state one core owns: its delegate stack and the host user
+  // process it is currently executing. Indexed by the calling thread's
+  // core binding; no lock needed — only the owning core's thread touches
+  // its slot.
+  struct PerCore {
+    std::vector<TrapDelegate*> delegates;
+    kernel::Process* current_proc = nullptr;
+  };
+  PerCore& percore() { return percore_[machine_.current_core_id()]; }
+
   sim::TrapAction handle_el2(const sim::TrapInfo& info);
   sim::TrapAction host_process_trap(const sim::TrapInfo& info);
 
   sim::Machine& machine_;
   std::unique_ptr<kernel::Kernel> kern_;
-  std::vector<TrapDelegate*> delegates_;
-  kernel::Process* current_proc_ = nullptr;
-  u16 next_vmid_ = 1;
+  std::vector<PerCore> percore_;
+  std::atomic<u16> next_vmid_{1};
   bool conditional_sysreg_opt_ = true;
 };
 

@@ -1,6 +1,7 @@
 #include "kernel/kernel.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "obs/counters.h"
 
@@ -58,6 +59,7 @@ Kernel::Kernel(sim::Machine& machine, std::string name, FrameHook frame_hook)
 Kernel::~Kernel() = default;
 
 Process& Kernel::create_process() {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   const u32 pid = next_pid_++;
   const u16 asid = next_asid_++;
   auto proc = std::make_unique<Process>(*this, pid, asid);
@@ -72,11 +74,15 @@ Process& Kernel::create_process() {
 }
 
 Process* Kernel::find(u32 pid) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   auto it = procs_.find(pid);
   return it == procs_.end() ? nullptr : it->second.get();
 }
 
-void Kernel::destroy(Process& proc) { procs_.erase(proc.pid()); }
+void Kernel::destroy(Process& proc) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
+  procs_.erase(proc.pid());
+}
 
 PhysAddr Kernel::alloc_frame() {
   const PhysAddr pa = machine_.mem().alloc_frame();
@@ -104,6 +110,7 @@ mem::S1Attrs user_attrs(u8 prot) {
 
 Status Kernel::mmap(Process& proc, VirtAddr va, u64 len, u8 prot,
                     bool populate) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   if (!page_aligned(va) || len == 0) {
     return err(Errc::kInvalidArgument, "mmap alignment");
   }
@@ -123,6 +130,7 @@ Status Kernel::mmap(Process& proc, VirtAddr va, u64 len, u8 prot,
 }
 
 Status Kernel::populate_page(Process& proc, VirtAddr va, u8 prot) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   va = page_floor(va);
   const auto walk = proc.pgt().lookup(va);
   if (walk.ok) return Status::ok();  // already present
@@ -133,6 +141,7 @@ Status Kernel::populate_page(Process& proc, VirtAddr va, u8 prot) {
 }
 
 Status Kernel::munmap(Process& proc, VirtAddr va, u64 len) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   const VirtAddr end = va + page_ceil(len);
   auto& vmas = proc.vmas();
   for (auto it = vmas.begin(); it != vmas.end(); ++it) {
@@ -140,8 +149,11 @@ Status Kernel::munmap(Process& proc, VirtAddr va, u64 len) {
       for (VirtAddr p = va; p < end; p += kPageSize) {
         const auto walk = proc.pgt().lookup(p);
         if (walk.ok) {
+          // Break-before-make: clear the descriptor, broadcast the
+          // shootdown to every core, and only then release the frame —
+          // a remote core must never translate through a freed frame.
           LZ_CHECK_OK(proc.pgt().unmap(p));
-          machine_.tlb().invalidate_va(page_index(p), 0);
+          machine_.tlbi_va_is(page_index(p), 0);
           if (on_unmap) on_unmap(proc, p);
           free_frame(page_floor(walk.out_addr));
           --pages_mapped_;
@@ -155,6 +167,7 @@ Status Kernel::munmap(Process& proc, VirtAddr va, u64 len) {
 }
 
 Status Kernel::mprotect(Process& proc, VirtAddr va, u64 len, u8 prot) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   const VirtAddr end = va + page_ceil(len);
   for (auto& vma : proc.vmas()) {
     if (vma.start <= va && end <= vma.end) {
@@ -165,8 +178,13 @@ Status Kernel::mprotect(Process& proc, VirtAddr va, u64 len, u8 prot) {
       for (VirtAddr p = va; p < end; p += kPageSize) {
         const auto walk = proc.pgt().lookup(p);
         if (walk.ok) {
-          LZ_CHECK_OK(proc.pgt().protect(p, user_attrs(prot)));
-          machine_.tlb().invalidate_va(page_index(p), 0);
+          // Break-before-make (ARM ARM D8.14): invalidate the descriptor,
+          // broadcast, then install the new permissions — never rewrite a
+          // live descriptor in place while other cores may hold it.
+          LZ_CHECK_OK(proc.pgt().unmap(p));
+          machine_.tlbi_va_is(page_index(p), 0);
+          LZ_CHECK_OK(
+              proc.pgt().map(p, page_floor(walk.out_addr), user_attrs(prot)));
         }
       }
       return Status::ok();
@@ -178,6 +196,7 @@ Status Kernel::mprotect(Process& proc, VirtAddr va, u64 len, u8 prot) {
 Kernel::FaultOutcome Kernel::handle_user_fault(Process& proc, VirtAddr va,
                                                bool is_write, bool is_exec,
                                                bool permission_fault) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   const auto sigsegv = [] {
     kernel_counters().fault_sigsegv.add();
     return FaultOutcome::kSigsegv;
@@ -198,6 +217,7 @@ Kernel::FaultOutcome Kernel::handle_user_fault(Process& proc, VirtAddr va,
 
 bool Kernel::copy_to_user(Process& proc, VirtAddr dst, const void* src,
                           u64 len) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   const auto* bytes = static_cast<const u8*>(src);
   while (len > 0) {
     const Vma* vma = proc.find_vma(dst);
@@ -216,6 +236,7 @@ bool Kernel::copy_to_user(Process& proc, VirtAddr dst, const void* src,
 }
 
 bool Kernel::copy_from_user(Process& proc, VirtAddr src, void* dst, u64 len) {
+  std::lock_guard<std::recursive_mutex> lock(mm_mu_);
   auto* bytes = static_cast<u8*>(dst);
   while (len > 0) {
     const auto walk = proc.pgt().lookup(page_floor(src));
@@ -434,6 +455,71 @@ void Kernel::save_ctx(Process& proc, sim::Core& core) {
   ctx.tpidr = core.sysreg(sim::SysReg::kTpidrEl0);
   machine_.charge(CostKind::kGpr, machine_.platform().gpr_save_all());
   kernel_counters().ctx_save.add();
+}
+
+// --- SMP scheduling ----------------------------------------------------------
+
+unsigned Kernel::submit(CoreTask task) {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  const unsigned core = rr_next_;
+  rr_next_ = (rr_next_ + 1) % machine_.num_cores();
+  lock.unlock();
+  run_on(core, std::move(task));
+  return core;
+}
+
+void Kernel::run_on(unsigned core_id, CoreTask task) {
+  LZ_CHECK(core_id < machine_.num_cores());
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  if (run_queues_.size() < machine_.num_cores()) {
+    run_queues_.resize(machine_.num_cores());
+  }
+  run_queues_[core_id].push_back(std::move(task));
+}
+
+std::size_t Kernel::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  std::size_t n = 0;
+  for (const auto& q : run_queues_) n += q.size();
+  return n;
+}
+
+void Kernel::schedule() {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (run_queues_.size() < machine_.num_cores()) {
+      run_queues_.resize(machine_.num_cores());
+    }
+  }
+  // One OS thread per simulated core that has work. Each worker binds to
+  // its core, so every machine accessor inside a task resolves to that
+  // core's TLB/account/sysregs; tasks may run_on() more work while running
+  // (their own queue or another core's — the worker drains until empty).
+  std::vector<std::thread> workers;
+  for (unsigned id = 0; id < machine_.num_cores(); ++id) {
+    bool has_work;
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      has_work = !run_queues_[id].empty();
+    }
+    if (!has_work) continue;
+    workers.emplace_back([this, id] {
+      sim::Machine::CoreBinding bind(machine_, id);
+      for (;;) {
+        CoreTask task;
+        {
+          std::lock_guard<std::mutex> lock(sched_mu_);
+          auto& q = run_queues_[id];
+          if (q.empty()) break;
+          task = std::move(q.front());
+          q.pop_front();
+        }
+        task(id);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  bump_sched_generation();
 }
 
 void Kernel::load_ctx(Process& proc, sim::Core& core) {

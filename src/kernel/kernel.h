@@ -6,8 +6,11 @@
 // each instance to the simulated core.
 #pragma once
 
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -129,8 +132,27 @@ class Kernel {
 
   // Scheduler epoch: bumped by sched_yield and by the benches to model
   // reschedules (drives the pt_regs relocation cost range in Table 4).
-  u64 sched_generation() const { return sched_generation_; }
-  void bump_sched_generation() { ++sched_generation_; }
+  u64 sched_generation() const {
+    return sched_generation_.load(std::memory_order_relaxed);
+  }
+  void bump_sched_generation() {
+    sched_generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- SMP scheduling --------------------------------------------------------
+  // Per-core FIFO run queues over the machine's simulated cores. A task is
+  // arbitrary work pinned to one core (typically "drive this process /
+  // LzProc"); schedule() spawns one std::thread per core with work, binds
+  // it to that core (Machine::CoreBinding), drains the queues concurrently
+  // and joins. Tasks may enqueue further tasks while running.
+  using CoreTask = std::function<void(unsigned core_id)>;
+  // Round-robin placement across cores; returns the chosen core id.
+  unsigned submit(CoreTask task);
+  // Pinned placement.
+  void run_on(unsigned core_id, CoreTask task);
+  // Run until every queue is empty; returns with all workers joined.
+  void schedule();
+  std::size_t queued_tasks() const;
 
   // Invoked for every page the kernel unmaps from a process, so subsystems
   // mirroring translations (the LightZone module, §5.1.2) stay in sync.
@@ -145,13 +167,23 @@ class Kernel {
   sim::Machine& machine_;
   std::string name_;
   FrameHook frame_hook_;
+  // One kernel serves all cores: the process table and every VM operation
+  // (mmap/munmap/mprotect/fault/copy_*) serialise on the mm lock, the same
+  // contract as a kernel's mmap_lock. Recursive because mmap(populate=true)
+  // and copy_to_user re-enter populate_page. Syscall/ioctl registries are
+  // set up single-threaded before schedule() and read-only afterwards.
+  mutable std::recursive_mutex mm_mu_;
   u32 next_pid_ = 1;
   u16 next_asid_ = 1;
   std::unordered_map<u32, std::unique_ptr<Process>> procs_;
   std::unordered_map<u32, SyscallHandler> syscalls_;
   std::unordered_map<u64, IoctlHandler> ioctl_devices_;
-  u64 sched_generation_ = 0;
+  std::atomic<u64> sched_generation_{0};
   u64 pages_mapped_ = 0;
+
+  mutable std::mutex sched_mu_;
+  std::vector<std::deque<CoreTask>> run_queues_;
+  unsigned rr_next_ = 0;
 };
 
 }  // namespace lz::kernel

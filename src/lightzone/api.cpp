@@ -2,9 +2,12 @@
 
 namespace lz::core {
 
-Env::Env(const arch::Platform& platform, Placement placement_in, u64 seed)
-    : placement(placement_in) {
-  machine = std::make_unique<sim::Machine>(platform, seed);
+Env::Env(const Options& opts) : placement(opts.placement_) {
+  // Snapshot before construction: wiring the machine/host registers (and
+  // possibly bumps) counters, and those belong to this scenario's delta.
+  obs_baseline_ = obs::registry().snapshot();
+  machine = std::make_unique<sim::Machine>(*opts.platform_, opts.seed_,
+                                           opts.cores_, opts.mem_bytes_);
   host = std::make_unique<hv::Host>(*machine);
   if (placement == Placement::kGuest) {
     vm = std::make_unique<hv::GuestVm>(*host, "vm0");
@@ -16,6 +19,10 @@ Env::Env(const arch::Platform& platform, Placement placement_in, u64 seed)
 }
 
 Env::~Env() = default;
+
+obs::Snapshot Env::counters_delta() const {
+  return obs::Registry::delta(obs_baseline_, obs::registry().snapshot());
+}
 
 kernel::Kernel& Env::kern() {
   return placement == Placement::kGuest ? vm->kern() : host->kern();
@@ -46,5 +53,45 @@ LzProc LzProc::enter(LzModule& module, kernel::Process& proc,
   LzContext& ctx = module.enter(proc, opts);
   return LzProc(module, ctx);
 }
+
+namespace table2 {
+
+int errno_of(const Status& s) {
+  switch (s.errc()) {
+    case Errc::kOk:
+      return 0;
+    case Errc::kResourceExhausted:
+      return -12;  // -ENOMEM
+    case Errc::kPermissionDenied:
+    case Errc::kFailedPrecondition:
+      return -1;  // -EPERM
+    case Errc::kNotFound:
+      return -2;  // -ENOENT
+    default:
+      // kNoPgt / kBadRange / kBadGate / kNoGate / kInvalidArgument / …
+      return -22;  // -EINVAL
+  }
+}
+
+int lz_alloc(LzProc& p) {
+  const auto r = p.lz_alloc();
+  return r.is_ok() ? *r : errno_of(r.status());
+}
+
+int lz_free(LzProc& p, int pgt) { return errno_of(p.lz_free(pgt)); }
+
+int lz_prot(LzProc& p, VirtAddr addr, u64 len, int pgt, u32 perm) {
+  return errno_of(p.lz_prot(addr, len, pgt, perm));
+}
+
+int lz_map_gate_pgt(LzProc& p, int pgt, int gate) {
+  return errno_of(p.lz_map_gate_pgt(pgt, gate));
+}
+
+int lz_set_gate_entry(LzProc& p, int gate, VirtAddr entry) {
+  return errno_of(p.lz_set_gate_entry(gate, entry));
+}
+
+}  // namespace table2
 
 }  // namespace lz::core

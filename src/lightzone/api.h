@@ -1,11 +1,15 @@
 // User-facing LightZone API (Table 2) and scenario wiring.
 //
 //   Env       — one evaluation scenario: a simulated SoC (Carmel or
-//               Cortex-A55), a VHE host, optionally a guest VM, and the
-//               LightZone module loaded into the host or guest kernel.
+//               Cortex-A55) with one or more cores, a VHE host, optionally
+//               a guest VM, and the LightZone module loaded into the host
+//               or guest kernel. Built from Env::Options.
 //   LzProc    — the API library's view of one process that entered
 //               LightZone: lz_alloc / lz_free / lz_prot / lz_map_gate_pgt /
-//               lz_switch_to_ttbr_gate / set_pan.
+//               lz_switch_to_ttbr_gate / set_pan. Calls report failure
+//               through Status/Result (Errc::kNoPgt, kBadRange, kBadGate,
+//               kNoGate, …); the `table2` shims below translate to the C
+//               int ABI at the library boundary.
 //
 // `lz_switch_to_ttbr_gate` executes the real TTBR1-mapped call-gate code on
 // the simulated core; `set_pan` performs the PAN toggle. Both return the
@@ -15,13 +19,54 @@
 #include <memory>
 
 #include "lightzone/module.h"
+#include "obs/counters.h"
 
 namespace lz::core {
 
 struct Env {
   enum class Placement { kHost, kGuest };
 
-  Env(const arch::Platform& platform, Placement placement, u64 seed = 42);
+  // Scenario builder. Each knob reads as prose at the call site and new
+  // knobs never reshuffle an argument list:
+  //
+  //   Env env(Env::Options()
+  //               .platform(arch::Platform::cortex_a55())
+  //               .placement(Env::Placement::kGuest)
+  //               .cores(4));
+  class Options {
+   public:
+    Options& platform(const arch::Platform& p) {
+      platform_ = &p;
+      return *this;
+    }
+    Options& placement(Placement p) {
+      placement_ = p;
+      return *this;
+    }
+    Options& seed(u64 s) {
+      seed_ = s;
+      return *this;
+    }
+    Options& cores(unsigned n) {
+      cores_ = n;
+      return *this;
+    }
+    Options& mem_bytes(u64 b) {
+      mem_bytes_ = b;
+      return *this;
+    }
+
+   private:
+    friend struct Env;
+    const arch::Platform* platform_ = &arch::Platform::cortex_a55();
+    Placement placement_ = Placement::kHost;
+    u64 seed_ = 42;
+    unsigned cores_ = 1;
+    u64 mem_bytes_ = u64{4} << 30;
+  };
+
+  explicit Env(const Options& opts);
+  Env() : Env(Options()) {}
   ~Env();
 
   // The kernel that owns LightZone processes (host kernel or guest kernel).
@@ -30,6 +75,11 @@ struct Env {
   // Create a process with a conventional layout: code, heap, and stack
   // VMAs (addresses in layout constants below).
   kernel::Process& new_process();
+
+  // Counter scoping: construction snapshots the process-global lz::obs
+  // registry, and this returns only what moved since — so back-to-back
+  // scenarios in one binary never bleed into each other's reports.
+  obs::Snapshot counters_delta() const;
 
   static constexpr VirtAddr kCodeVa = 0x400000;
   static constexpr u64 kCodeLen = 1 << 20;
@@ -43,6 +93,9 @@ struct Env {
   std::unique_ptr<hv::GuestVm> vm;  // only for Placement::kGuest
   std::unique_ptr<LzModule> module;
   Placement placement;
+
+ private:
+  obs::Snapshot obs_baseline_;
 };
 
 class LzProc {
@@ -54,22 +107,26 @@ class LzProc {
                       const LzOptions* overrides = nullptr);
 
   // --- Table 2 ----------------------------------------------------------------
-  int lz_alloc() { return module_->alloc_pgt(*ctx_); }
-  int lz_free(int pgt) { return module_->free_pgt(*ctx_, pgt).is_ok() ? 0 : -1; }
-  int lz_prot(VirtAddr addr, u64 len, int pgt, u32 perm) {
-    return module_->prot(*ctx_, addr, len, pgt, perm).is_ok() ? 0 : -1;
+  // Status-carrying forms. Error codes: kNoPgt (pgt id not live), kBadRange
+  // (unaligned/empty/overlapping range), kBadGate (gate id out of range),
+  // kNoGate (gate not fully registered), kResourceExhausted (table space).
+  Result<int> lz_alloc() { return module_->alloc_pgt(*ctx_); }
+  Status lz_free(int pgt) { return module_->free_pgt(*ctx_, pgt); }
+  Status lz_prot(VirtAddr addr, u64 len, int pgt, u32 perm) {
+    return module_->prot(*ctx_, addr, len, pgt, perm);
   }
-  int lz_map_gate_pgt(int pgt, int gate) {
-    return module_->map_gate_pgt(*ctx_, pgt, gate).is_ok() ? 0 : -1;
+  Status lz_map_gate_pgt(int pgt, int gate) {
+    return module_->map_gate_pgt(*ctx_, pgt, gate);
   }
   // Registers the gate's static legal entry (the return point after the
   // lz_switch_to_ttbr_gate macro; fixed before compilation, §6.2).
-  int lz_set_gate_entry(int gate, VirtAddr entry) {
-    return module_->set_gate_entry(*ctx_, gate, entry).is_ok() ? 0 : -1;
+  Status lz_set_gate_entry(int gate, VirtAddr entry) {
+    return module_->set_gate_entry(*ctx_, gate, entry);
   }
 
-  // Executes the real call-gate instruction sequence; returns cycles.
-  Cycles lz_switch_to_ttbr_gate(int gate) {
+  // Executes the real call-gate instruction sequence; returns the cycles
+  // consumed on the calling core.
+  Result<Cycles> lz_switch_to_ttbr_gate(int gate) {
     return module_->exec_gate_switch(*ctx_, gate);
   }
   // MSR PAN, #imm.
@@ -93,5 +150,23 @@ class LzProc {
   LzModule* module_;
   LzContext* ctx_;
 };
+
+// --- Table-2 C boundary ------------------------------------------------------
+// Thin int shims with the exact Table-2 signature: 0 / pgt-id on success,
+// a negative errno on failure (the same values the kernel module returns
+// through the forwarded-SVC path). New code should call the Status API on
+// LzProc directly; these exist for the C ABI only.
+namespace table2 {
+
+// Errc -> -errno translation used by every shim.
+int errno_of(const Status& s);
+
+int lz_alloc(LzProc& p);  // >= 0 pgt id, or -errno
+int lz_free(LzProc& p, int pgt);
+int lz_prot(LzProc& p, VirtAddr addr, u64 len, int pgt, u32 perm);
+int lz_map_gate_pgt(LzProc& p, int pgt, int gate);
+int lz_set_gate_entry(LzProc& p, int gate, VirtAddr entry);
+
+}  // namespace table2
 
 }  // namespace lz::core

@@ -115,9 +115,13 @@ u64 LzContext::isolation_table_pages() const {
 
 // --- LzModule ----------------------------------------------------------------
 
-LzModule::LzModule(hv::Host& host) : host_(host) { register_api_syscalls(); }
+LzModule::LzModule(hv::Host& host)
+    : host_(host), world_(host.machine().num_cores()) {
+  register_api_syscalls();
+}
 
-LzModule::LzModule(hv::Host& host, hv::GuestVm& vm) : host_(host), vm_(&vm) {
+LzModule::LzModule(hv::Host& host, hv::GuestVm& vm)
+    : host_(host), vm_(&vm), world_(host.machine().num_cores()) {
   register_api_syscalls();
 }
 
@@ -128,8 +132,8 @@ void LzModule::register_api_syscalls() {
                          -> u64 {
     auto* ctx = ctx_of(p);
     if (ctx == nullptr) return kernel::kEperm;
-    const int pgt = alloc_pgt(*ctx);
-    return pgt < 0 ? kernel::kEnomem : static_cast<u64>(pgt);
+    const auto pgt = alloc_pgt(*ctx);
+    return pgt.is_ok() ? static_cast<u64>(*pgt) : kernel::kEnomem;
   });
   k.register_syscall(lznr::kFree,
                      [this](kernel::Process& p,
@@ -198,8 +202,8 @@ LzContext& LzModule::enter(kernel::Process& proc, const LzOptions& opts) {
   build_upper_half(ctx);
 
   // pgt 0 is the default domain table every process starts in.
-  const int pgt0 = alloc_pgt(ctx);
-  LZ_CHECK(pgt0 == 0);
+  const auto pgt0 = alloc_pgt(ctx);
+  LZ_CHECK(pgt0.is_ok() && *pgt0 == 0);
 
   if (!opts.allow_scalable) duplicate_kernel_table(ctx);
 
@@ -222,9 +226,11 @@ LzContext& LzModule::enter(kernel::Process& proc, const LzOptions& opts) {
   return ctx;
 }
 
-int LzModule::alloc_pgt(LzContext& ctx) {
+Result<int> LzModule::alloc_pgt(LzContext& ctx) {
   if (!ctx.opts().allow_scalable && !ctx.pgts.empty()) {
-    return -1;  // PAN-only processes have exactly one table
+    // PAN-only processes have exactly one table.
+    return err(Errc::kFailedPrecondition,
+               "lz_alloc: PAN-only process already has its table");
   }
   // Find a free slot or append.
   std::size_t id = ctx.pgts.size();
@@ -234,8 +240,10 @@ int LzModule::alloc_pgt(LzContext& ctx) {
       break;
     }
   }
+  if (id >= (u64{1} << 16)) {  // 2^16 domain tables max (ASID width)
+    return err(Errc::kResourceExhausted, "lz_alloc: out of domain tables");
+  }
   if (id == ctx.pgts.size()) ctx.pgts.emplace_back();
-  if (id >= (u64{1} << 16)) return -1;  // 2^16 domain tables max
 
   auto& slot = ctx.pgts[id];
   const u16 asid = ctx.next_asid++;
@@ -258,12 +266,15 @@ int LzModule::alloc_pgt(LzContext& ctx) {
 Status LzModule::free_pgt(LzContext& ctx, int pgt) {
   if (pgt <= 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
       !ctx.pgts[pgt].in_use) {
-    return err(Errc::kInvalidArgument, "lz_free: bad pgt id");
+    return err(Errc::kNoPgt, "lz_free: bad pgt id");
   }
+  // Break-before-make: retire the TTBRTab slot, broadcast the invalidation
+  // to every core, and only then release the table frames. Another core may
+  // be executing in this process's VM with the stale translation cached.
+  write_ttbrtab(ctx, pgt, 0);
+  machine().tlbi_vmid_is(ctx.vmid);
   ctx.pgts[pgt].tbl.reset();
   ctx.pgts[pgt].in_use = false;
-  write_ttbrtab(ctx, pgt, 0);
-  machine().tlb().invalidate_vmid(ctx.vmid);
   return Status::ok();
 }
 
@@ -276,18 +287,29 @@ u64 LzModule::domain_ttbr(LzContext& ctx, int pgt_id) {
 Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
                       u32 perm) {
   if (!page_aligned(addr) || len == 0) {
-    return err(Errc::kInvalidArgument, "lz_prot: unaligned region");
+    return err(Errc::kBadRange, "lz_prot: unaligned or empty region");
   }
   if (pgt != kPgtAll &&
       (pgt < 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
        !ctx.pgts[pgt].in_use)) {
-    return err(Errc::kInvalidArgument, "lz_prot: bad pgt id");
+    return err(Errc::kNoPgt, "lz_prot: bad pgt id");
   }
   const VirtAddr end = addr + page_ceil(len);
+  // A range already claimed by a *different* specific domain cannot be
+  // re-claimed: that would silently merge two isolation domains. (Repeated
+  // grants to the same table and kPgtAll overlays stay legal.)
+  for (const auto& region : ctx.regions) {
+    if (addr >= region.end || end <= region.start) continue;
+    if (region.pgt != kPgtAll && pgt != kPgtAll && region.pgt != pgt) {
+      return err(Errc::kBadRange,
+                 "lz_prot: range overlaps a different domain's region");
+    }
+  }
   ctx.regions.push_back(LzContext::ProtRegion{addr, end, pgt, perm});
 
   // Re-apply protection to already-resident pages: detach from all tables,
-  // then fault the new attachment lazily or eagerly re-map now.
+  // broadcast the invalidation (another core may run a sibling domain of
+  // this process), then fault the new attachment in.
   for (VirtAddr va = addr; va < end; va += kPageSize) {
     auto it = ctx.pages.find(page_index(va));
     if (it == ctx.pages.end()) continue;
@@ -295,7 +317,7 @@ Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
     for (auto& d : ctx.pgts) {
       if (d.in_use) (void)d.tbl->unmap(va);
     }
-    machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+    machine().tlbi_va_is(page_index(va), ctx.vmid);
     LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
   }
   return Status::ok();
@@ -303,11 +325,11 @@ Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
 
 Status LzModule::map_gate_pgt(LzContext& ctx, int pgt, int gate) {
   if (gate < 0 || static_cast<u32>(gate) >= ctx.opts().max_gates) {
-    return err(Errc::kInvalidArgument, "bad gate id");
+    return err(Errc::kBadGate, "lz_map_gate_pgt: bad gate id");
   }
   if (pgt < 0 || static_cast<std::size_t>(pgt) >= ctx.pgts.size() ||
       !ctx.pgts[pgt].in_use) {
-    return err(Errc::kInvalidArgument, "bad pgt id");
+    return err(Errc::kNoPgt, "lz_map_gate_pgt: bad pgt id");
   }
   ctx.gates[gate].pgt = pgt;
   write_gatetab(ctx, gate);
@@ -316,7 +338,7 @@ Status LzModule::map_gate_pgt(LzContext& ctx, int pgt, int gate) {
 
 Status LzModule::set_gate_entry(LzContext& ctx, int gate, VirtAddr entry) {
   if (gate < 0 || static_cast<u32>(gate) >= ctx.opts().max_gates) {
-    return err(Errc::kInvalidArgument, "bad gate id");
+    return err(Errc::kBadGate, "lz_set_gate_entry: bad gate id");
   }
   ctx.gates[gate].entry = entry;
   write_gatetab(ctx, gate);
@@ -465,7 +487,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
       }
       (void)ctx.stage2->protect(page.ipa,
                                 mem::S2Attrs{true, true, false, false});
-      machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+      machine().tlbi_va_is(page_index(va), ctx.vmid);
       page.writable = false;
     }
     if (!sanitize_page(ctx, page.real)) {
@@ -480,7 +502,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
     for (auto& d : ctx.pgts) {
       if (d.in_use) (void)d.tbl->unmap(va);
     }
-    machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+    machine().tlbi_va_is(page_index(va), ctx.vmid);
     page.executable = false;
     page.exec_sanitized = false;
     page.writable = true;
@@ -543,7 +565,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
       LZ_CHECK_OK(ctx.stage2->map(page.ipa, page.real, s2));
     }
   }
-  machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+  machine().tlbi_va_is(page_index(va), ctx.vmid);
 
   // Mapping work costs: a handful of table-walk writes.
   machine().charge(CostKind::kMem, 8 * machine().platform().mem_access);
@@ -560,7 +582,7 @@ void LzModule::sync_unmap(LzContext& ctx, VirtAddr va) {
   if (ctx.opts().allow_scalable && ctx.opts().fake_phys) {
     ctx.fake.erase_real(it->second.real);
   }
-  machine().tlb().invalidate_va(page_index(va), ctx.vmid);
+  machine().tlbi_va_is(page_index(va), ctx.vmid);
   ctx.pages.erase(it);
 }
 
@@ -578,27 +600,29 @@ void LzModule::duplicate_kernel_table(LzContext& ctx) {
 // --- Execution ---------------------------------------------------------------
 
 void LzModule::enter_world(LzContext& ctx) {
-  LZ_CHECK(active_ == nullptr);
+  PerCoreWorld& w = world();
+  LZ_CHECK(w.active == nullptr);
   auto& core = machine().core();
-  saved_hcr_ = core.sysreg(SysReg::kHcrEl2);
-  saved_vttbr_ = core.sysreg(SysReg::kVttbrEl2);
+  w.saved_hcr = core.sysreg(SysReg::kHcrEl2);
+  w.saved_vttbr = core.sysreg(SysReg::kVttbrEl2);
   host_.write_hcr(lz_hcr(ctx));
   host_.write_vttbr(ctx.stage2->vttbr());
   lz_counters().world_enter.add();
   obs::trace().world_switch(obs::WorldKind::kLzEnter, ctx.vmid);
   core.set_handler(ExceptionLevel::kEl1, nullptr);  // stub owns EL1 vectors
   host_.push_delegate(this);
-  active_ = &ctx;
+  w.active = &ctx;
 }
 
 void LzModule::exit_world(LzContext& ctx) {
-  LZ_CHECK(active_ == &ctx);
+  PerCoreWorld& w = world();
+  LZ_CHECK(w.active == &ctx);
   host_.pop_delegate(this);
-  host_.write_hcr(saved_hcr_);
-  host_.write_vttbr(saved_vttbr_);
+  host_.write_hcr(w.saved_hcr);
+  host_.write_vttbr(w.saved_vttbr);
   lz_counters().world_exit.add();
   obs::trace().world_switch(obs::WorldKind::kLzExit, ctx.vmid);
-  active_ = nullptr;
+  w.active = nullptr;
 }
 
 sim::RunResult LzModule::run(LzContext& ctx, u64 max_steps) {
@@ -630,40 +654,49 @@ sim::RunResult LzModule::run(LzContext& ctx, u64 max_steps) {
   return result;
 }
 
-Cycles LzModule::exec_gate_switch(LzContext& ctx, int gate) {
-  LZ_CHECK(active_ == &ctx);
+Result<Cycles> LzModule::exec_gate_switch(LzContext& ctx, int gate) {
+  LZ_CHECK(active() == &ctx);
   auto& core = machine().core();
+  if (gate < 0 || static_cast<u32>(gate) >= ctx.opts().max_gates) {
+    return err(Errc::kBadGate, "gate switch: bad gate id");
+  }
   const VirtAddr entry = ctx.gates[gate].entry;
-  LZ_CHECK(entry != 0);
+  if (entry == 0) {
+    return err(Errc::kNoGate, "gate switch: gate has no registered entry");
+  }
+  if (ctx.gates[gate].pgt < 0) {
+    return err(Errc::kNoGate, "gate switch: gate has no table mapped");
+  }
   lz_counters().gate_switch.add();
   {
     const int pgt = ctx.gates[gate].pgt;
     const u16 asid =
-        pgt >= 0 && static_cast<std::size_t>(pgt) < ctx.pgts.size() &&
-                ctx.pgts[pgt].in_use
+        static_cast<std::size_t>(pgt) < ctx.pgts.size() && ctx.pgts[pgt].in_use
             ? ctx.pgts[pgt].tbl->asid()
             : 0;
     obs::trace().gate_switch(static_cast<u16>(gate), asid);
   }
   core.set_x(30, entry);
   core.set_pc(UpperLayout::gate_va(static_cast<u32>(gate)));
-  const Cycles start = machine().cycles();
+  // Measure on the calling core's own ledger: machine().cycles() sums every
+  // core and would fold concurrent work into this switch.
+  const Cycles start = machine().account().total();
   for (int i = 0; i < 64 && core.pc() != entry && ctx.proc().alive(); ++i) {
     core.step();
   }
-  return machine().cycles() - start;
+  return machine().account().total() - start;
 }
 
 Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
-  LZ_CHECK(active_ == &ctx);
+  LZ_CHECK(active() == &ctx);
   auto& core = machine().core();
-  const Cycles start = machine().cycles();
+  const Cycles start = machine().account().total();
   core.pstate().pan = pan;
   machine().charge(CostKind::kInsn, machine().platform().insn_base);
   machine().charge(CostKind::kSysreg, machine().platform().pan_toggle);
   lz_counters().pan_toggle.add();
   obs::trace().pan_toggle(pan);
-  return machine().cycles() - start;
+  return machine().account().total() - start;
 }
 
 // --- Trap handling -----------------------------------------------------------
@@ -675,7 +708,7 @@ sim::TrapAction LzModule::kill(LzContext& ctx, const std::string& reason) {
 }
 
 sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
-  LzContext* ctx = active_;
+  LzContext* ctx = active();
   if (ctx == nullptr) return TrapAction::kStop;
   ++ctx->traps;
   auto& core = machine().core();

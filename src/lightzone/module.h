@@ -156,10 +156,13 @@ class LzModule : public hv::TrapDelegate {
   sim::Machine& machine() { return host_.machine(); }
 
   // --- Table 2 API (kernel side) ---------------------------------------------
+  // Every call reports failure through Status/Result with errno-style
+  // codes (Errc::kNoPgt / kBadRange / kBadGate / kNoGate / …); the
+  // user-space library translates them to C ints at the Table-2 boundary.
   // lz_enter: move `proc` into its per-process virtual environment.
   LzContext& enter(kernel::Process& proc, const LzOptions& opts);
   // lz_alloc: new stage-1 domain page table; returns its id.
-  int alloc_pgt(LzContext& ctx);
+  Result<int> alloc_pgt(LzContext& ctx);
   // lz_free.
   Status free_pgt(LzContext& ctx, int pgt);
   // lz_prot: attach [addr, addr+len) to `pgt` (or kPgtAll) with overlay.
@@ -177,15 +180,17 @@ class LzModule : public hv::TrapDelegate {
 
   // Executes the real call-gate code on the core in the current LightZone
   // context (must be called between enter_world/exit_world or during run);
-  // returns consumed cycles. Used by benchmarks and event-level workloads.
-  Cycles exec_gate_switch(LzContext& ctx, int gate);
+  // returns the cycles the switch consumed on the calling core, or
+  // kBadGate / kNoGate when the gate id or its registration is invalid.
+  Result<Cycles> exec_gate_switch(LzContext& ctx, int gate);
   // Toggle PAN by executing the MSR PAN instruction path cost.
   Cycles exec_set_pan(LzContext& ctx, bool pan);
 
-  // World management for fine-grained driving (benchmarks).
+  // World management for fine-grained driving (benchmarks). Worlds are
+  // per core: each core may have its own LightZone process entered.
   void enter_world(LzContext& ctx);
   void exit_world(LzContext& ctx);
-  LzContext* active() { return active_; }
+  LzContext* active() { return world().active; }
 
   // --- TrapDelegate -----------------------------------------------------------
   sim::TrapAction on_el2_trap(const sim::TrapInfo& info) override;
@@ -237,9 +242,17 @@ class LzModule : public hv::TrapDelegate {
 
   hv::Host& host_;
   hv::GuestVm* vm_ = nullptr;
-  LzContext* active_ = nullptr;
-  u64 saved_hcr_ = 0;
-  u64 saved_vttbr_ = 0;
+  // World state one core owns: the LightZone context it is executing and
+  // the host HCR/VTTBR values to restore on exit. Indexed by the calling
+  // thread's core binding (mirrors hv::Host::PerCore); no lock — only the
+  // owning core's thread touches its slot.
+  struct PerCoreWorld {
+    LzContext* active = nullptr;
+    u64 saved_hcr = 0;
+    u64 saved_vttbr = 0;
+  };
+  PerCoreWorld& world() { return world_[machine().current_core_id()]; }
+  std::vector<PerCoreWorld> world_;
 };
 
 }  // namespace lz::core

@@ -6,22 +6,26 @@ namespace lz::mem {
 
 PhysAddr PhysMem::alloc_frame() {
   PhysAddr pa;
-  if (!free_list_.empty()) {
-    pa = free_list_.back();
-    free_list_.pop_back();
-  } else {
-    LZ_CHECK(next_frame_ + kPageSize <= ram_base_ + ram_size_);
-    pa = next_frame_;
-    next_frame_ += kPageSize;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_list_.empty()) {
+      pa = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      LZ_CHECK(next_frame_ + kPageSize <= ram_base_ + ram_size_);
+      pa = next_frame_;
+      next_frame_ += kPageSize;
+    }
+    ++frames_in_use_;
+    frames_peak_ = std::max(frames_peak_, frames_in_use_);
   }
   std::memset(page_ptr(pa), 0, kPageSize);
-  ++frames_in_use_;
-  frames_peak_ = std::max(frames_peak_, frames_in_use_);
   return pa;
 }
 
 void PhysMem::free_frame(PhysAddr pa) {
   LZ_CHECK(page_aligned(pa) && in_ram(pa));
+  std::lock_guard<std::mutex> lock(mu_);
   LZ_CHECK(frames_in_use_ > 0);
   --frames_in_use_;
   free_list_.push_back(pa);
@@ -29,6 +33,7 @@ void PhysMem::free_frame(PhysAddr pa) {
 
 PhysMem::Page& PhysMem::page(PhysAddr pa) const {
   const u64 idx = page_index(pa);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = pages_.find(idx);
   if (it == pages_.end()) {
     it = pages_.emplace(idx, std::make_unique<Page>()).first;

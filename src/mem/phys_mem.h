@@ -2,10 +2,16 @@
 // first touch; the allocator hands out zeroed frames for page tables,
 // kernel structures and process memory. Allocation counts feed the
 // memory-overhead numbers reported in §9.
+// Thread-safety: one PhysMem is shared by every core of the SMP machine.
+// The frame allocator and the sparse page map are mutex-guarded; byte
+// accesses themselves are unlocked (pages are stable once created), so
+// concurrent accesses to the *same* page are the simulated software's own
+// data races, exactly as on hardware.
 #pragma once
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,8 +32,14 @@ class PhysMem {
   // --- Frame allocator ------------------------------------------------------
   PhysAddr alloc_frame();
   void free_frame(PhysAddr pa);
-  u64 frames_in_use() const { return frames_in_use_; }
-  u64 frames_peak() const { return frames_peak_; }
+  u64 frames_in_use() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_in_use_;
+  }
+  u64 frames_peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_peak_;
+  }
 
   // --- Raw access (hypervisor/device view; no translation, no checks) ------
   u64 read(PhysAddr pa, u8 size) const;
@@ -49,6 +61,7 @@ class PhysMem {
   using Page = std::array<u8, kPageSize>;
   Page& page(PhysAddr pa) const;
 
+  mutable std::mutex mu_;
   PhysAddr ram_base_;
   u64 ram_size_;
   PhysAddr next_frame_;

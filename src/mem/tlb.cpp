@@ -4,38 +4,50 @@
 
 namespace lz::mem {
 
-Tlb::Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed)
+Tlb::Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed,
+         std::string counter_domain)
     : l1_(l1_entries),
       l2_(l2_entries),
       rng_(seed),
       c_l1_hit_(&obs::registry().counter("mem.tlb.l1_hit")),
       c_l2_hit_(&obs::registry().counter("mem.tlb.l2_hit")),
       c_miss_(&obs::registry().counter("mem.tlb.miss")),
-      c_inval_(&obs::registry().counter("mem.tlb.invalidation")) {}
+      c_inval_(&obs::registry().counter("mem.tlb.invalidation")) {
+  if (!counter_domain.empty()) {
+    auto& reg = obs::registry();
+    d_l1_hit_ = &reg.counter(counter_domain + ".l1_hit");
+    d_l2_hit_ = &reg.counter(counter_domain + ".l2_hit");
+    d_miss_ = &reg.counter(counter_domain + ".miss");
+    d_inval_ = &reg.counter(counter_domain + ".invalidation");
+  }
+}
 
 std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
                                     Cycles l2_hit_cost) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : l1_) {
     if (matches(e, vpage, asid, vmid)) {
       ++stats_.l1_hits;
-      c_l1_hit_->add();
-      return Hit{&e, 0, true};
+      count(c_l1_hit_, d_l1_hit_);
+      return Hit{e, 0, true};
     }
   }
   for (const auto& e : l2_) {
     if (matches(e, vpage, asid, vmid)) {
       ++stats_.l2_hits;
-      c_l2_hit_->add();
-      place(l1_, e);  // promote
-      return Hit{&e, l2_hit_cost, false};
+      count(c_l2_hit_, d_l2_hit_);
+      const TlbEntry copy = e;  // place() may shuffle l2_ storage aliasing e
+      place(l1_, copy);         // promote
+      return Hit{copy, l2_hit_cost, false};
     }
   }
   ++stats_.misses;
-  c_miss_->add();
+  count(c_miss_, d_miss_);
   return std::nullopt;
 }
 
 void Tlb::insert(const TlbEntry& e) {
+  std::lock_guard<std::mutex> lock(mu_);
   place(l1_, e);
   place(l2_, e);
 }
@@ -60,16 +72,18 @@ void Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
 }
 
 void Tlb::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
-  c_inval_->add();
+  count(c_inval_, d_inval_);
   obs::trace().tlb_inval(obs::TlbScope::kAll, 0, 0);
   for (auto& e : l1_) e.valid = false;
   for (auto& e : l2_) e.valid = false;
 }
 
 void Tlb::invalidate_vmid(u16 vmid) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
-  c_inval_->add();
+  count(c_inval_, d_inval_);
   obs::trace().tlb_inval(obs::TlbScope::kVmid, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid) e.valid = false;
@@ -80,8 +94,9 @@ void Tlb::invalidate_vmid(u16 vmid) {
 }
 
 void Tlb::invalidate_asid(u16 asid, u16 vmid) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
-  c_inval_->add();
+  count(c_inval_, d_inval_);
   obs::trace().tlb_inval(obs::TlbScope::kAsid, asid, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && !e.global && e.asid == asid) e.valid = false;
@@ -92,8 +107,9 @@ void Tlb::invalidate_asid(u16 asid, u16 vmid) {
 }
 
 void Tlb::invalidate_va(u64 vpage, u16 vmid) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
-  c_inval_->add();
+  count(c_inval_, d_inval_);
   obs::trace().tlb_inval(obs::TlbScope::kVa, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && e.vpage == vpage) e.valid = false;
@@ -104,6 +120,7 @@ void Tlb::invalidate_va(u64 vpage, u16 vmid) {
 }
 
 std::size_t Tlb::valid_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& e : l2_) n += e.valid;
   return n;

@@ -3,9 +3,16 @@
 // domain-switch economics come from: per-page-table ASIDs let TTBR0 updates
 // skip TLB invalidation entirely (§4.1.2), and marking unprotected memory
 // global keeps its entries shared across all domains (§8.2).
+//
+// Thread-safety: every operation takes the per-Tlb mutex. In the SMP
+// machine each core owns one Tlb, so the lock is uncontended on the local
+// path and only taken remotely by DVM broadcast invalidations
+// (`TLBI ...IS` walking all cores' TLBs, see sim::Machine::tlbi_*_is).
 #pragma once
 
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/pte.h"
@@ -44,10 +51,14 @@ struct TlbStats {
 
 class Tlb {
  public:
-  Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed = 42);
+  // `counter_domain` names an additional per-core counter namespace (e.g.
+  // "sim.core1.tlb"); the process-wide `mem.tlb.*` aggregates always move
+  // so existing reports and goldens keep their meaning under SMP.
+  Tlb(std::size_t l1_entries, std::size_t l2_entries, u64 seed = 42,
+      std::string counter_domain = {});
 
   struct Hit {
-    const TlbEntry* entry;
+    TlbEntry entry;     // copied out under the lock; stays valid after it
     Cycles extra_cost;  // 0 on micro-TLB hit, tlb_l2_hit on main-TLB hit
     bool from_l1;
   };
@@ -62,8 +73,16 @@ class Tlb {
   void invalidate_asid(u16 asid, u16 vmid);   // non-global entries of an ASID
   void invalidate_va(u64 vpage, u16 vmid);    // all ASIDs + global, one page
 
-  const TlbStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  // Copies stats under the lock; call from a quiesced machine (or the
+  // owning core's thread) for exact values.
+  TlbStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = {};
+  }
   std::size_t valid_entries() const;
 
  private:
@@ -72,18 +91,28 @@ class Tlb {
            (e.global || e.asid == asid);
   }
   void place(std::vector<TlbEntry>& level, const TlbEntry& e);
+  void count(obs::Counter* aggregate, obs::Counter* per_core) {
+    aggregate->add();
+    if (per_core) per_core->add();
+  }
 
+  mutable std::mutex mu_;
   std::vector<TlbEntry> l1_;
   std::vector<TlbEntry> l2_;
   Rng rng_;
   TlbStats stats_;
 
   // Process-wide observability mirrors of stats_ (cached handles so the
-  // lookup hot path pays one pointer add per event, `mem.tlb.*`).
+  // lookup hot path pays one pointer add per event, `mem.tlb.*`), plus the
+  // optional per-core domain (`sim.coreN.tlb.*`).
   obs::Counter* c_l1_hit_;
   obs::Counter* c_l2_hit_;
   obs::Counter* c_miss_;
   obs::Counter* c_inval_;
+  obs::Counter* d_l1_hit_ = nullptr;
+  obs::Counter* d_l2_hit_ = nullptr;
+  obs::Counter* d_miss_ = nullptr;
+  obs::Counter* d_inval_ = nullptr;
 };
 
 }  // namespace lz::mem

@@ -7,19 +7,23 @@
 namespace lz::obs {
 
 Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    // try_emplace: Counter holds an atomic and is not copyable/movable.
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return it->second;
 }
 
 const Counter* Registry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   snap.reserve(counters_.size());
   for (const auto& [name, c] : counters_) snap.emplace_back(name, c.value());
@@ -41,7 +45,13 @@ Snapshot Registry::delta(const Snapshot& before, const Snapshot& after) {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
 }
 
 Registry& registry() {

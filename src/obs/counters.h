@@ -11,14 +11,19 @@
 // Registration returns a stable Counter* so hot paths increment through a
 // cached pointer — no string lookup, no allocation, one add.
 //
-// Everything here is process-global and single-threaded, matching the
-// simulator: determinism is part of the contract (snapshots are
-// name-sorted, values depend only on the executed work).
+// Everything here is process-global and thread-safe: the SMP machine runs
+// one std::thread per simulated core, so increments are relaxed atomic adds
+// (addition commutes — totals stay deterministic regardless of interleaving)
+// and registration/snapshot take the registry mutex. Determinism is part of
+// the contract (snapshots are name-sorted, values depend only on the
+// executed work).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -30,12 +35,16 @@ namespace lz::obs {
 
 class Counter {
  public:
-  void add(u64 n = 1) { value_ += n; }
-  u64 value() const { return value_; }
-  void reset() { value_ = 0; }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  u64 value_ = 0;
+  std::atomic<u64> value_{0};
 };
 
 // One (name, value) pair per registered counter, sorted by name.
@@ -59,9 +68,10 @@ class Registry {
   // Zero every counter; registrations (and handles) stay valid.
   void reset();
 
-  std::size_t size() const { return counters_.size(); }
+  std::size_t size() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
 };
 
@@ -77,19 +87,21 @@ class CycleLedger {
   static constexpr std::size_t kMaxKinds = 32;
 
   void charge(std::size_t kind, u64 cycles) {
-    total_ += cycles;
-    by_kind_[kind] += cycles;
+    total_.fetch_add(cycles, std::memory_order_relaxed);
+    by_kind_[kind].fetch_add(cycles, std::memory_order_relaxed);
   }
-  u64 total() const { return total_; }
-  u64 of(std::size_t kind) const { return by_kind_[kind]; }
+  u64 total() const { return total_.load(std::memory_order_relaxed); }
+  u64 of(std::size_t kind) const {
+    return by_kind_[kind].load(std::memory_order_relaxed);
+  }
   void reset() {
-    total_ = 0;
-    by_kind_.fill(0);
+    total_.store(0, std::memory_order_relaxed);
+    for (auto& k : by_kind_) k.store(0, std::memory_order_relaxed);
   }
 
  private:
-  u64 total_ = 0;
-  std::array<u64, kMaxKinds> by_kind_{};
+  std::atomic<u64> total_{0};
+  std::array<std::atomic<u64>, kMaxKinds> by_kind_{};
 };
 
 CycleLedger& cycle_ledger();

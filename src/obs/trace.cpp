@@ -122,18 +122,36 @@ void append_args(std::string& out, const Event& e) {
 }  // namespace
 
 void Trace::arm(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.assign(capacity, Event{});
   head_ = count_ = 0;
   dropped_ = 0;
-  armed_ = capacity > 0;
+  armed_.store(capacity > 0, std::memory_order_relaxed);
 }
 
 void Trace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   head_ = count_ = 0;
   dropped_ = 0;
 }
 
+std::size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::size_t Trace::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+u64 Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void Trace::push(const Event& e) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (ring_.empty()) return;
   ring_[head_] = e;
   head_ = (head_ + 1) % ring_.size();
@@ -145,6 +163,7 @@ void Trace::push(const Event& e) {
 }
 
 std::vector<Event> Trace::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Event> out;
   out.reserve(count_);
   const std::size_t start =
@@ -157,12 +176,12 @@ std::vector<Event> Trace::events() const {
 
 std::string Trace::to_chrome_json() const {
   std::string out;
-  out.reserve(count_ * 128 + 128);
+  out.reserve(size() * 128 + 128);
   out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":"
          "\"simulated-cycles\",\"dropped_events\":";
   {
     char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRIu64, dropped_);
+    std::snprintf(buf, sizeof buf, "%" PRIu64, dropped());
     out += buf;
   }
   out += "},\"traceEvents\":[";

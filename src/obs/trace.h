@@ -17,7 +17,9 @@
 // (ui.perfetto.dev) or chrome://tracing; `ts` is in simulated cycles.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,15 +60,15 @@ class Trace {
  public:
   // Allocate (or resize) the ring and start recording. Re-arming clears.
   void arm(std::size_t capacity);
-  void disarm() { armed_ = false; }
-  bool armed() const { return armed_; }
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
   // Drop recorded events; keeps the armed state and capacity.
   void clear();
 
-  std::size_t size() const { return count_; }
-  std::size_t capacity() const { return ring_.size(); }
-  u64 dropped() const { return dropped_; }  // overwritten by wraparound
+  std::size_t size() const;
+  std::size_t capacity() const;
+  u64 dropped() const;  // overwritten by wraparound
 
   // Recorded events, oldest first (at most `capacity()` of them).
   std::vector<Event> events() const;
@@ -139,11 +141,15 @@ class Trace {
   static Cycles now() { return cycle_ledger().total(); }
   void push(const Event& e);
 
+  // The armed flag is a relaxed atomic so the disarmed fast path stays a
+  // single branch under SMP; the ring itself is mutex-guarded (emission is
+  // rare enough — armed runs only — that contention does not matter).
+  mutable std::mutex mu_;
   std::vector<Event> ring_;
   std::size_t head_ = 0;  // next write index
   std::size_t count_ = 0;
   u64 dropped_ = 0;
-  bool armed_ = false;
+  std::atomic<bool> armed_{false};
 };
 
 // The process-wide trace every subsystem emits into.

@@ -164,7 +164,7 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
   if (auto hit = tlb_.lookup(vpage, current_asid(), current_vmid(),
                              plat_.tlb_l2_hit)) {
     account_.charge(CostKind::kTlb, hit->extra_cost);
-    entry = *hit->entry;
+    entry = hit->entry;
   } else {
     entry = translate_slow(va, vpage, &out);
     if (!entry) return out;  // translation fault recorded in `out`

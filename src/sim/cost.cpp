@@ -14,6 +14,7 @@ const char* to_string(CostKind kind) {
     case CostKind::kDispatch: return "dispatch";
     case CostKind::kGate: return "call-gate";
     case CostKind::kWorkload: return "workload";
+    case CostKind::kTlbi: return "tlb-shootdown";
     case CostKind::kCount: break;
   }
   return "?";

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 
@@ -23,6 +24,7 @@ enum class CostKind : u8 {
   kDispatch,   // software handler dispatch / bookkeeping
   kGate,       // secure call-gate execution
   kWorkload,   // modelled application work (event-level workloads)
+  kTlbi,       // DVM broadcast TLB shootdown (TLBI ...IS)
   kCount,
 };
 
@@ -34,32 +36,38 @@ const char* to_string(CostKind kind);
 static_assert(kNumCostKinds <= obs::CycleLedger::kMaxKinds,
               "CostKind no longer fits the obs::CycleLedger mirror");
 
+// Per-core cycle account. Charges come only from the owning core's thread;
+// the fields are relaxed atomics so another thread (e.g. the main thread
+// summing Machine::cycles() across cores) can read them without a data
+// race — addition commutes, so totals stay deterministic.
 class CycleAccount {
  public:
   void charge(CostKind kind, Cycles c) {
     assert(static_cast<std::size_t>(kind) <
                static_cast<std::size_t>(CostKind::kCount) &&
            "charge() with an out-of-range CostKind");
-    total_ += c;
-    by_kind_[static_cast<std::size_t>(kind)] += c;
+    total_.fetch_add(c, std::memory_order_relaxed);
+    by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+        c, std::memory_order_relaxed);
     // Mirror into the process-wide ledger: reports aggregate per-kind
     // spend across every Machine, and the event trace uses the ledger's
     // running total as its deterministic clock.
     obs::cycle_ledger().charge(static_cast<std::size_t>(kind), c);
   }
 
-  Cycles total() const { return total_; }
+  Cycles total() const { return total_.load(std::memory_order_relaxed); }
   Cycles of(CostKind kind) const {
-    return by_kind_[static_cast<std::size_t>(kind)];
+    return by_kind_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
   }
   void reset() {
-    total_ = 0;
-    by_kind_.fill(0);
+    total_.store(0, std::memory_order_relaxed);
+    for (auto& k : by_kind_) k.store(0, std::memory_order_relaxed);
   }
 
  private:
-  Cycles total_ = 0;
-  std::array<Cycles, kNumCostKinds> by_kind_{};
+  std::atomic<Cycles> total_{0};
+  std::array<std::atomic<Cycles>, kNumCostKinds> by_kind_{};
 };
 
 }  // namespace lz::sim

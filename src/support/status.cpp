@@ -14,6 +14,10 @@ const char* errc_name(Errc e) {
     case Errc::kFailedPrecondition: return "FAILED_PRECONDITION";
     case Errc::kUnimplemented: return "UNIMPLEMENTED";
     case Errc::kInternal: return "INTERNAL";
+    case Errc::kNoPgt: return "NO_PGT";
+    case Errc::kBadRange: return "BAD_RANGE";
+    case Errc::kBadGate: return "BAD_GATE";
+    case Errc::kNoGate: return "NO_GATE";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,13 @@ enum class Errc {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Errno-style codes for the LightZone Table-2 API (lz_alloc/lz_free/
+  // lz_prot/lz_map_gate_pgt/lz_set_gate_entry). Kept at the end so the
+  // generic codes above keep their numeric values.
+  kNoPgt,     // pgt id does not name a live isolation table
+  kBadRange,  // address range unaligned, empty, or overlapping another domain
+  kBadGate,   // gate id outside the configured gate table
+  kNoGate,    // gate exists but has no entry point / table mapped
 };
 
 const char* errc_name(Errc e);

@@ -32,7 +32,10 @@ Cycles measure_marginal_syscall(const AppConfig& config, bool lightzone) {
                              ? Env::Placement::kHost
                              : Env::Placement::kGuest;
   const auto run = [&](unsigned n) -> Cycles {
-    Env env(*config.platform, placement, config.seed);
+    Env env(Env::Options()
+                .platform(*config.platform)
+                .placement(placement)
+                .seed(config.seed));
     auto& proc = env.new_process();
     sim::Asm a;
     for (unsigned i = 0; i < n; ++i) {
@@ -68,11 +71,13 @@ Cycles measure_marginal_syscall(const AppConfig& config, bool lightzone) {
 }  // namespace
 
 AppDriver::AppDriver(const AppConfig& config) : config_(config) {
-  env_ = std::make_unique<Env>(*config.platform,
-                               config.placement == Placement::kHost
-                                   ? Env::Placement::kHost
-                                   : Env::Placement::kGuest,
-                               config.seed);
+  env_ = std::make_unique<Env>(Env::Options()
+                                   .platform(*config.platform)
+                                   .placement(config.placement ==
+                                                      Placement::kHost
+                                                  ? Env::Placement::kHost
+                                                  : Env::Placement::kGuest)
+                                   .seed(config.seed));
   proc_ = &env_->new_process();
   syscall_cost_ = measure_marginal_syscall(config, is_lz());
 
@@ -140,7 +145,7 @@ void AppDriver::setup_domains(VirtAddr base, u64 slot, int count) {
       LZ_CHECK_OK(module.set_gate_entry(ctx, 0, entry));
       for (int d = 0; d < count; ++d) {
         const VirtAddr va = base + static_cast<u64>(d) * slot;
-        const int pgt = module.alloc_pgt(ctx);
+        const int pgt = module.alloc_pgt(ctx).value();
         LZ_CHECK(pgt >= 1);
         LZ_CHECK_OK(module.prot(ctx, va, slot, pgt,
                                 core::kLzRead | core::kLzWrite));
@@ -210,7 +215,7 @@ Cycles AppDriver::enter_domain(int domain) {
     case Mechanism::kLzPan:
       return lz_->set_pan(false);
     case Mechanism::kLzTtbr:
-      return lz_->lz_switch_to_ttbr_gate(domain + 1);
+      return lz_->lz_switch_to_ttbr_gate(domain + 1).value();
     case Mechanism::kWatchpoint:
       // Only 16 hardware-watchable domains exist; higher-numbered logical
       // domains share them (the baseline's scalability failure, Table 1).
@@ -230,7 +235,7 @@ Cycles AppDriver::exit_domain(int domain) {
       return lz_->set_pan(true);
     case Mechanism::kLzTtbr:
       // Returning to the default table revokes access.
-      return lz_->lz_switch_to_ttbr_gate(0);
+      return lz_->lz_switch_to_ttbr_gate(0).value();
     case Mechanism::kWatchpoint:
       return wp_->exit_domains();
     case Mechanism::kLwc:

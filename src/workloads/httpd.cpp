@@ -1,6 +1,8 @@
 #include "workloads/httpd.h"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "lightzone/api.h"
 #include "support/rng.h"
@@ -101,6 +103,208 @@ double httpd_throughput_rps(const HttpdResult& result,
   const double latency_s = service_s + params.rtt_seconds;
   // One worker: client-limited until the worker saturates.
   return std::min(concurrency / latency_s, 1.0 / service_s);
+}
+
+HttpdSmpResult run_httpd_smp(const AppConfig& config,
+                             const HttpdParams& params, unsigned cores,
+                             int concurrency) {
+  using core::Env;
+  using core::LzProc;
+  LZ_CHECK(cores >= 1);
+  LZ_CHECK(config.mech == Mechanism::kNone ||
+           config.mech == Mechanism::kLzPan ||
+           config.mech == Mechanism::kLzTtbr);
+
+  // Per-event cycle costs probed from a single-core driver of the same
+  // configuration (they are pure numbers; the SMP run charges its own
+  // machine with them).
+  Cycles setup_cost = 0, syscall_cost = 0, tlb_miss = 0;
+  {
+    AppDriver probe(config);
+    setup_cost = probe.domain_setup_cost();
+    syscall_cost = probe.syscall_cost();
+    tlb_miss = probe.tlb_miss_cost();
+  }
+
+  Env env(Env::Options()
+              .platform(*config.platform)
+              .placement(config.placement == Placement::kHost
+                             ? Env::Placement::kHost
+                             : Env::Placement::kGuest)
+              .cores(cores)
+              .seed(config.seed));
+  auto& machine = *env.machine;
+  const VirtAddr key_arena = Env::kHeapVa;
+  const VirtAddr entry = Env::kCodeVa + 0x40;
+
+  // Deterministic setup, sequential on the main thread: one worker process
+  // per core with its own key arena, domains and (for TTBR) call gates.
+  std::vector<kernel::Process*> procs(cores);
+  std::vector<std::optional<LzProc>> lzs(cores);
+  for (unsigned w = 0; w < cores; ++w) {
+    sim::Machine::CoreBinding bind(machine, w);
+    auto& core = machine.core(w);
+    auto& proc = env.new_process();
+    procs[w] = &proc;
+
+    switch (config.mech) {
+      case Mechanism::kNone:
+        for (int k = 0; k < params.concurrent_keys; ++k) {
+          LZ_CHECK_OK(env.kern().populate_page(
+              proc, key_arena + static_cast<u64>(k) * kPageSize,
+              kernel::kProtRead | kernel::kProtWrite));
+        }
+        env.kern().load_ctx(proc, core);
+        core.pstate().el = arch::ExceptionLevel::kEl0;
+        break;
+      case Mechanism::kLzPan: {
+        lzs[w].emplace(LzProc::enter(*env.module, proc,
+                                     /*allow_scalable=*/false,
+                                     /*insn_san=*/2));
+        auto& lz = *lzs[w];
+        auto& module = lz.module();
+        auto& ctx = lz.ctx();
+        for (int k = 0; k < params.concurrent_keys; ++k) {
+          const VirtAddr va = key_arena + static_cast<u64>(k) * kPageSize;
+          LZ_CHECK_OK(module.prot(ctx, va, kPageSize, core::kPgtAll,
+                                  core::kLzRead | core::kLzWrite |
+                                      core::kLzUser));
+          LZ_CHECK_OK(module.touch_page(ctx, va, true, false));
+        }
+        lz.enter_world();
+        core.pstate().el = arch::ExceptionLevel::kEl1;
+        core.pstate().pan = true;
+        core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
+        core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
+        core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+        break;
+      }
+      case Mechanism::kLzTtbr: {
+        lzs[w].emplace(LzProc::enter(*env.module, proc,
+                                     /*allow_scalable=*/true,
+                                     /*insn_san=*/1));
+        auto& lz = *lzs[w];
+        auto& module = lz.module();
+        auto& ctx = lz.ctx();
+        LZ_CHECK_OK(module.map_gate_pgt(ctx, 0, 0));
+        LZ_CHECK_OK(module.set_gate_entry(ctx, 0, entry));
+        for (int k = 0; k < params.concurrent_keys; ++k) {
+          const VirtAddr va = key_arena + static_cast<u64>(k) * kPageSize;
+          const int pgt = module.alloc_pgt(ctx).value();
+          LZ_CHECK_OK(module.prot(ctx, va, kPageSize, pgt,
+                                  core::kLzRead | core::kLzWrite));
+          LZ_CHECK_OK(module.map_gate_pgt(ctx, pgt, k + 1));
+          LZ_CHECK_OK(module.set_gate_entry(ctx, k + 1, entry));
+          LZ_CHECK_OK(module.touch_page(ctx, va, true, false));
+        }
+        lz.enter_world();
+        core.pstate().el = arch::ExceptionLevel::kEl1;
+        core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
+        core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
+        core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Install the key material (per-worker keys differ by seed).
+    Rng rng(config.seed + w);
+    for (int k = 0; k < params.concurrent_keys; ++k) {
+      u8 key[crypto::kAesKeySize];
+      for (auto& b : key) b = static_cast<u8>(rng.next());
+      env.kern().copy_to_user(proc,
+                              key_arena + static_cast<u64>(k) * kPageSize,
+                              key, sizeof(key));
+    }
+  }
+
+  // Concurrent phase: every worker serves its request stream on its core.
+  // Streams are disjoint (own process, own VMID/ASIDs, own per-core TLB),
+  // so per-core cycle counts — and therefore all counter totals — are
+  // independent of thread interleaving.
+  HttpdSmpResult result;
+  result.per_core.resize(cores);
+  for (unsigned w = 0; w < cores; ++w) {
+    env.kern().run_on(w, [&, w](unsigned core_id) {
+      auto& core = machine.core(core_id);
+      auto& proc = *procs[w];
+      Rng rng(config.seed ^ (0x9e3779b9u * (core_id + 1)));
+      u8 response[1024];
+      for (auto& b : response) b = static_cast<u8>(rng.next());
+      double checksum = 0;
+
+      const auto enter_dom = [&](int key_id) {
+        if (config.mech == Mechanism::kLzPan) {
+          lzs[w]->set_pan(false);
+        } else if (config.mech == Mechanism::kLzTtbr) {
+          LZ_CHECK(lzs[w]->lz_switch_to_ttbr_gate(key_id + 1).is_ok());
+        }
+      };
+      const auto exit_dom = [&] {
+        if (config.mech == Mechanism::kLzPan) {
+          lzs[w]->set_pan(true);
+        } else if (config.mech == Mechanism::kLzTtbr) {
+          LZ_CHECK(lzs[w]->lz_switch_to_ttbr_gate(0).is_ok());
+        }
+      };
+
+      const Cycles start = machine.account(core_id).total();
+      for (int r = 0; r < params.requests; ++r) {
+        const int key_id = r % params.concurrent_keys;
+        machine.charge(sim::CostKind::kDispatch, setup_cost);
+        machine.charge(sim::CostKind::kDispatch,
+                       static_cast<Cycles>(params.syscalls_per_request) *
+                           syscall_cost);
+        const VirtAddr key_va =
+            key_arena + static_cast<u64>(key_id) * kPageSize;
+        for (int c = 0; c < params.gated_crypto_calls; ++c) {
+          enter_dom(key_id);
+          u8 key[crypto::kAesKeySize];
+          const auto lo = core.mem_read(key_va, 8);
+          const auto hi = core.mem_read(key_va + 8, 8);
+          LZ_CHECK(lo.ok && hi.ok);
+          std::memcpy(key, &lo.value, 8);
+          std::memcpy(key + 8, &hi.value, 8);
+          exit_dom();
+          if (c == 0) {
+            const auto expanded = crypto::aes_expand_key(key);
+            u8 iv[crypto::kAesBlockSize] = {};
+            iv[0] = static_cast<u8>(r);
+            u8 buf[1024];
+            std::memcpy(buf, response, sizeof(buf));
+            crypto::aes_cbc_encrypt(expanded, iv, buf, sizeof(buf));
+            checksum += buf[0] + buf[512] + buf[1023];
+          }
+        }
+        machine.charge(sim::CostKind::kTlb,
+                       static_cast<Cycles>(params.tlb_misses_per_request *
+                                           tlb_miss));
+        machine.charge(sim::CostKind::kWorkload,
+                       params.app_cycles_per_request);
+        LZ_CHECK(proc.alive());
+      }
+
+      HttpdResult& res = result.per_core[core_id];
+      res.cycles_per_request =
+          static_cast<double>(machine.account(core_id).total() - start) /
+          params.requests;
+      res.response_checksum = checksum;
+      res.isolation_table_pages =
+          lzs[w] ? lzs[w]->ctx().isolation_table_pages() : 0;
+      res.key_pages = params.concurrent_keys;
+      if (lzs[w]) lzs[w]->exit_world();
+    });
+  }
+  env.kern().schedule();
+
+  // Clients split evenly across workers; each worker is an independent
+  // closed-loop server.
+  const int share = std::max(1, concurrency / static_cast<int>(cores));
+  for (const auto& res : result.per_core) {
+    result.total_rps += httpd_throughput_rps(res, params, config, share);
+  }
+  return result;
 }
 
 }  // namespace lz::workload

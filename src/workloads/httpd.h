@@ -9,6 +9,8 @@
 // the protection mechanisms are genuinely on the request path.
 #pragma once
 
+#include <vector>
+
 #include "workloads/app_driver.h"
 
 namespace lz::workload {
@@ -41,5 +43,20 @@ HttpdResult run_httpd(const AppConfig& config, const HttpdParams& params);
 double httpd_throughput_rps(const HttpdResult& result,
                             const HttpdParams& params,
                             const AppConfig& config, int concurrency);
+
+// --- SMP scaling (`--cores N`) ------------------------------------------------
+// The multi-worker server: one worker process pinned per core of an N-core
+// machine, all sharing one kernel and one physical memory (nginx's
+// worker-per-core deployment). Supports the vanilla and LightZone
+// mechanisms; `concurrency` clients are split evenly across workers and
+// `total_rps` sums the per-worker closed-loop throughput.
+struct HttpdSmpResult {
+  std::vector<HttpdResult> per_core;
+  double total_rps = 0;
+};
+
+HttpdSmpResult run_httpd_smp(const AppConfig& config,
+                             const HttpdParams& params, unsigned cores,
+                             int concurrency);
 
 }  // namespace lz::workload

@@ -1,5 +1,7 @@
 #include "workloads/microbench.h"
 
+#include <optional>
+
 #include "baselines/lwc.h"
 #include "baselines/watchpoint.h"
 #include "lightzone/api.h"
@@ -97,45 +99,47 @@ TrapCosts measure_trap_costs(const arch::Platform& platform) {
   constexpr unsigned kN1 = 64, kN2 = 192;
 
   {
-    Env e1(platform, Env::Placement::kHost), e2(platform, Env::Placement::kHost);
+    Env e1(Env::Options().platform(platform)),
+        e2(Env::Options().platform(platform));
     costs.host_syscall =
         marginal_cost(e1, e2, kN1, kN2, [](Env& e, unsigned n) {
           return run_host_user(e, n);
         });
   }
   {
-    Env e1(platform, Env::Placement::kGuest),
-        e2(platform, Env::Placement::kGuest);
+    Env e1(Env::Options().platform(platform).placement(Env::Placement::kGuest)),
+        e2(Env::Options().platform(platform).placement(Env::Placement::kGuest));
     costs.guest_syscall =
         marginal_cost(e1, e2, kN1, kN2, [](Env& e, unsigned n) {
           return run_guest_user(e, n);
         });
   }
   {
-    Env e1(platform, Env::Placement::kHost), e2(platform, Env::Placement::kHost);
+    Env e1(Env::Options().platform(platform)),
+        e2(Env::Options().platform(platform));
     costs.lz_host_trap =
         marginal_cost(e1, e2, kN1, kN2, [](Env& e, unsigned n) {
           return run_lz(e, n);
         });
   }
   {
-    Env e1(platform, Env::Placement::kGuest),
-        e2(platform, Env::Placement::kGuest);
+    Env e1(Env::Options().platform(platform).placement(Env::Placement::kGuest)),
+        e2(Env::Options().platform(platform).placement(Env::Placement::kGuest));
     costs.lz_guest_trap_min =
         marginal_cost(e1, e2, kN1, kN2, [](Env& e, unsigned n) {
           return run_lz(e, n);
         });
   }
   {
-    Env e1(platform, Env::Placement::kGuest),
-        e2(platform, Env::Placement::kGuest);
+    Env e1(Env::Options().platform(platform).placement(Env::Placement::kGuest)),
+        e2(Env::Options().platform(platform).placement(Env::Placement::kGuest));
     costs.lz_guest_trap_max =
         marginal_cost(e1, e2, kN1, kN2, [](Env& e, unsigned n) {
           return run_lz(e, n, /*resched_every_trap=*/true);
         });
   }
   {
-    Env env(platform, Env::Placement::kGuest);
+    Env env(Env::Options().platform(platform).placement(Env::Placement::kGuest));
     env.vm->enter_vm();
     // Average over a few round-trips.
     Cycles total = 0;
@@ -145,7 +149,7 @@ TrapCosts measure_trap_costs(const arch::Platform& platform) {
     env.vm->exit_vm();
   }
   {
-    Env env(platform, Env::Placement::kHost);
+    Env env(Env::Options().platform(platform));
     auto& m = *env.machine;
     Cycles start = m.cycles();
     constexpr int kReps = 16;
@@ -166,7 +170,8 @@ TrapAblations measure_trap_ablations(const arch::Platform& platform) {
   TrapAblations ab;
   constexpr unsigned kN1 = 64, kN2 = 192;
   {
-    Env e1(platform, Env::Placement::kHost), e2(platform, Env::Placement::kHost);
+    Env e1(Env::Options().platform(platform)),
+        e2(Env::Options().platform(platform));
     e1.host->set_conditional_sysreg_opt(false);
     e2.host->set_conditional_sysreg_opt(false);
     ab.lz_host_trap_no_cond_sysreg =
@@ -175,8 +180,8 @@ TrapAblations measure_trap_ablations(const arch::Platform& platform) {
         });
   }
   const auto nested_with = [&](bool shared_ptregs, bool deferred) {
-    Env e1(platform, Env::Placement::kGuest),
-        e2(platform, Env::Placement::kGuest);
+    Env e1(Env::Options().platform(platform).placement(Env::Placement::kGuest)),
+        e2(Env::Options().platform(platform).placement(Env::Placement::kGuest));
     const auto run = [&](Env& e, unsigned n) {
       auto& proc = e.new_process();
       Asm a = syscall_program(n);
@@ -201,8 +206,9 @@ TrapAblations measure_trap_ablations(const arch::Platform& platform) {
 double lz_switch_avg_cycles(const arch::Platform& platform,
                             Placement placement, int domains, int iters,
                             u64 seed, bool asid_tags) {
-  Env env(platform, placement == Placement::kHost ? Env::Placement::kHost
-                                                  : Env::Placement::kGuest);
+  Env env(Env::Options().platform(platform).placement(
+      placement == Placement::kHost ? Env::Placement::kHost
+                                    : Env::Placement::kGuest));
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
   auto& core = env.machine->core();
@@ -244,7 +250,7 @@ double lz_switch_avg_cycles(const arch::Platform& platform,
   std::vector<int> pgts(domains);
   for (int d = 0; d < domains; ++d) {
     const VirtAddr va = arena + static_cast<u64>(d) * kPageSize;
-    const int pgt = d == 0 ? 0 : lz.lz_alloc();
+    const int pgt = d == 0 ? 0 : lz.lz_alloc().value();
     LZ_CHECK(pgt >= 0);
     pgts[d] = pgt;
     if (!asid_tags) {
@@ -268,14 +274,14 @@ double lz_switch_avg_cycles(const arch::Platform& platform,
 
   // Warm up: visit each domain once.
   for (int d = 0; d < domains; ++d) {
-    module.exec_gate_switch(ctx, d);
+    LZ_CHECK(module.exec_gate_switch(ctx, d).is_ok());
     (void)core.mem_read(arena + static_cast<u64>(d) * kPageSize, 8);
   }
 
   const Cycles start = env.machine->cycles();
   for (int i = 0; i < iters; ++i) {
     const int d = static_cast<int>(rng.below(domains));
-    module.exec_gate_switch(ctx, d);
+    LZ_CHECK(module.exec_gate_switch(ctx, d).is_ok());
     if (!asid_tags) {
       env.machine->tlb().invalidate_vmid(ctx.vmid);
       env.machine->charge(sim::CostKind::kSysreg, platform.dsb + platform.isb);
@@ -289,13 +295,98 @@ double lz_switch_avg_cycles(const arch::Platform& platform,
   return avg;
 }
 
+std::vector<SmpSwitchStats> lz_switch_avg_cycles_smp(
+    const arch::Platform& platform, Placement placement, unsigned cores,
+    int domains, int iters, u64 seed) {
+  LZ_CHECK(cores >= 1 && domains >= 2);
+  Env env(Env::Options()
+              .platform(platform)
+              .placement(placement == Placement::kHost
+                             ? Env::Placement::kHost
+                             : Env::Placement::kGuest)
+              .cores(cores)
+              .seed(seed));
+  auto& machine = *env.machine;
+  const VirtAddr arena = Env::kHeapVa;
+  const VirtAddr entry = Env::kCodeVa + 0x40;
+
+  // Deterministic setup: one LightZone process per core, prepared
+  // sequentially on the main thread so frame-allocation order (and thus
+  // every table layout) is independent of thread scheduling. The core
+  // binding only routes per-core state (sysregs, accounts) while staging.
+  std::vector<std::optional<LzProc>> lzs(cores);
+  for (unsigned w = 0; w < cores; ++w) {
+    sim::Machine::CoreBinding bind(machine, w);
+    auto& proc = env.new_process();
+    lzs[w].emplace(LzProc::enter(*env.module, proc, true, 1));
+    auto& lz = *lzs[w];
+    auto& module = lz.module();
+    auto& ctx = lz.ctx();
+    for (int d = 0; d < domains; ++d) {
+      const VirtAddr va = arena + static_cast<u64>(d) * kPageSize;
+      const int pgt = d == 0 ? 0 : module.alloc_pgt(ctx).value();
+      LZ_CHECK_OK(module.prot(ctx, va, kPageSize, pgt,
+                              core::kLzRead | core::kLzWrite));
+      LZ_CHECK_OK(module.map_gate_pgt(ctx, pgt, d));
+      LZ_CHECK_OK(module.set_gate_entry(ctx, d, entry));
+      LZ_CHECK_OK(module.touch_page(ctx, va, true, false));
+    }
+  }
+
+  // Concurrent phase: every core runs its own switch-and-access loop.
+  // Work streams are disjoint (own process, own VMID, own TLB), so each
+  // core's cycle count and TLB statistics are exact and reproducible.
+  std::vector<SmpSwitchStats> stats(cores);
+  for (unsigned w = 0; w < cores; ++w) {
+    env.kern().run_on(w, [&, w](unsigned core_id) {
+      auto& lz = *lzs[w];
+      auto& module = lz.module();
+      auto& ctx = lz.ctx();
+      auto& core = machine.core(core_id);
+      lz.enter_world();
+      core.pstate().el = arch::ExceptionLevel::kEl1;
+      core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
+      core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
+      core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+      Rng rng(seed + core_id);
+      for (int d = 0; d < domains; ++d) {  // warm gates and pages
+        LZ_CHECK(module.exec_gate_switch(ctx, d).is_ok());
+        (void)core.mem_read(arena + static_cast<u64>(d) * kPageSize, 8);
+      }
+      const mem::TlbStats before = machine.tlb(core_id).stats();
+      const Cycles start = machine.account(core_id).total();
+      for (int i = 0; i < iters; ++i) {
+        const int d = static_cast<int>(rng.below(domains));
+        LZ_CHECK(module.exec_gate_switch(ctx, d).is_ok());
+        (void)core.mem_read(arena + static_cast<u64>(d) * kPageSize, 8);
+        LZ_CHECK(lz.proc().alive());
+      }
+      auto& s = stats[core_id];
+      s.avg_cycles = static_cast<double>(machine.account(core_id).total() -
+                                         start) /
+                     iters;
+      const mem::TlbStats after = machine.tlb(core_id).stats();
+      mem::TlbStats d;
+      d.l1_hits = after.l1_hits - before.l1_hits;
+      d.l2_hits = after.l2_hits - before.l2_hits;
+      d.misses = after.misses - before.misses;
+      s.hit_rate = d.hit_rate();
+      s.lookups = d.lookups();
+      lz.exit_world();
+    });
+  }
+  env.kern().schedule();
+  return stats;
+}
+
 double watchpoint_switch_avg_cycles(const arch::Platform& platform,
                                     Placement placement, int domains,
                                     int iters, u64 seed) {
   LZ_CHECK(domains >= 1 &&
            domains <= baseline::WatchpointIsolation::kMaxDomains);
-  Env env(platform, placement == Placement::kHost ? Env::Placement::kHost
-                                                  : Env::Placement::kGuest);
+  Env env(Env::Options().platform(platform).placement(
+      placement == Placement::kHost ? Env::Placement::kHost
+                                    : Env::Placement::kGuest));
   baseline::WatchpointIsolation wp(*env.host, env.vm.get());
   auto& proc = wp.kern().create_process();
   const VirtAddr arena = 0x40000000;  // 1 GiB-aligned arena
@@ -321,8 +412,9 @@ double watchpoint_switch_avg_cycles(const arch::Platform& platform,
 double lwc_switch_avg_cycles(const arch::Platform& platform,
                              Placement placement, int domains, int iters,
                              u64 seed) {
-  Env env(platform, placement == Placement::kHost ? Env::Placement::kHost
-                                                  : Env::Placement::kGuest);
+  Env env(Env::Options().platform(platform).placement(
+      placement == Placement::kHost ? Env::Placement::kHost
+                                    : Env::Placement::kGuest));
   baseline::LwcIsolation lwc(*env.host, env.vm.get());
   for (int d = 0; d < domains; ++d) {
     const int id = lwc.create_context();

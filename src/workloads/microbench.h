@@ -3,6 +3,8 @@
 // the bench binaries.
 #pragma once
 
+#include <vector>
+
 #include "arch/platform.h"
 #include "support/types.h"
 
@@ -43,6 +45,20 @@ double lz_switch_avg_cycles(const arch::Platform& platform,
                             Placement placement, int domains,
                             int iters = 10'000, u64 seed = 42,
                             bool asid_tags = true);
+
+// SMP variant of the Table-5 program: the same switch-and-access loop runs
+// concurrently on every core of an N-core machine, one LightZone process
+// (with its own domains, gates and VMID) pinned per core. Setup is
+// sequential and per-core work streams are disjoint, so totals are
+// deterministic. Hit rates come from the per-core TLB statistics.
+struct SmpSwitchStats {
+  double avg_cycles = 0;  // per switch-and-access, this core's ledger only
+  double hit_rate = 0;    // combined L1+L2 TLB hit rate during the loop
+  u64 lookups = 0;
+};
+std::vector<SmpSwitchStats> lz_switch_avg_cycles_smp(
+    const arch::Platform& platform, Placement placement, unsigned cores,
+    int domains, int iters = 10'000, u64 seed = 42);
 
 double watchpoint_switch_avg_cycles(const arch::Platform& platform,
                                     Placement placement, int domains,

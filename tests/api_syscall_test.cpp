@@ -33,7 +33,7 @@ void InstallCode(Env& env, kernel::Process& proc, Asm& a) {
 class ApiSyscallTest : public ::testing::Test {
  protected:
   ApiSyscallTest()
-      : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {}
+      : env(Env::Options().platform(arch::Platform::cortex_a55())) {}
   Env env;
 };
 
@@ -239,7 +239,7 @@ TEST_F(ApiSyscallTest, SignalFramePreservesPanAcrossHandler) {
 
   LzProc lz = LzProc::enter(*env.module, proc, true, 2);
   LZ_CHECK(lz.lz_prot(secret_va, kPageSize, kPgtAll,
-                      kLzRead | kLzWrite | kLzUser) == 0);
+                      kLzRead | kLzWrite | kLzUser).is_ok());
   env.kern().register_syscall(
       kEmpty, [this, &proc](kernel::Process&, const kernel::SyscallArgs&)
                   -> u64 {

@@ -37,7 +37,7 @@ Asm LoopProgram(u16 iters) {
 }
 
 TEST(InterruptTest, HostProcessSurvivesIrqStorm) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc = env.new_process();
   Asm a = LoopProgram(200);
   InstallCode(env, proc, a);
@@ -56,7 +56,7 @@ TEST(InterruptTest, HostProcessSurvivesIrqStorm) {
 }
 
 TEST(InterruptTest, GuestProcessIrqIsAVmExit) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kGuest);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()).placement(Env::Placement::kGuest));
   auto& proc = env.new_process();
   Asm a = LoopProgram(100);
   InstallCode(env, proc, a);
@@ -71,7 +71,7 @@ TEST(InterruptTest, GuestProcessIrqIsAVmExit) {
 }
 
 TEST(InterruptTest, LightZoneProcessIrqGoesStraightToEl2) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc = env.new_process();
   Asm a = LoopProgram(100);
   InstallCode(env, proc, a);
@@ -89,7 +89,7 @@ TEST(InterruptTest, LightZoneProcessIrqGoesStraightToEl2) {
 }
 
 TEST(InterruptTest, IrqCostIsChargedPerDelivery) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc = env.new_process();
   Asm a = LoopProgram(100);
   InstallCode(env, proc, a);
@@ -99,7 +99,7 @@ TEST(InterruptTest, IrqCostIsChargedPerDelivery) {
   lz.run();
   const Cycles quiet = env.machine->cycles() - t0;
   // Second process with the same program and an IRQ storm.
-  Env env2(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env2(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& proc2 = env2.new_process();
   Asm b = LoopProgram(100);
   InstallCode(env2, proc2, b);
@@ -119,7 +119,7 @@ TEST(InterruptTest, IrqCostIsChargedPerDelivery) {
 
 TEST(InterruptTest, EagerStage2AvoidsBackToBackFaults) {
   const auto run_with = [](bool eager) {
-    Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+    Env env(Env::Options().platform(arch::Platform::cortex_a55()));
     auto& proc = env.new_process();
     Asm a;
     // Touch 8 fresh heap pages.

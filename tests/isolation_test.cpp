@@ -40,7 +40,7 @@ Asm LoadThenExit(VirtAddr va) {
 }
 
 TEST(IsolationTest, TwoLightZoneProcessesSeeSeparateMemory) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
 
   // Process A writes a secret at a heap VA.
   auto& pa = env.new_process();
@@ -70,7 +70,7 @@ TEST(IsolationTest, TwoLightZoneProcessesSeeSeparateMemory) {
 }
 
 TEST(IsolationTest, TlbEntriesAreVmidScoped) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& pa = env.new_process();
   Asm a = StoreThenExit(Env::kHeapVa, 0x1111);
   InstallCode(env, pa, a);
@@ -88,7 +88,7 @@ TEST(IsolationTest, TlbEntriesAreVmidScoped) {
 }
 
 TEST(IsolationTest, KilledLzProcessDoesNotPoisonTheMachine) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
 
   // A malicious process dies on a protected-domain access.
   auto& bad = env.new_process();
@@ -96,9 +96,9 @@ TEST(IsolationTest, KilledLzProcessDoesNotPoisonTheMachine) {
   InstallCode(env, bad, a);
   LzProc lz = LzProc::enter(*env.module, bad, true, 1);
   LZ_CHECK(lz.lz_prot(Env::kHeapVa + 0x5000, kPageSize, 1 + 0 /*pgt0 is 0*/,
-                      kLzRead) == -1);  // pgt 1 does not exist yet: rejected
-  const int pgt = lz.lz_alloc();
-  LZ_CHECK(lz.lz_prot(Env::kHeapVa + 0x5000, kPageSize, pgt, kLzRead) == 0);
+                      kLzRead).errc() == Errc::kNoPgt);  // pgt 1 does not exist yet: rejected
+  const int pgt = lz.lz_alloc().value();
+  LZ_CHECK(lz.lz_prot(Env::kHeapVa + 0x5000, kPageSize, pgt, kLzRead).is_ok());
   lz.run();
   ASSERT_FALSE(bad.alive());
 
@@ -113,7 +113,7 @@ TEST(IsolationTest, KilledLzProcessDoesNotPoisonTheMachine) {
   EXPECT_EQ(good.exit_code(), 5);
 
   // And so does a guest VM with its own process.
-  Env genv(arch::Platform::cortex_a55(), Env::Placement::kGuest);
+  Env genv(Env::Options().platform(arch::Platform::cortex_a55()).placement(Env::Placement::kGuest));
   auto& gp = genv.new_process();
   Asm c;
   c.movz(0, 6);
@@ -125,7 +125,7 @@ TEST(IsolationTest, KilledLzProcessDoesNotPoisonTheMachine) {
 }
 
 TEST(IsolationTest, LzProcessCannotReadHostProcessMemory) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
 
   // Host process H faults in a heap page and stores a secret.
   auto& h = env.new_process();
@@ -162,7 +162,7 @@ TEST(IsolationTest, LzProcessCannotReadHostProcessMemory) {
 }
 
 TEST(IsolationTest, FakePhysicalSpacesAreIndependentPerProcess) {
-  Env env(arch::Platform::cortex_a55(), Env::Placement::kHost);
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
   auto& pa = env.new_process();
   auto& pb = env.new_process();
   Asm a = StoreThenExit(Env::kHeapVa, 1);

@@ -38,7 +38,7 @@ Asm ExitProgram() {
 class LightZoneTest : public ::testing::Test {
  protected:
   LightZoneTest()
-      : env(arch::Platform::cortex_a55(), Env::Placement::kHost) {}
+      : env(Env::Options().platform(arch::Platform::cortex_a55())) {}
   Env env;
 };
 
@@ -122,9 +122,8 @@ TEST_F(LightZoneTest, PanProtectsUserMarkedPages) {
   InstallCode(env, proc, a);
 
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  ASSERT_EQ(lz.lz_prot(key_va, kPageSize, kPgtAll,
-                       kLzRead | kLzWrite | kLzUser),
-            0);
+  ASSERT_TRUE(lz.lz_prot(key_va, kPageSize, kPgtAll,
+                       kLzRead | kLzWrite | kLzUser).is_ok());
   lz.run();
   EXPECT_FALSE(proc.alive());
   EXPECT_NE(proc.kill_reason().find("protected domain"), std::string::npos)
@@ -136,10 +135,10 @@ TEST_F(LightZoneTest, GateSwitchGrantsDomainAccess) {
   const VirtAddr dom_va = Env::kHeapVa + 0x20000;
 
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  const int pgt1 = lz.lz_alloc();
+  const int pgt1 = lz.lz_alloc().value();
   ASSERT_EQ(pgt1, 1);
-  ASSERT_EQ(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite), 0);
-  ASSERT_EQ(lz.lz_map_gate_pgt(pgt1, /*gate=*/0), 0);
+  ASSERT_TRUE(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite).is_ok());
+  ASSERT_TRUE(lz.lz_map_gate_pgt(pgt1, /*gate=*/0).is_ok());
 
   // Program: switch to pgt1 through gate 0 (blr sets the link register to
   // the legal entry), then access the domain and exit.
@@ -154,7 +153,7 @@ TEST_F(LightZoneTest, GateSwitchGrantsDomainAccess) {
   a.movz(8, kExit);
   a.svc(0);
   InstallCode(env, proc, a);
-  ASSERT_EQ(lz.lz_set_gate_entry(0, entry), 0);
+  ASSERT_TRUE(lz.lz_set_gate_entry(0, entry).is_ok());
 
   lz.run();
   EXPECT_FALSE(proc.alive());
@@ -167,8 +166,8 @@ TEST_F(LightZoneTest, DomainInaccessibleWithoutSwitch) {
   const VirtAddr dom_va = Env::kHeapVa + 0x20000;
 
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  const int pgt1 = lz.lz_alloc();
-  ASSERT_EQ(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite), 0);
+  const int pgt1 = lz.lz_alloc().value();
+  ASSERT_TRUE(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite).is_ok());
 
   Asm a;
   a.mov_imm64(1, dom_va);
@@ -185,9 +184,9 @@ TEST_F(LightZoneTest, DomainInaccessibleWithoutSwitch) {
 TEST_F(LightZoneTest, GateRejectsWrongReturnAddress) {
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  const int pgt1 = lz.lz_alloc();
-  ASSERT_EQ(lz.lz_map_gate_pgt(pgt1, 0), 0);
-  ASSERT_EQ(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x500), 0);  // elsewhere
+  const int pgt1 = lz.lz_alloc().value();
+  ASSERT_TRUE(lz.lz_map_gate_pgt(pgt1, 0).is_ok());
+  ASSERT_TRUE(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x500).is_ok());  // elsewhere
 
   // Attacker jumps to the gate with a forged link register.
   Asm a;
@@ -205,9 +204,9 @@ TEST_F(LightZoneTest, GateRejectsWrongReturnAddress) {
 TEST_F(LightZoneTest, GateMidEntryWithForgedTtbrIsCaught) {
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  const int pgt1 = lz.lz_alloc();
-  ASSERT_EQ(lz.lz_map_gate_pgt(pgt1, 0), 0);
-  ASSERT_EQ(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x100), 0);
+  const int pgt1 = lz.lz_alloc().value();
+  ASSERT_TRUE(lz.lz_map_gate_pgt(pgt1, 0).is_ok());
+  ASSERT_TRUE(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x100).is_ok());
 
   // Jump straight at the MSR TTBR0 instruction inside the gate with an
   // attacker-chosen x20 (a forged TTBR value targeting the default table's
@@ -320,10 +319,10 @@ TEST_F(LightZoneTest, FastPathGateSwitchCycles) {
   auto& proc = env.new_process();
   const VirtAddr dom_va = Env::kHeapVa + 0x30000;
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
-  const int pgt1 = lz.lz_alloc();
-  ASSERT_EQ(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite), 0);
-  ASSERT_EQ(lz.lz_map_gate_pgt(pgt1, 0), 0);
-  ASSERT_EQ(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x40), 0);
+  const int pgt1 = lz.lz_alloc().value();
+  ASSERT_TRUE(lz.lz_prot(dom_va, kPageSize, pgt1, kLzRead | kLzWrite).is_ok());
+  ASSERT_TRUE(lz.lz_map_gate_pgt(pgt1, 0).is_ok());
+  ASSERT_TRUE(lz.lz_set_gate_entry(0, Env::kCodeVa + 0x40).is_ok());
 
   lz.enter_world();
   env.machine->core().pstate().el = arch::ExceptionLevel::kEl1;
@@ -331,8 +330,8 @@ TEST_F(LightZoneTest, FastPathGateSwitchCycles) {
                                  lz.module().domain_ttbr(lz.ctx(), 0));
   env.machine->core().set_sysreg(SysReg::kTtbr1El1, lz.ctx().ctx.ttbr1);
   env.machine->core().set_sysreg(SysReg::kVbarEl1, lz.ctx().ctx.vbar);
-  const Cycles c1 = lz.lz_switch_to_ttbr_gate(0);
-  const Cycles c2 = lz.lz_switch_to_ttbr_gate(0);
+  const Cycles c1 = lz.lz_switch_to_ttbr_gate(0).value();
+  const Cycles c2 = lz.lz_switch_to_ttbr_gate(0).value();
   lz.exit_world();
   EXPECT_GT(c1, 20u);
   EXPECT_LT(c2, 150u);  // warm switch on Cortex-A55: ~59 cycles (Table 5)
@@ -381,14 +380,14 @@ TEST_F(LightZoneTest, MaxDomainsIsLarge) {
   // Allocate a few hundred tables to show scalability (full 2^16 would be
   // slow in a unit test; the bench sweeps further).
   for (int i = 1; i < 300; ++i) {
-    ASSERT_EQ(lz.lz_alloc(), i);
+    ASSERT_EQ(lz.lz_alloc().value(), i);
   }
-  EXPECT_EQ(lz.lz_free(150), 0);
-  EXPECT_EQ(lz.lz_alloc(), 150);  // slot reuse
+  EXPECT_TRUE(lz.lz_free(150).is_ok());
+  EXPECT_EQ(lz.lz_alloc().value(), 150);  // slot reuse
 }
 
 TEST_F(LightZoneTest, GuestPlacementRunsNestedProcesses) {
-  Env genv(arch::Platform::cortex_a55(), Env::Placement::kGuest);
+  Env genv(Env::Options().platform(arch::Platform::cortex_a55()).placement(Env::Placement::kGuest));
   auto& proc = genv.new_process();
   Asm a;
   a.movz(8, kGetpid);
@@ -408,7 +407,7 @@ TEST_F(LightZoneTest, MemoryOverheadAccounting) {
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);
   const u64 base = lz.ctx().isolation_table_pages();
-  for (int i = 1; i <= 16; ++i) lz.lz_alloc();
+  for (int i = 1; i <= 16; ++i) lz.lz_alloc().value();
   EXPECT_GT(lz.ctx().isolation_table_pages(), base);
 }
 
