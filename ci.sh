@@ -31,11 +31,27 @@ build/bench/table5_switch --cores 4 --json "$smp_b" --benchmark_filter=NONE >/de
 cmp "$smp_a" "$smp_b"
 grep -q '"sim.core3.tlb.l1_hit"' "$smp_a"
 
-# TSan build: the SMP scheduler, per-core TLB shootdown and obs counters
-# must be clean under the thread sanitizer.
+# Differential fuzz gate (DESIGN.md section 10): >=10k seeded Table-2 ops
+# across 4 cores through live module + shadow model. The binary exits
+# non-zero on any status divergence, TLB-vs-walk divergence, non-byte-
+# identical replay, or 1-vs-4-core counter drift.
+build/bench/fuzz_table2 --seed 1 --cores 4 --ops 2600
+build/bench/fuzz_table2 --seed 20260805 --cores 2 --ops 1500
+
+# TSan build: the SMP scheduler, per-core TLB shootdown, obs counters and
+# the concurrent fuzz driver must be clean under the thread sanitizer.
 cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target smp_test obs_test
+cmake --build build-tsan --target smp_test obs_test fuzz_table2
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
+build-tsan/bench/fuzz_table2 --seed 3 --cores 4 --ops 400
+
+# ASan build: the fuzz driver exercises free/refault paths hard (it is
+# what caught the dangling-region use-after-free in lz_free); keep it
+# memory-clean under the address sanitizer.
+cmake -B build-asan -G Ninja -DLZ_SANITIZE=address >/dev/null
+cmake --build build-asan --target fuzz_table2 check_test
+build-asan/tests/check_test
+build-asan/bench/fuzz_table2 --seed 5 --cores 4 --ops 600
 
 echo "ci.sh: OK"

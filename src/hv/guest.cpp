@@ -39,6 +39,9 @@ GuestVm::GuestVm(Host& host, std::string name)
       machine, "guest:" + name_, [this](PhysAddr pa) {
         LZ_CHECK_OK(stage2_->map(pa, pa, mem::S2Attrs{}));
       });
+  // The guest's EL1&0 translations are tagged with this VM's VMID; the
+  // kernel's break-before-make shootdowns must carry the same tag.
+  kern_->set_tlb_vmid(stage2_->vmid());
 }
 
 GuestVm::~GuestVm() = default;

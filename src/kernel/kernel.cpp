@@ -152,8 +152,10 @@ Status Kernel::munmap(Process& proc, VirtAddr va, u64 len) {
           // Break-before-make: clear the descriptor, broadcast the
           // shootdown to every core, and only then release the frame —
           // a remote core must never translate through a freed frame.
+          // User pages are never global, so TLBI VAE1IS scoped to the
+          // process's own ASID suffices.
           LZ_CHECK_OK(proc.pgt().unmap(p));
-          machine_.tlbi_va_is(page_index(p), 0);
+          machine_.tlbi_va_is(page_index(p), proc.asid(), tlb_vmid_);
           if (on_unmap) on_unmap(proc, p);
           free_frame(page_floor(walk.out_addr));
           --pages_mapped_;
@@ -180,9 +182,11 @@ Status Kernel::mprotect(Process& proc, VirtAddr va, u64 len, u8 prot) {
         if (walk.ok) {
           // Break-before-make (ARM ARM D8.14): invalidate the descriptor,
           // broadcast, then install the new permissions — never rewrite a
-          // live descriptor in place while other cores may hold it.
+          // live descriptor in place while other cores may hold it. The
+          // page belongs to one non-global regime, so the ASID-scoped
+          // TLBI VAE1IS form is the correct (and cheapest) one.
           LZ_CHECK_OK(proc.pgt().unmap(p));
-          machine_.tlbi_va_is(page_index(p), 0);
+          machine_.tlbi_va_is(page_index(p), proc.asid(), tlb_vmid_);
           LZ_CHECK_OK(
               proc.pgt().map(p, page_floor(walk.out_addr), user_attrs(prot)));
         }

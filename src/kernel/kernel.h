@@ -67,6 +67,13 @@ class Kernel {
   sim::Machine& machine() { return machine_; }
   const std::string& name() const { return name_; }
 
+  // VMID tagging this kernel's EL1&0 translations carry in the TLB: 0 for
+  // the host (stage-2 off), the VM's VMID for a guest kernel. Break-before-
+  // make shootdowns must target it, or a guest kernel would invalidate the
+  // host's entries and leave its own stale ones live.
+  u16 tlb_vmid() const { return tlb_vmid_; }
+  void set_tlb_vmid(u16 vmid) { tlb_vmid_ = vmid; }
+
   // --- Processes -------------------------------------------------------------
   Process& create_process();
   Process* find(u32 pid);
@@ -175,6 +182,7 @@ class Kernel {
   mutable std::recursive_mutex mm_mu_;
   u32 next_pid_ = 1;
   u16 next_asid_ = 1;
+  u16 tlb_vmid_ = 0;
   std::unordered_map<u32, std::unique_ptr<Process>> procs_;
   std::unordered_map<u32, SyscallHandler> syscalls_;
   std::unordered_map<u64, IoctlHandler> ioctl_devices_;

@@ -272,9 +272,38 @@ Status LzModule::free_pgt(LzContext& ctx, int pgt) {
   // to every core, and only then release the table frames. Another core may
   // be executing in this process's VM with the stale translation cached.
   write_ttbrtab(ctx, pgt, 0);
+
+  // Dissolve the dead domain's memory grants before the table goes away.
+  // Regions must never name a freed table: fault_in_page attaches pages
+  // through ctx.pgts[region.pgt].tbl, so a surviving region would make the
+  // next fault on its range walk a released Stage1Table. The ranges revert
+  // to whatever still covers them (surviving overlapping regions, or the
+  // default unprotected global mapping); resident pages are detached now
+  // and re-faulted below, the same eager re-apply discipline prot() uses.
+  std::vector<VirtAddr> refault;
+  for (std::size_t i = 0; i < ctx.regions.size();) {
+    const auto& region = ctx.regions[i];
+    if (region.pgt != pgt) {
+      ++i;
+      continue;
+    }
+    for (VirtAddr va = region.start; va < region.end; va += kPageSize) {
+      auto it = ctx.pages.find(page_index(va));
+      if (it == ctx.pages.end()) continue;
+      for (auto& d : ctx.pgts) {
+        if (d.in_use) (void)d.tbl->unmap(va);
+      }
+      refault.push_back(va);
+    }
+    ctx.regions.erase(ctx.regions.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   machine().tlbi_vmid_is(ctx.vmid);
   ctx.pgts[pgt].tbl.reset();
   ctx.pgts[pgt].in_use = false;
+  for (const VirtAddr va : refault) {
+    LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
+  }
   return Status::ok();
 }
 
@@ -317,7 +346,7 @@ Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
     for (auto& d : ctx.pgts) {
       if (d.in_use) (void)d.tbl->unmap(va);
     }
-    machine().tlbi_va_is(page_index(va), ctx.vmid);
+    machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
     LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
   }
   return Status::ok();
@@ -487,7 +516,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
       }
       (void)ctx.stage2->protect(page.ipa,
                                 mem::S2Attrs{true, true, false, false});
-      machine().tlbi_va_is(page_index(va), ctx.vmid);
+      machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
       page.writable = false;
     }
     if (!sanitize_page(ctx, page.real)) {
@@ -502,7 +531,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
     for (auto& d : ctx.pgts) {
       if (d.in_use) (void)d.tbl->unmap(va);
     }
-    machine().tlbi_va_is(page_index(va), ctx.vmid);
+    machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
     page.executable = false;
     page.exec_sanitized = false;
     page.writable = true;
@@ -550,6 +579,9 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
         if (d.in_use) LZ_RETURN_IF_ERROR(map_page_in_table(ctx, *d.tbl, va, page, at.attrs));
       }
     } else {
+      // free_pgt() dissolves a dead domain's regions, so an attachment can
+      // only name a live table; fail loudly rather than walk a freed one.
+      LZ_CHECK(ctx.pgts[at.pgt].in_use);
       LZ_RETURN_IF_ERROR(
           map_page_in_table(ctx, *ctx.pgts[at.pgt].tbl, va, page, at.attrs));
     }
@@ -565,7 +597,7 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
       LZ_CHECK_OK(ctx.stage2->map(page.ipa, page.real, s2));
     }
   }
-  machine().tlbi_va_is(page_index(va), ctx.vmid);
+  machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
 
   // Mapping work costs: a handful of table-walk writes.
   machine().charge(CostKind::kMem, 8 * machine().platform().mem_access);
@@ -582,7 +614,7 @@ void LzModule::sync_unmap(LzContext& ctx, VirtAddr va) {
   if (ctx.opts().allow_scalable && ctx.opts().fake_phys) {
     ctx.fake.erase_real(it->second.real);
   }
-  machine().tlbi_va_is(page_index(va), ctx.vmid);
+  machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
   ctx.pages.erase(it);
 }
 

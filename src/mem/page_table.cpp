@@ -49,7 +49,7 @@ S1Walk walk_stage1(const PhysMem& pm, PhysAddr root, VirtAddr va,
 S2Walk walk_stage2(const PhysMem& pm, PhysAddr root, IntermAddr ipa) {
   S2Walk w;
   if (ipa >> kIpaBits) {
-    w.fault_level = 0;
+    w.fault_level = 0;  // out-of-range IPA: faults before the first lookup
     return w;
   }
   u64 table = root;
@@ -58,7 +58,9 @@ S2Walk walk_stage2(const PhysMem& pm, PhysAddr root, IntermAddr ipa) {
     const u64 desc = pm.read(slot_pa, 8);
     ++w.mem_accesses;
     if (!pte::valid(desc)) {
-      w.fault_level = level + 1;  // report in stage-1-style level numbers
+      // The 3-level concatenated walk starts at architectural level 1, so
+      // the loop index converts to the DFSC fault level by that offset.
+      w.fault_level = level + kStage2StartLevel;
       return w;
     }
     if (level == kStage2Levels - 1) {

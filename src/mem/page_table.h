@@ -25,6 +25,19 @@ inline constexpr unsigned kStage2Levels = 3;
 inline constexpr u64 kVaBits = 48;
 inline constexpr u64 kIpaBits = 39;
 
+// Fault-level convention, shared by S1Walk and S2Walk: `fault_level` is the
+// *architectural* lookup level, exactly what ESR_ELx.ISS.DFSC encodes as
+// "Translation/Permission fault, level N". The 48-bit stage-1 walk starts
+// at architectural level 0, so its loop index is the architectural level;
+// the 39-bit stage-2 walk is a 3-level walk starting at architectural
+// level 1, so its loop index is offset by kStage2StartLevel. An
+// out-of-range input address faults at level 0 (the fault is on the base
+// register, before any lookup — DFSC's "level 0" row).
+inline constexpr unsigned kStage2StartLevel = 1;
+// Architectural level of the last (leaf) stage-2 lookup.
+inline constexpr unsigned kStage2LeafLevel =
+    kStage2StartLevel + kStage2Levels - 1;
+
 // Which half of the address space a VA belongs to (selects TTBR0/TTBR1).
 enum class VaRange { kLower, kUpper, kInvalid };
 VaRange classify_va(VirtAddr va);
@@ -45,7 +58,7 @@ using TableAddrMapper = std::function<std::optional<PhysAddr>(u64)>;
 
 struct S1Walk {
   bool ok = false;
-  unsigned fault_level = 0;   // level of the translation fault when !ok
+  unsigned fault_level = 0;   // architectural fault level when !ok (see above)
   bool s2_table_fault = false;  // the fault was a stage-2 miss on a table hop
   u64 s2_fault_ipa = 0;         // IPA of the table access that missed
   u64 out_addr = 0;           // IPA (or PA when stage-2 off) of the page
@@ -56,7 +69,7 @@ struct S1Walk {
 
 struct S2Walk {
   bool ok = false;
-  unsigned fault_level = 0;
+  unsigned fault_level = 0;   // architectural fault level when !ok (see above)
   PhysAddr out_addr = 0;
   S2Attrs attrs;
   PhysAddr leaf_pa = 0;

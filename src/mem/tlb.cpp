@@ -54,19 +54,18 @@ void Tlb::insert(const TlbEntry& e) {
 
 void Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
   if (level.empty()) return;
-  // Refresh an existing translation for the same (vpage, asid, vmid) so a
-  // permission change does not leave a stale duplicate behind.
+  // Evict every entry a lookup for `e`'s page could also match, not just
+  // the first: refreshing one slot while a second aliasing copy survives
+  // (e.g. a global entry ahead of a per-ASID one) would leave a stale
+  // translation that random replacement can later expose.
+  TlbEntry* free_slot = nullptr;
   for (auto& slot : level) {
-    if (matches(slot, e.vpage, e.asid, e.vmid)) {
-      slot = e;
-      return;
-    }
+    if (aliases(slot, e)) slot.valid = false;
+    if (!slot.valid && free_slot == nullptr) free_slot = &slot;
   }
-  for (auto& slot : level) {
-    if (!slot.valid) {
-      slot = e;
-      return;
-    }
+  if (free_slot != nullptr) {
+    *free_slot = e;
+    return;
   }
   level[rng_.below(level.size())] = e;  // random replacement
 }
@@ -106,11 +105,30 @@ void Tlb::invalidate_asid(u16 asid, u16 vmid) {
   }
 }
 
-void Tlb::invalidate_va(u64 vpage, u16 vmid) {
+void Tlb::invalidate_va(u64 vpage, u16 asid, u16 vmid) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
-  obs::trace().tlb_inval(obs::TlbScope::kVa, 0, vmid);
+  obs::trace().tlb_inval(obs::TlbScope::kVa, asid, vmid);
+  // TLBI VAE1: the ASID's own entry for the page, plus any global entry
+  // (global translations are not ASID-tagged, so a per-VA invalidate
+  // always reaches them). Other ASIDs' non-global entries survive.
+  const auto dead = [&](const TlbEntry& e) {
+    return e.vmid == vmid && e.vpage == vpage && (e.global || e.asid == asid);
+  };
+  for (auto& e : l1_) {
+    if (dead(e)) e.valid = false;
+  }
+  for (auto& e : l2_) {
+    if (dead(e)) e.valid = false;
+  }
+}
+
+void Tlb::invalidate_va_all_asid(u64 vpage, u16 vmid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.invalidations;
+  count(c_inval_, d_inval_);
+  obs::trace().tlb_inval(obs::TlbScope::kVaAllAsid, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && e.vpage == vpage) e.valid = false;
   }

@@ -8,6 +8,16 @@
 // machine each core owns one Tlb, so the lock is uncontended on the local
 // path and only taken remotely by DVM broadcast invalidations
 // (`TLBI ...IS` walking all cores' TLBs, see sim::Machine::tlbi_*_is).
+//
+// Coherence invariant: within each level, at most one entry can match any
+// (vpage, asid, vmid) lookup — place() evicts every aliasing entry (the
+// architecturally CONSTRAINED-UNPREDICTABLE global/non-global mix for one
+// page included) before installing a new one. Across levels, entries are
+// written by insert() and cleared by the invalidate_* walkers in both
+// levels under one lock hold, and L2→L1 promotion copies the L2 value
+// verbatim, so the two levels never hold different attributes for the same
+// key. The lz::check TLB-vs-walk oracle re-verifies the visible half of
+// this invariant against the live page tables at every hit.
 #pragma once
 
 #include <mutex>
@@ -33,6 +43,14 @@ struct TlbEntry {
   PhysAddr ppage = 0;    // final machine frame
   S1Attrs s1;
   S2Attrs s2;            // meaningful when stage2_on
+  // Provenance: the table roots this entry was derived from. Not part of
+  // the lookup key (hardware TLBs match VA/ASID/VMID only) — the lz::check
+  // TLB-vs-walk oracle uses them to tell an invalidation-scoping bug (same
+  // translation context, tables changed under the entry) from the
+  // architecturally legal use of a stale-but-matching entry after software
+  // rewrites TTBR/VTTBR without a TLBI.
+  PhysAddr s1_root = 0;
+  PhysAddr s2_root = 0;  // 0 when stage2_on is false
 };
 
 struct TlbStats {
@@ -68,10 +86,18 @@ class Tlb {
 
   void insert(const TlbEntry& e);
 
+  // Invalidation scopes, one per architectural TLBI flavour:
+  //   invalidate_all          TLBI ALLE1   — everything
+  //   invalidate_vmid         TLBI VMALLE1 — one VMID, all ASIDs + global
+  //   invalidate_asid         TLBI ASIDE1  — non-global entries of one ASID
+  //   invalidate_va           TLBI VAE1    — one page: the ASID's non-global
+  //                                          entry plus any global entry
+  //   invalidate_va_all_asid  TLBI VAAE1   — one page across every ASID
   void invalidate_all();
   void invalidate_vmid(u16 vmid);
-  void invalidate_asid(u16 asid, u16 vmid);   // non-global entries of an ASID
-  void invalidate_va(u64 vpage, u16 vmid);    // all ASIDs + global, one page
+  void invalidate_asid(u16 asid, u16 vmid);
+  void invalidate_va(u64 vpage, u16 asid, u16 vmid);
+  void invalidate_va_all_asid(u64 vpage, u16 vmid);
 
   // Copies stats under the lock; call from a quiesced machine (or the
   // owning core's thread) for exact values.
@@ -89,6 +115,12 @@ class Tlb {
   static bool matches(const TlbEntry& e, u64 vpage, u16 asid, u16 vmid) {
     return e.valid && e.vpage == vpage && e.vmid == vmid &&
            (e.global || e.asid == asid);
+  }
+  // Two entries alias when some single lookup could match both (same page
+  // and VMID, overlapping ASID scope — a global entry overlaps every ASID).
+  static bool aliases(const TlbEntry& a, const TlbEntry& b) {
+    return a.valid && a.vpage == b.vpage && a.vmid == b.vmid &&
+           (a.global || b.global || a.asid == b.asid);
   }
   void place(std::vector<TlbEntry>& level, const TlbEntry& e);
   void count(obs::Counter* aggregate, obs::Counter* per_core) {

@@ -31,6 +31,7 @@ const char* tlb_scope_name(u8 scope) {
     case TlbScope::kVmid: return "vmid";
     case TlbScope::kAsid: return "asid";
     case TlbScope::kVa: return "va";
+    case TlbScope::kVaAllAsid: return "va-all-asid";
   }
   return "?";
 }

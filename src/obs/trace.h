@@ -44,8 +44,9 @@ enum class EventKind : u8 {
 
 const char* to_string(EventKind kind);
 
-// TLB invalidation scopes (Event::b1 of kTlbInval).
-enum class TlbScope : u8 { kAll, kVmid, kAsid, kVa };
+// TLB invalidation scopes (Event::b1 of kTlbInval). kVa is ASID-scoped
+// (TLBI VAE1, a0 carries the ASID); kVaAllAsid is TLBI VAAE1.
+enum class TlbScope : u8 { kAll, kVmid, kAsid, kVa, kVaAllAsid };
 // World-switch flavours (Event::b1 of kWorldSwitch).
 enum class WorldKind : u8 { kVmEntry, kVmExit, kLzEnter, kLzExit };
 

@@ -4,6 +4,13 @@
 #include "obs/trace.h"
 #include "support/bits.h"
 
+#ifdef LZ_CONF_CHECK
+#include <cstdio>
+#include <string>
+
+#include "check/check.h"
+#endif
+
 namespace lz::sim {
 
 using arch::Cond;
@@ -88,43 +95,46 @@ bool Core::check_perms(const mem::TlbEntry& e, AccessType type, bool unpriv,
   return false;
 }
 
-std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
-                                                  Translation* out) {
+Core::WalkOutcome Core::walk_translation(VirtAddr va, u64 vpage) const {
+  WalkOutcome out;
   const u64 hcr = sysreg(SysReg::kHcrEl2);
   const bool s2_on = hcr & arch::hcr::kVm;
   const auto range = mem::classify_va(va);
-  if (range == mem::VaRange::kInvalid) {
-    out->fault_level = 0;
-    return std::nullopt;
-  }
+  if (range == mem::VaRange::kInvalid) return out;
   const u64 ttbr = range == mem::VaRange::kLower ? sysreg(SysReg::kTtbr0El1)
                                                  : sysreg(SysReg::kTtbr1El1);
   const PhysAddr s2_root = mem::vttbr_base(sysreg(SysReg::kVttbrEl2));
 
-  unsigned s2_table_walks = 0;
+  unsigned s2_hop_fault_level = 0;
   mem::TableAddrMapper mapper;
   if (s2_on) {
-    mapper = [this, s2_root, &s2_table_walks](u64 ipa)
+    mapper = [this, s2_root, &out, &s2_hop_fault_level](u64 ipa)
         -> std::optional<PhysAddr> {
       const auto w = mem::walk_stage2(pm_, s2_root, ipa);
       // Hardware walk caches make repeated table translations cheap; we
       // charge one level per table hop rather than a full nested walk.
-      s2_table_walks += 1;
-      if (!w.ok || !w.attrs.read) return std::nullopt;
+      out.table_loads += 1;
+      if (!w.ok || !w.attrs.read) {
+        // The abort reports the *stage-2* walk's own fault level, not the
+        // stage-1 hop that triggered it (a readable-leaf denial is a
+        // stage-2 permission problem at the leaf level).
+        s2_hop_fault_level = w.ok ? mem::kStage2LeafLevel : w.fault_level;
+        return std::nullopt;
+      }
       return w.out_addr;
     };
   }
 
   const auto s1 = mem::walk_stage1(pm_, mem::ttbr_base(ttbr), va, mapper);
-  account_.charge(CostKind::kTlb, (s1.mem_accesses + s2_table_walks) *
-                                      plat_.tlb_walk_per_level);
+  out.table_loads += s1.mem_accesses;
   if (!s1.ok) {
-    out->fault_level = s1.fault_level;
+    out.fault_level = s1.fault_level;
     if (s1.s2_table_fault) {
-      out->stage2_fault = true;
-      out->fault_ipa = s1.s2_fault_ipa;
+      out.stage2_fault = true;
+      out.fault_ipa = s1.s2_fault_ipa;
+      out.fault_level = s2_hop_fault_level;
     }
-    return std::nullopt;
+    return out;
   }
 
   mem::TlbEntry e;
@@ -134,25 +144,40 @@ std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
   e.vmid = current_vmid();
   e.global = s1.attrs.global;
   e.stage2_on = s2_on;
+  e.s1_root = mem::ttbr_base(ttbr);
+  e.s2_root = s2_on ? s2_root : 0;
   e.ipa_page = page_floor(s1.out_addr);
   e.s1 = s1.attrs;
   if (s2_on) {
     const auto s2 = mem::walk_stage2(pm_, s2_root, s1.out_addr);
-    account_.charge(CostKind::kTlb,
-                    s2.mem_accesses * plat_.tlb_walk_per_level);
+    out.table_loads += s2.mem_accesses;
     if (!s2.ok) {
-      out->stage2_fault = true;
-      out->fault_level = s2.fault_level;
-      out->fault_ipa = s1.out_addr;
-      return std::nullopt;
+      out.stage2_fault = true;
+      out.fault_level = s2.fault_level;
+      out.fault_ipa = s1.out_addr;
+      return out;
     }
     e.ppage = page_floor(s2.out_addr);
     e.s2 = s2.attrs;
   } else {
     e.ppage = page_floor(s1.out_addr);
   }
-  tlb_.insert(e);
-  return e;
+  out.entry = e;
+  return out;
+}
+
+std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
+                                                  Translation* out) {
+  auto w = walk_translation(va, vpage);
+  account_.charge(CostKind::kTlb, w.table_loads * plat_.tlb_walk_per_level);
+  if (!w.entry) {
+    out->fault_level = w.fault_level;
+    out->stage2_fault = w.stage2_fault;
+    out->fault_ipa = w.fault_ipa;
+    return std::nullopt;
+  }
+  tlb_.insert(*w.entry);
+  return w.entry;
 }
 
 Core::Translation Core::translate(VirtAddr va, AccessType type,
@@ -165,6 +190,9 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
                              plat_.tlb_l2_hit)) {
     account_.charge(CostKind::kTlb, hit->extra_cost);
     entry = hit->entry;
+#ifdef LZ_CONF_CHECK
+    if (check::enabled()) check_tlb_hit(va, *entry);
+#endif
   } else {
     entry = translate_slow(va, vpage, &out);
     if (!entry) return out;  // translation fault recorded in `out`
@@ -192,6 +220,67 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
   out.pa = entry->ppage | page_offset(va);
   return out;
 }
+
+#ifdef LZ_CONF_CHECK
+// TLB-vs-walk oracle: every hit is re-derived from the live page tables.
+// A mismatch means an entry survived an invalidation it should not have
+// (or the refill cached the wrong attributes) — exactly the class of bug
+// an ASID/VMID scoping mistake produces.
+void Core::check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit) {
+  // Only compare within the translation context the entry came from. After
+  // software rewrites TTBR/VTTBR (or toggles HCR_EL2.VM) without a TLBI,
+  // using a still-matching entry is architecturally allowed — the
+  // isolation pentests forge roots on purpose — so a root mismatch is not
+  // a conformance divergence. Scoping bugs keep the same roots and are
+  // still caught.
+  const u64 hcr = sysreg(SysReg::kHcrEl2);
+  const bool s2_on = hcr & arch::hcr::kVm;
+  if (hit.stage2_on != s2_on) return;
+  const auto range = mem::classify_va(va);
+  if (range == mem::VaRange::kInvalid) return;
+  const u64 ttbr = range == mem::VaRange::kLower ? sysreg(SysReg::kTtbr0El1)
+                                                 : sysreg(SysReg::kTtbr1El1);
+  if (hit.s1_root != mem::ttbr_base(ttbr)) return;
+  if (s2_on && hit.s2_root != mem::vttbr_base(sysreg(SysReg::kVttbrEl2))) {
+    return;
+  }
+
+  const auto w = walk_translation(va, hit.vpage);
+  const auto hex = [](u64 v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  const auto where = [&] {
+    return "va=" + hex(va) + " asid=" + std::to_string(hit.asid) +
+           " vmid=" + std::to_string(hit.vmid);
+  };
+  if (!w.entry) {
+    check::report({"tlb.stale",
+                   "TLB hit but the live tables fault at level " +
+                       std::to_string(w.fault_level) +
+                       (w.stage2_fault ? " (stage 2); " : "; ") + where()});
+    return;
+  }
+  const mem::TlbEntry& e = *w.entry;
+  if (e.ppage != hit.ppage || e.ipa_page != hit.ipa_page) {
+    check::report({"tlb.out_addr",
+                   "TLB ppage=" + hex(hit.ppage) + " ipa=" +
+                       hex(hit.ipa_page) + " but walk says ppage=" +
+                       hex(e.ppage) + " ipa=" + hex(e.ipa_page) + "; " +
+                       where()});
+    return;
+  }
+  if (e.stage2_on != hit.stage2_on || e.global != hit.global ||
+      !(e.s1 == hit.s1) || (hit.stage2_on && !(e.s2 == hit.s2))) {
+    check::report({"tlb.attrs",
+                   "TLB permission attributes diverge from the live walk "
+                   "(stale stage-1 or stage-2 attrs); " +
+                       where()});
+  }
+}
+#endif
 
 // --- Exceptions --------------------------------------------------------------
 

@@ -114,6 +114,8 @@ class Core {
 
   // Translate-only probe (no exception, no data access, still charges
   // TLB/walk costs): the building block for workload-level memory checks.
+  // `fault_level` follows the architectural convention documented in
+  // mem/page_table.h (it feeds straight into the ESR ISS DFSC encoding).
   struct Translation {
     bool ok = false;
     PhysAddr pa = 0;
@@ -123,6 +125,21 @@ class Core {
     bool permission = false;  // permission (vs translation) fault
   };
   Translation translate(VirtAddr va, AccessType type, bool unprivileged);
+
+  // One full two-stage walk of the live page tables in the current
+  // translation context, with no side effects: charges nothing, inserts
+  // nothing into the TLB, bumps no counters. translate_slow() layers the
+  // cost accounting and the TLB refill on top of it; the lz::check
+  // TLB-vs-walk oracle calls it directly, which is why enabling the
+  // harness can never perturb cycle totals or byte-identical reports.
+  struct WalkOutcome {
+    std::optional<mem::TlbEntry> entry;
+    unsigned table_loads = 0;   // stage-1 + stage-2 table loads
+    unsigned fault_level = 0;   // architectural level (mem/page_table.h)
+    bool stage2_fault = false;
+    u64 fault_ipa = 0;
+  };
+  WalkOutcome walk_translation(VirtAddr va, u64 vpage) const;
 
   // Stage-2 world: on when HCR_EL2.VM is set.
   bool stage2_enabled() const;
@@ -164,6 +181,7 @@ class Core {
                    ExceptionLevel el) const;
   std::optional<mem::TlbEntry> translate_slow(VirtAddr va, u64 vpage,
                                               Translation* out);
+  void check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit);
   Cycles sysreg_write_cost(SysReg r) const;
 
   const arch::Platform& plat_;

@@ -50,9 +50,14 @@ void Machine::charge_dvm_broadcast() {
              static_cast<Cycles>(num_cores() - 1) * plat_.dvm_bcast_per_core);
 }
 
-void Machine::tlbi_va_is(u64 vpage, u16 vmid) {
+void Machine::tlbi_va_is(u64 vpage, u16 asid, u16 vmid) {
   charge_dvm_broadcast();
-  for (auto& unit : cores_) unit->tlb->invalidate_va(vpage, vmid);
+  for (auto& unit : cores_) unit->tlb->invalidate_va(vpage, asid, vmid);
+}
+
+void Machine::tlbi_va_all_asid_is(u64 vpage, u16 vmid) {
+  charge_dvm_broadcast();
+  for (auto& unit : cores_) unit->tlb->invalidate_va_all_asid(vpage, vmid);
 }
 
 void Machine::tlbi_asid_is(u16 asid, u16 vmid) {

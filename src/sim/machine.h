@@ -70,7 +70,13 @@ class Machine {
   // `dvm_bcast_base + (num_cores-1) * dvm_bcast_per_core` under kTlbi.
   // On a single-core machine the broadcast degenerates to the local
   // invalidate at zero extra cost, keeping calibrated numbers bit-identical.
-  void tlbi_va_is(u64 vpage, u16 vmid);
+  // Per-VA forms mirror the two architectural flavours: `tlbi_va_is` is
+  // TLBI VAE1IS (ASID-scoped, break-before-make on one regime's page) and
+  // `tlbi_va_all_asid_is` is TLBI VAAE1IS (every ASID's entry for the
+  // page — what the LightZone module needs when a page is mapped under
+  // several domain tables at once).
+  void tlbi_va_is(u64 vpage, u16 asid, u16 vmid);
+  void tlbi_va_all_asid_is(u64 vpage, u16 vmid);
   void tlbi_asid_is(u16 asid, u16 vmid);
   void tlbi_vmid_is(u16 vmid);
   void tlbi_all_is();

@@ -374,6 +374,46 @@ TEST_F(LightZoneTest, KernelUnmapSynchronizesLzTables) {
   EXPECT_FALSE(proc.kill_reason().empty());
 }
 
+// lz_free regression: freeing a domain must dissolve its protection
+// regions. Pre-fix the region survived, and the next fault on its range
+// attached the page through the freed (null) Stage1Table — a hard crash.
+// The range reverts to unprotected, so the touch succeeds, and the range
+// becomes claimable by a new domain again.
+TEST_F(LightZoneTest, FreeDissolvesDomainRegions) {
+  auto& proc = env.new_process();
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  const VirtAddr va = Env::kHeapVa;
+  const int pgt = lz.lz_alloc().value();
+  LZ_CHECK_OK(lz.lz_prot(va, kPageSize, pgt, kLzRead | kLzWrite));
+  LZ_CHECK_OK(lz.module().touch_page(lz.ctx(), va, true, false));
+  LZ_CHECK_OK(lz.lz_free(pgt));
+  // Pre-fix: null-table dereference. Post-fix: plain unprotected fault-in.
+  LZ_CHECK_OK(lz.module().touch_page(lz.ctx(), va, true, false));
+  // The dead domain no longer claims the range: another domain may.
+  const int pgt2 = lz.lz_alloc().value();
+  EXPECT_TRUE(lz.lz_prot(va, kPageSize, pgt2, kLzRead).is_ok());
+}
+
+// Freeing one domain must not disturb a *different* domain's grant on a
+// disjoint range: its region, mappings, and gate switches stay intact.
+TEST_F(LightZoneTest, FreeLeavesSiblingDomainsIntact) {
+  auto& proc = env.new_process();
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+  const VirtAddr va_a = Env::kHeapVa;
+  const VirtAddr va_b = Env::kHeapVa + kPageSize;
+  const int pgt_a = lz.lz_alloc().value();
+  const int pgt_b = lz.lz_alloc().value();
+  LZ_CHECK_OK(lz.lz_prot(va_a, kPageSize, pgt_a, kLzRead | kLzWrite));
+  LZ_CHECK_OK(lz.lz_prot(va_b, kPageSize, pgt_b, kLzRead | kLzWrite));
+  LZ_CHECK_OK(lz.module().touch_page(lz.ctx(), va_b, true, false));
+  LZ_CHECK_OK(lz.lz_free(pgt_a));
+  LZ_CHECK_OK(lz.module().touch_page(lz.ctx(), va_b, true, false));
+  // pgt_b still owns its range: a third party is still rejected.
+  const int pgt_c = lz.lz_alloc().value();
+  EXPECT_EQ(lz.lz_prot(va_b, kPageSize, pgt_c, kLzRead).errc(),
+            Errc::kBadRange);
+}
+
 TEST_F(LightZoneTest, MaxDomainsIsLarge) {
   auto& proc = env.new_process();
   LzProc lz = LzProc::enter(*env.module, proc, true, 1);

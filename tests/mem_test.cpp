@@ -287,8 +287,93 @@ TEST(TlbTest, InvalidateVaHitsGlobalToo) {
   e.vmid = 0;
   e.global = true;
   tlb.insert(e);
-  tlb.invalidate_va(0x500, 0);
+  tlb.invalidate_va(0x500, /*asid=*/0, /*vmid=*/0);
   EXPECT_FALSE(tlb.lookup(0x500, 0, 0, 4).has_value());
+}
+
+// TLBI VAE1 regression: the per-VA invalidate used to drop the page for
+// *every* ASID (VAAE1 semantics). It must only reach the named ASID's
+// entry plus globals; a sibling ASID's translation survives.
+TEST(TlbTest, InvalidateVaIsAsidScoped) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x500;
+  e.vmid = 0;
+  e.asid = 1;
+  e.ppage = 0xA000;
+  tlb.insert(e);
+  e.asid = 2;
+  e.ppage = 0xB000;
+  tlb.insert(e);
+  tlb.invalidate_va(0x500, /*asid=*/1, /*vmid=*/0);
+  EXPECT_FALSE(tlb.lookup(0x500, 1, 0, 4).has_value());
+  const auto other = tlb.lookup(0x500, 2, 0, 4);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->entry.ppage, 0xB000u);
+}
+
+// TLBI VAAE1: the all-ASID flavour drops every ASID's entry for the page.
+TEST(TlbTest, InvalidateVaAllAsidDropsEveryAsid) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x500;
+  e.vmid = 0;
+  e.asid = 1;
+  tlb.insert(e);
+  e.asid = 2;
+  tlb.insert(e);
+  tlb.invalidate_va_all_asid(0x500, /*vmid=*/0);
+  EXPECT_FALSE(tlb.lookup(0x500, 1, 0, 4).has_value());
+  EXPECT_FALSE(tlb.lookup(0x500, 2, 0, 4).has_value());
+}
+
+// place() regression: refreshing a page's translation must evict *every*
+// aliasing entry. Pre-fix, inserting over an existing per-ASID entry left
+// a previously-inserted global copy for the same page in its slot, and a
+// lookup from any other ASID could still hit the stale global mapping.
+TEST(TlbTest, ReinsertEvictsAliasingGlobalEntry) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x500;
+  e.vmid = 0;
+  e.asid = 1;
+  e.ppage = 0xA000;
+  tlb.insert(e);  // per-ASID mapping
+  TlbEntry g = e;
+  g.asid = 0;
+  g.global = true;
+  g.ppage = 0xB000;
+  tlb.insert(g);  // global mapping for the same page replaces it
+  e.ppage = 0xC000;
+  tlb.insert(e);  // refresh as per-ASID again: the global copy must die
+  EXPECT_FALSE(tlb.lookup(0x500, /*asid=*/9, 0, 4).has_value());
+  const auto hit = tlb.lookup(0x500, 1, 0, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry.ppage, 0xC000u);
+}
+
+// Within a level, at most one entry may match a (vpage, asid, vmid) key
+// (the tlb.h coherence invariant): re-inserting the same key refreshes in
+// place instead of stacking a second copy that invalidation could miss.
+TEST(TlbTest, ReinsertRefreshesInsteadOfDuplicating) {
+  Tlb tlb(4, 16);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x500;
+  e.vmid = 0;
+  e.asid = 1;
+  e.ppage = 0xA000;
+  tlb.insert(e);
+  e.ppage = 0xC000;
+  tlb.insert(e);
+  const auto hit = tlb.lookup(0x500, 1, 0, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->entry.ppage, 0xC000u);
+  tlb.invalidate_va(0x500, 1, 0);
+  EXPECT_FALSE(tlb.lookup(0x500, 1, 0, 4).has_value());
 }
 
 TEST(TlbTest, L2PromotionAfterL1Eviction) {

@@ -183,7 +183,7 @@ TEST(TlbProperty, CachedTranslationMatchesWalk) {
       LZ_CHECK_OK(tbl.unmap(page_floor(va)));
       LZ_CHECK_OK(tbl.map(page_floor(va), machine.mem().alloc_frame(),
                           mem::S1Attrs{}));
-      machine.tlb().invalidate_va(page_index(va), 0);
+      machine.tlb().invalidate_va(page_index(va), /*asid=*/1, /*vmid=*/0);
     }
   }
   // The TLB must actually have been useful.

@@ -416,6 +416,46 @@ TEST_F(CoreTest, Stage2WriteProtection) {
   EXPECT_TRUE(last.stage2);
 }
 
+// Walker fault-level regression: when stage-2 denies a stage-1 *table hop*,
+// the abort must carry the stage-2 walk's own fault level, not the stage-1
+// level whose hop triggered it. Here every stage-1 table frame is mapped
+// but unreadable, so the stage-2 walk itself succeeds to an unreadable
+// leaf: a stage-2 permission problem at the leaf level (3).
+TEST_F(CoreTest, S2DenialOnS1HopReportsStage2LeafLevel) {
+  Asm a;
+  a.svc(0);
+  InstallFlat(a);
+  auto& core = machine.core();
+  mem::Stage2Table s2(machine.mem(), /*vmid=*/5);
+  for (const PhysAddr f : tbl->table_frames()) {
+    LZ_CHECK_OK(s2.map(f, f, S2Attrs{true, false, false, false}));
+  }
+  LZ_CHECK_OK(s2.map(code_pa, code_pa, S2Attrs{}));
+  core.set_sysreg(SysReg::kHcrEl2, arch::hcr::kRw | arch::hcr::kVm);
+  core.set_sysreg(SysReg::kVttbrEl2, s2.vttbr());
+  const auto w = core.walk_translation(kCodeVa, page_index(kCodeVa));
+  EXPECT_FALSE(w.entry.has_value());
+  EXPECT_TRUE(w.stage2_fault);
+  EXPECT_EQ(w.fault_level, mem::kStage2LeafLevel);
+}
+
+// Same convention with an empty stage-2: translating the stage-1 root
+// pointer faults at the stage-2 walk's start level (1, the 3-level 39-bit
+// walk of mem/page_table.h), not at stage-1 level 0.
+TEST_F(CoreTest, S2TableFaultOnS1HopReportsStage2WalkLevel) {
+  Asm a;
+  a.svc(0);
+  InstallFlat(a);
+  auto& core = machine.core();
+  mem::Stage2Table s2(machine.mem(), /*vmid=*/5);
+  core.set_sysreg(SysReg::kHcrEl2, arch::hcr::kRw | arch::hcr::kVm);
+  core.set_sysreg(SysReg::kVttbrEl2, s2.vttbr());
+  const auto w = core.walk_translation(kCodeVa, page_index(kCodeVa));
+  EXPECT_FALSE(w.entry.has_value());
+  EXPECT_TRUE(w.stage2_fault);
+  EXPECT_EQ(w.fault_level, mem::kStage2StartLevel);
+}
+
 // TLBI is trapped by HCR_EL2.TTLB.
 TEST_F(CoreTest, TtlbTrapsTlbInvalidate) {
   Asm a;

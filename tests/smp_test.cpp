@@ -37,7 +37,7 @@ TEST(SmpMachineTest, RemoteCoreShootdownRemovesStaleEntry) {
 
   {
     Machine::CoreBinding bind(machine, 0);  // initiator is core 0
-    machine.tlbi_va_is(vpage, /*vmid=*/2);
+    machine.tlbi_va_is(vpage, /*asid=*/7, /*vmid=*/2);
   }
 
   EXPECT_FALSE(machine.tlb(3).lookup(vpage, 7, 2, 0).has_value());
@@ -62,7 +62,7 @@ TEST(SmpMachineTest, BroadcastCostScalesWithCoreCount) {
 TEST(SmpMachineTest, SingleCoreBroadcastIsFree) {
   Machine machine(arch::Platform::cortex_a55(), 42, 1);
   machine.tlb(0).insert(make_entry(0x400, 1, 1));
-  machine.tlbi_va_is(0x400, 1);
+  machine.tlbi_va_is(0x400, /*asid=*/1, /*vmid=*/1);
   EXPECT_FALSE(machine.tlb(0).lookup(0x400, 1, 1, 0).has_value());
   EXPECT_EQ(machine.account(0).of(CostKind::kTlbi), 0u);
 }
