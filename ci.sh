@@ -38,20 +38,42 @@ grep -q '"sim.core3.tlb.l1_hit"' "$smp_a"
 build/bench/fuzz_table2 --seed 1 --cores 4 --ops 2600
 build/bench/fuzz_table2 --seed 20260805 --cores 2 --ops 1500
 
-# TSan build: the SMP scheduler, per-core TLB shootdown, obs counters and
+# Release (-O2) leg: the hot-path engine (L0 translation cache, decoded-page
+# cache, batched accounting) must keep *simulated* cycle totals byte-stable.
+# The throughput bench reports host MIPS (informational, machine-dependent —
+# printed but not gated) alongside simulated cycle totals, which are gated
+# against the checked-in BENCH_throughput.json baseline.
+cmake -B build-release -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release --target throughput
+tp=/tmp/throughput.json
+rm -f "$tp"
+build-release/bench/throughput --json "$tp"
+grep -q '"schema":"lz.bench.report.v1"' "$tp"
+want=$(grep -o '"cycles":{"total":[0-9]*' BENCH_throughput.json)
+got=$(grep -o '"cycles":{"total":[0-9]*' "$tp")
+if [ "$want" != "$got" ]; then
+  echo "ci.sh: throughput simulated cycle total drifted: baseline ${want#*:total:} vs ${got#*:total:}" >&2
+  exit 1
+fi
+
+# TSan build: the SMP scheduler, per-core TLB shootdown, obs counters, the
+# lock-free hot path (L0 generations, PhysMem radix, batched flushes) and
 # the concurrent fuzz driver must be clean under the thread sanitizer.
 cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target smp_test obs_test fuzz_table2
+cmake --build build-tsan --target smp_test obs_test hotpath_test fuzz_table2 throughput
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
+build-tsan/tests/hotpath_test
 build-tsan/bench/fuzz_table2 --seed 3 --cores 4 --ops 400
+build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 
 # ASan build: the fuzz driver exercises free/refault paths hard (it is
 # what caught the dangling-region use-after-free in lz_free); keep it
 # memory-clean under the address sanitizer.
 cmake -B build-asan -G Ninja -DLZ_SANITIZE=address >/dev/null
-cmake --build build-asan --target fuzz_table2 check_test
+cmake --build build-asan --target fuzz_table2 check_test hotpath_test
 build-asan/tests/check_test
+build-asan/tests/hotpath_test
 build-asan/bench/fuzz_table2 --seed 5 --cores 4 --ops 600
 
 echo "ci.sh: OK"

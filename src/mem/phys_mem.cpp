@@ -4,6 +4,28 @@
 
 namespace lz::mem {
 
+PhysMem::PhysMem(PhysAddr base, u64 size)
+    : ram_base_(base), ram_size_(size), next_frame_(base) {
+  radix_pages_ = page_index(ram_base_ + ram_size_ - 1) + 1;
+  const u64 chunks = (radix_pages_ + kChunkPages - 1) / kChunkPages;
+  root_ = std::make_unique<std::atomic<Chunk*>[]>(chunks);
+  for (u64 i = 0; i < chunks; ++i) {
+    root_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+PhysMem::~PhysMem() {
+  const u64 chunks = (radix_pages_ + kChunkPages - 1) / kChunkPages;
+  for (u64 i = 0; i < chunks; ++i) {
+    Chunk* c = root_[i].load(std::memory_order_relaxed);
+    if (c == nullptr) continue;
+    for (auto& slot : c->slots) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+    delete c;
+  }
+}
+
 PhysAddr PhysMem::alloc_frame() {
   PhysAddr pa;
   {
@@ -33,13 +55,39 @@ void PhysMem::free_frame(PhysAddr pa) {
 
 PhysMem::Page& PhysMem::page(PhysAddr pa) const {
   const u64 idx = page_index(pa);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = pages_.find(idx);
-  if (it == pages_.end()) {
-    it = pages_.emplace(idx, std::make_unique<Page>()).first;
-    it->second->fill(0);
+  if (idx < radix_pages_) {
+    Chunk* c = root_[idx / kChunkPages].load(std::memory_order_acquire);
+    if (c != nullptr) {
+      Page* p = c->slots[idx % kChunkPages].load(std::memory_order_acquire);
+      if (p != nullptr) return *p;
+    }
   }
-  return *it->second;
+  return materialize(idx);
+}
+
+PhysMem::Page& PhysMem::materialize(u64 idx) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idx >= radix_pages_) {
+    auto it = overflow_.find(idx);
+    if (it == overflow_.end()) {
+      it = overflow_.emplace(idx, std::make_unique<Page>()).first;
+      it->second->fill(0);
+    }
+    return *it->second;
+  }
+  auto& chunk_slot = root_[idx / kChunkPages];
+  Chunk* c = chunk_slot.load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    c = new Chunk();
+    chunk_slot.store(c, std::memory_order_release);
+  }
+  auto& page_slot = c->slots[idx % kChunkPages];
+  Page* p = page_slot.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = new Page();  // value-initialized: zero-filled
+    page_slot.store(p, std::memory_order_release);
+  }
+  return *p;
 }
 
 u64 PhysMem::read(PhysAddr pa, u8 size) const {

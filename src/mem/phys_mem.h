@@ -2,14 +2,20 @@
 // first touch; the allocator hands out zeroed frames for page tables,
 // kernel structures and process memory. Allocation counts feed the
 // memory-overhead numbers reported in §9.
+//
 // Thread-safety: one PhysMem is shared by every core of the SMP machine.
-// The frame allocator and the sparse page map are mutex-guarded; byte
-// accesses themselves are unlocked (pages are stable once created), so
-// concurrent accesses to the *same* page are the simulated software's own
-// data races, exactly as on hardware.
+// The page index is a two-level radix of std::atomic<Page*>: readers walk
+// it with acquire loads and never take a lock (pages are never reclaimed,
+// only reused, so a published pointer stays valid until the PhysMem is
+// destroyed). Page creation and the frame allocator stay mutex-guarded;
+// creation publishes the zeroed page with a release store, so any thread
+// that observes the pointer also observes the zero fill. Byte accesses
+// themselves are unlocked — concurrent accesses to the *same* page are the
+// simulated software's own data races, exactly as on hardware.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -23,8 +29,8 @@ namespace lz::mem {
 class PhysMem {
  public:
   // [base, base + size) is the RAM window the frame allocator serves.
-  explicit PhysMem(PhysAddr base = 0x4000'0000, u64 size = u64{4} << 30)
-      : ram_base_(base), ram_size_(size), next_frame_(base) {}
+  explicit PhysMem(PhysAddr base = 0x4000'0000, u64 size = u64{4} << 30);
+  ~PhysMem();
 
   PhysMem(const PhysMem&) = delete;
   PhysMem& operator=(const PhysMem&) = delete;
@@ -59,7 +65,15 @@ class PhysMem {
 
  private:
   using Page = std::array<u8, kPageSize>;
+  // One radix leaf: 1024 page slots (a 4 MiB physical span).
+  static constexpr u64 kChunkPages = 1024;
+  struct Chunk {
+    std::atomic<Page*> slots[kChunkPages] = {};
+  };
+
   Page& page(PhysAddr pa) const;
+  // Slow path: create (or race-lose and reuse) the page under the mutex.
+  Page& materialize(u64 idx) const;
 
   mutable std::mutex mu_;
   PhysAddr ram_base_;
@@ -68,7 +82,14 @@ class PhysMem {
   std::vector<PhysAddr> free_list_;
   u64 frames_in_use_ = 0;
   u64 frames_peak_ = 0;
-  mutable std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+
+  // Radix root covering page indices [0, radix_pages_): everything from
+  // PA 0 through the top of the RAM window, so the allocator's frames and
+  // low "device" addresses all take the lock-free path. Out-of-range PAs
+  // (tests poking arbitrary addresses) fall back to a mutexed map.
+  u64 radix_pages_ = 0;
+  std::unique_ptr<std::atomic<Chunk*>[]> root_;
+  mutable std::unordered_map<u64, std::unique_ptr<Page>> overflow_;
 };
 
 }  // namespace lz::mem

@@ -29,7 +29,7 @@ std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
     if (matches(e, vpage, asid, vmid)) {
       ++stats_.l1_hits;
       count(c_l1_hit_, d_l1_hit_);
-      return Hit{e, 0, true};
+      return Hit{e, 0, true, gen_.load(std::memory_order_relaxed)};
     }
   }
   for (const auto& e : l2_) {
@@ -37,8 +37,9 @@ std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
       ++stats_.l2_hits;
       count(c_l2_hit_, d_l2_hit_);
       const TlbEntry copy = e;  // place() may shuffle l2_ storage aliasing e
-      place(l1_, copy);         // promote
-      return Hit{copy, l2_hit_cost, false};
+      if (place(l1_, copy)) bump_generation();  // promote
+      return Hit{copy, l2_hit_cost, false,
+                 gen_.load(std::memory_order_relaxed)};
     }
   }
   ++stats_.misses;
@@ -46,34 +47,49 @@ std::optional<Tlb::Hit> Tlb::lookup(u64 vpage, u16 asid, u16 vmid,
   return std::nullopt;
 }
 
-void Tlb::insert(const TlbEntry& e) {
+u64 Tlb::insert(const TlbEntry& e) {
   std::lock_guard<std::mutex> lock(mu_);
-  place(l1_, e);
-  place(l2_, e);
+  const bool l1_evicted = place(l1_, e);
+  const bool l2_evicted = place(l2_, e);
+  if (l1_evicted || l2_evicted) bump_generation();
+  return gen_.load(std::memory_order_relaxed);
 }
 
-void Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
-  if (level.empty()) return;
+bool Tlb::place(std::vector<TlbEntry>& level, const TlbEntry& e) {
+  if (level.empty()) return false;
   // Evict every entry a lookup for `e`'s page could also match, not just
   // the first: refreshing one slot while a second aliasing copy survives
   // (e.g. a global entry ahead of a per-ASID one) would leave a stale
   // translation that random replacement can later expose.
   TlbEntry* free_slot = nullptr;
+  bool evicted = false;
   for (auto& slot : level) {
-    if (aliases(slot, e)) slot.valid = false;
+    if (aliases(slot, e)) {
+      slot.valid = false;
+      evicted = true;
+    }
     if (!slot.valid && free_slot == nullptr) free_slot = &slot;
   }
   if (free_slot != nullptr) {
     *free_slot = e;
-    return;
+    return evicted;
   }
   level[rng_.below(level.size())] = e;  // random replacement
+  return true;
+}
+
+void Tlb::commit_l1_hits(u64 n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.l1_hits += n;
+  count(c_l1_hit_, d_l1_hit_, n);
 }
 
 void Tlb::invalidate_all() {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
+  bump_generation();
   obs::trace().tlb_inval(obs::TlbScope::kAll, 0, 0);
   for (auto& e : l1_) e.valid = false;
   for (auto& e : l2_) e.valid = false;
@@ -83,6 +99,7 @@ void Tlb::invalidate_vmid(u16 vmid) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
+  bump_generation();
   obs::trace().tlb_inval(obs::TlbScope::kVmid, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid) e.valid = false;
@@ -96,6 +113,7 @@ void Tlb::invalidate_asid(u16 asid, u16 vmid) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
+  bump_generation();
   obs::trace().tlb_inval(obs::TlbScope::kAsid, asid, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && !e.global && e.asid == asid) e.valid = false;
@@ -109,6 +127,7 @@ void Tlb::invalidate_va(u64 vpage, u16 asid, u16 vmid) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
+  bump_generation();
   obs::trace().tlb_inval(obs::TlbScope::kVa, asid, vmid);
   // TLBI VAE1: the ASID's own entry for the page, plus any global entry
   // (global translations are not ASID-tagged, so a per-VA invalidate
@@ -128,6 +147,7 @@ void Tlb::invalidate_va_all_asid(u64 vpage, u16 vmid) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invalidations;
   count(c_inval_, d_inval_);
+  bump_generation();
   obs::trace().tlb_inval(obs::TlbScope::kVaAllAsid, 0, vmid);
   for (auto& e : l1_) {
     if (e.vmid == vmid && e.vpage == vpage) e.valid = false;

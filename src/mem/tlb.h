@@ -20,6 +20,7 @@
 // this invariant against the live page tables at every hit.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -79,12 +80,19 @@ class Tlb {
     TlbEntry entry;     // copied out under the lock; stays valid after it
     Cycles extra_cost;  // 0 on micro-TLB hit, tlb_l2_hit on main-TLB hit
     bool from_l1;
+    // generation() observed under the lock *after* any promotion: at the
+    // moment the lock was released, the micro-TLB held `entry` and the
+    // generation was exactly this value. The L0 install tag (see below).
+    u64 gen;
   };
 
   // Look up (vpage, asid, vmid). Promotes main-TLB hits into the micro-TLB.
   std::optional<Hit> lookup(u64 vpage, u16 asid, u16 vmid, Cycles l2_hit_cost);
 
-  void insert(const TlbEntry& e);
+  // Returns the under-lock generation after the insert, with the same
+  // meaning as Hit::gen (the new entry is resident in the micro-TLB at
+  // that generation).
+  u64 insert(const TlbEntry& e);
 
   // Invalidation scopes, one per architectural TLBI flavour:
   //   invalidate_all          TLBI ALLE1   — everything
@@ -98,6 +106,28 @@ class Tlb {
   void invalidate_asid(u16 asid, u16 vmid);
   void invalidate_va(u64 vpage, u16 asid, u16 vmid);
   void invalidate_va_all_asid(u64 vpage, u16 vmid);
+
+  // --- L0 coherence protocol --------------------------------------------------
+  // Monotonic generation, bumped by every invalidate_* and by any place()
+  // that removes or overwrites a live entry in the micro-TLB (insert
+  // refills and L2->L1 promotions included). A Core-side L0 entry tagged
+  // with generation G is usable only while generation() == G: an unchanged
+  // generation proves the micro-TLB still holds exactly the entry the L0
+  // memoized, so an L0 hit is observationally identical to the L1 hit the
+  // locked lookup would have produced (same zero cost, same stats line).
+  //
+  // The counter is a relaxed atomic: the owning core reads it locklessly
+  // on every access, and remote DVM shootdowns bump it under the TLB
+  // mutex. Cross-core visibility therefore rides on the caller's existing
+  // synchronization (the machine models TLBI ...IS + DSB as synchronous),
+  // exactly like the entry arrays themselves.
+  u64 generation() const { return gen_.load(std::memory_order_relaxed); }
+
+  // Batched stats path for Core's L0 cache: credit `n` micro-TLB hits that
+  // were served without taking the lock. Keeps TlbStats and the
+  // mem.tlb.*/sim.coreN.tlb.* counters byte-identical to the unbatched
+  // engine once the owning core flushes (see Core's flush contract).
+  void commit_l1_hits(u64 n);
 
   // Copies stats under the lock; call from a quiesced machine (or the
   // owning core's thread) for exact values.
@@ -122,17 +152,21 @@ class Tlb {
     return a.valid && a.vpage == b.vpage && a.vmid == b.vmid &&
            (a.global || b.global || a.asid == b.asid);
   }
-  void place(std::vector<TlbEntry>& level, const TlbEntry& e);
-  void count(obs::Counter* aggregate, obs::Counter* per_core) {
-    aggregate->add();
-    if (per_core) per_core->add();
+  // Returns true when it removed or overwrote a live entry (the L0
+  // generation must advance so no core keeps a memoized copy).
+  bool place(std::vector<TlbEntry>& level, const TlbEntry& e);
+  void count(obs::Counter* aggregate, obs::Counter* per_core, u64 n = 1) {
+    aggregate->add(n);
+    if (per_core) per_core->add(n);
   }
+  void bump_generation() { gen_.fetch_add(1, std::memory_order_relaxed); }
 
   mutable std::mutex mu_;
   std::vector<TlbEntry> l1_;
   std::vector<TlbEntry> l2_;
   Rng rng_;
   TlbStats stats_;
+  std::atomic<u64> gen_{1};
 
   // Process-wide observability mirrors of stats_ (cached handles so the
   // lookup hot path pays one pointer add per event, `mem.tlb.*`), plus the

@@ -1,5 +1,7 @@
 #include "sim/core.h"
 
+#include <cstring>
+
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "support/bits.h"
@@ -59,16 +61,38 @@ bool Core::has_handler(ExceptionLevel el) const {
   return static_cast<bool>(handlers_[static_cast<int>(el)]);
 }
 
-bool Core::stage2_enabled() const {
-  return sysreg(SysReg::kHcrEl2) & arch::hcr::kVm;
+void Core::refresh_translation_context() {
+  cached_stage2_ = sysreg(SysReg::kHcrEl2) & arch::hcr::kVm;
+  cached_vmid_ =
+      cached_stage2_ ? mem::vttbr_vmid(sysreg(SysReg::kVttbrEl2)) : 0;
+  cached_asid_ = mem::ttbr_asid(sysreg(SysReg::kTtbr0El1));
+  ++ctx_epoch_;  // every L0 entry from the old context is now unusable
 }
 
-u16 Core::current_vmid() const {
-  return stage2_enabled() ? mem::vttbr_vmid(sysreg(SysReg::kVttbrEl2)) : 0;
+void Core::refresh_watchpoints() {
+  watchpoints_armed_ = (sysreg(SysReg::kDbgwcr0El1) & 1) ||
+                       (sysreg(SysReg::kDbgwcr1El1) & 1) ||
+                       (sysreg(SysReg::kDbgwcr2El1) & 1) ||
+                       (sysreg(SysReg::kDbgwcr3El1) & 1);
 }
 
-u16 Core::current_asid() const {
-  return mem::ttbr_asid(sysreg(SysReg::kTtbr0El1));
+void Core::flush_pending() {
+  if (pending_insn_ != 0) {
+    core_counters().insn_retired.add(pending_insn_);
+    pending_insn_ = 0;
+  }
+  if (pending_insn_cycles_ != 0) {
+    account_.charge(CostKind::kInsn, pending_insn_cycles_);
+    pending_insn_cycles_ = 0;
+  }
+  if (pending_mem_cycles_ != 0) {
+    account_.charge(CostKind::kMem, pending_mem_cycles_);
+    pending_mem_cycles_ = 0;
+  }
+  if (pending_l0_hits_ != 0) {
+    tlb_.commit_l1_hits(pending_l0_hits_);
+    pending_l0_hits_ = 0;
+  }
 }
 
 // --- Translation -------------------------------------------------------------
@@ -167,7 +191,8 @@ Core::WalkOutcome Core::walk_translation(VirtAddr va, u64 vpage) const {
 }
 
 std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
-                                                  Translation* out) {
+                                                  Translation* out,
+                                                  u64* gen_out) {
   auto w = walk_translation(va, vpage);
   account_.charge(CostKind::kTlb, w.table_loads * plat_.tlb_walk_per_level);
   if (!w.entry) {
@@ -176,7 +201,7 @@ std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
     out->fault_ipa = w.fault_ipa;
     return std::nullopt;
   }
-  tlb_.insert(*w.entry);
+  *gen_out = tlb_.insert(*w.entry);
   return w.entry;
 }
 
@@ -185,16 +210,41 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
   Translation out;
   const u64 vpage = page_index(va);
 
+  // L0 fast path: a valid slot is a memoized, fully permission-checked L1
+  // hit (zero extra cost) — see the coherence argument in core.h. The
+  // stats credit is batched; outside run() it lands immediately so direct
+  // translate() callers read exact TlbStats.
+  L0Entry* l0 = unprivileged ? nullptr : l0_slot(type, vpage);
+  if (l0 != nullptr && l0->valid && l0->vpage == vpage &&
+      l0->tlb_gen == tlb_.generation() && l0->ctx_epoch == ctx_epoch_ &&
+      l0->el == pstate_.el && l0->pan == pstate_.pan) {
+    if (in_run_) {
+      ++pending_l0_hits_;
+    } else {
+      tlb_.commit_l1_hits(1);
+    }
+#ifdef LZ_CONF_CHECK
+    if (check::enabled()) check_tlb_hit(va, l0->entry);
+#endif
+    out.ok = true;
+    out.pa = l0->pa_page | page_offset(va);
+    return out;
+  }
+
   std::optional<mem::TlbEntry> entry;
+  u64 entry_gen = 0;
   if (auto hit = tlb_.lookup(vpage, current_asid(), current_vmid(),
                              plat_.tlb_l2_hit)) {
-    account_.charge(CostKind::kTlb, hit->extra_cost);
+    if (hit->extra_cost != 0) {
+      account_.charge(CostKind::kTlb, hit->extra_cost);
+    }
     entry = hit->entry;
+    entry_gen = hit->gen;
 #ifdef LZ_CONF_CHECK
     if (check::enabled()) check_tlb_hit(va, *entry);
 #endif
   } else {
-    entry = translate_slow(va, vpage, &out);
+    entry = translate_slow(va, vpage, &out, &entry_gen);
     if (!entry) return out;  // translation fault recorded in `out`
   }
 
@@ -218,6 +268,19 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
   }
   out.ok = true;
   out.pa = entry->ppage | page_offset(va);
+  if (l0 != nullptr) {
+    // `entry_gen` was read under the Tlb lock at the end of the lookup or
+    // insert, so the micro-TLB held `entry` at exactly that generation; a
+    // later invalidation (local or DVM) bumps past it and the slot dies.
+    l0->valid = true;
+    l0->vpage = vpage;
+    l0->tlb_gen = entry_gen;
+    l0->ctx_epoch = ctx_epoch_;
+    l0->el = pstate_.el;
+    l0->pan = pstate_.pan;
+    l0->pa_page = entry->ppage;
+    l0->entry = *entry;
+  }
   return out;
 }
 
@@ -303,6 +366,9 @@ ExceptionLevel Core::route_sync_target(ExceptionClass ec, bool stage2) const {
 }
 
 void Core::take_exception(const TrapInfo& info) {
+  // Flush contract: the entry cost/trace below and the handler's C++ code
+  // must observe exact counters and ledger totals.
+  flush_pending();
   const auto target = info.target;
   const auto from = info.from;
   LZ_CHECK(target >= from || from == ExceptionLevel::kEl2);
@@ -362,6 +428,7 @@ void Core::raise_sync(ExceptionClass ec, u32 iss, u64 far, u64 ipa,
 }
 
 void Core::eret_from(ExceptionLevel from_el) {
+  flush_pending();  // the return trace's timestamp must be exact
   const bool el2 = from_el == ExceptionLevel::kEl2;
   const u64 elr = sysreg(el2 ? SysReg::kElrEl2 : SysReg::kElrEl1);
   const u64 spsr = sysreg(el2 ? SysReg::kSpsrEl2 : SysReg::kSpsrEl1);
@@ -380,16 +447,21 @@ RunResult Core::run(u64 max_steps) {
   RunResult result;
   stop_requested_ = false;
   stop_unhandled_ = false;
+  // Nested runs (trap handlers re-entering simulated code) keep batching;
+  // only the outermost exit — and every exit back into C++ — flushes.
+  const bool outer = !in_run_;
+  in_run_ = true;
   for (u64 i = 0; i < max_steps; ++i) {
     step();
     ++result.steps;
     if (stop_requested_) {
       result.reason =
           stop_unhandled_ ? StopReason::kUnhandled : StopReason::kHandlerStop;
-      return result;
+      break;
     }
   }
-  result.reason = StopReason::kMaxSteps;
+  in_run_ = !outer;
+  flush_pending();
   return result;
 }
 
@@ -411,6 +483,7 @@ void Core::step() {
     info.ec = ExceptionClass::kIrq;
     info.esr = 0;
     info.pc = insn_pc;  // resume at the interrupted instruction
+    flush_pending();  // exact ledger timestamp for the irq trace
     core_counters().irq.add();
     obs::trace().irq(static_cast<u8>(info.target));
     take_exception(info);
@@ -437,14 +510,19 @@ void Core::step() {
   }
   nested_faults_ = 0;
 
-  const u32 word = pm_.read_word(fetch.pa);
-  const Insn& insn = decode_cached(word);
-  account_.charge(CostKind::kInsn, plat_.insn_base);
-  core_counters().insn_retired.add();
+  // Copied by value: a trap taken inside execute() can run nested code
+  // whose fetches evict the decoded-page slot the reference points into.
+  const Insn insn = decode_at(fetch.pa);
+  pending_insn_cycles_ += plat_.insn_base;
+  ++pending_insn_;
   pc_ = insn_pc + 4;
 
   execute(insn);
-  if (on_insn) on_insn(insn);
+  if (on_insn) {
+    flush_pending();  // the hook may observe counters/cycles
+    on_insn(insn);
+  }
+  if (!in_run_) flush_pending();  // top-level single step: exact snapshot
 }
 
 bool Core::cond_holds(Cond cond) const {
@@ -579,11 +657,11 @@ void Core::execute(const Insn& insn) {
       exec_system(insn);
       return;
     case Op::kIsb:
-      account_.charge(CostKind::kInsn, plat_.isb);
+      pending_insn_cycles_ += plat_.isb;
       return;
     case Op::kDsb:
     case Op::kDmb:
-      account_.charge(CostKind::kInsn, plat_.dsb);
+      pending_insn_cycles_ += plat_.dsb;
       return;
 
     case Op::kSvc:
@@ -659,7 +737,7 @@ void Core::exec_ldst(const Insn& insn) {
     return;
   }
 
-  account_.charge(CostKind::kMem, plat_.mem_access);
+  pending_mem_cycles_ += plat_.mem_access;
   if (insn.is_load()) {
     u64 v = pm_.read(tr.pa, insn.size);
     if (insn.sign_ext) v = static_cast<u64>(sign_extend(v, insn.size * 8));
@@ -668,7 +746,7 @@ void Core::exec_ldst(const Insn& insn) {
     pm_.write(tr.pa, insn.size, x(insn.rt));
   }
 
-  check_watchpoints(va, type == AccessType::kWrite);
+  if (watchpoints_armed_) check_watchpoints(va, type == AccessType::kWrite);
 }
 
 void Core::check_watchpoints(VirtAddr va, bool is_write) {
@@ -706,6 +784,11 @@ Cycles Core::sysreg_write_cost(SysReg r) const {
 }
 
 void Core::exec_system(const Insn& insn) {
+  // Every arm of this function either charges the account directly or
+  // emits a trace event; both need the batched charges flushed first so
+  // ledger order (and therefore trace timestamps) match the unbatched
+  // engine exactly.
+  flush_pending();
   const u64 hcr = sysreg(SysReg::kHcrEl2);
   const auto el = pstate_.el;
   const u64 insn_pc = pc_ - 4;
@@ -838,13 +921,41 @@ void Core::exec_system(const Insn& insn) {
   account_.charge(CostKind::kSysreg, sysreg_write_cost(r));
 }
 
-const Insn& Core::decode_cached(u32 word) {
-  // Decoding is pure; cache by encoding (self-modifying code still works
-  // because the cache is keyed by the word's value, not its address).
-  auto it = decode_cache_.find(word);
-  if (it != decode_cache_.end()) return it->second;
-  if (decode_cache_.size() > 65536) decode_cache_.clear();
-  return decode_cache_.emplace(word, arch::decode(word)).first->second;
+Core::DecodedPage* Core::dpage_slot(PhysAddr ppage) {
+  auto& slot = dpages_[page_index(ppage) & (kDecodedPages - 1)];
+  if (!slot) slot = std::make_unique<DecodedPage>();
+  DecodedPage& dp = *slot;
+  if (dp.ppage != ppage) {
+    // Conflict (or first use): retarget this slot only — no clear-all.
+    dp.ppage = ppage;
+    dp.host = pm_.page_ptr(ppage);
+    dp.filled.fill(false);
+  }
+  return &dp;
+}
+
+const Insn& Core::decode_at(PhysAddr pa) {
+  const PhysAddr ppage = page_floor(pa);
+  DecodedPage* dp = cur_dpage_;
+  if (dp == nullptr || dp->ppage != ppage) {
+    dp = dpage_slot(ppage);
+    cur_dpage_ = dp;  // slots are never freed, so this pointer stays valid
+  }
+  const u64 off = page_offset(pa);
+  LZ_CHECK(off + 4 <= kPageSize);
+  // Re-read the live word every fetch: self-modifying code re-decodes just
+  // as the old value-keyed cache did, because a changed word never matches
+  // the slot's remembered encoding.
+  u32 word;
+  std::memcpy(&word, dp->host + off, 4);
+  const unsigned widx = static_cast<unsigned>(off >> 2);
+  if (!dp->filled[widx] || dp->words[widx] != word) {
+    dp->insns[widx] = arch::decode(word);
+    dp->words[widx] = word;
+    dp->filled[widx] = true;
+    ++decode_count_;
+  }
+  return dp->insns[widx];
 }
 
 Core::MemResult Core::mem_read(VirtAddr va, u8 size) {

@@ -14,8 +14,8 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "arch/decode.h"
 #include "arch/exception.h"
@@ -82,7 +82,20 @@ class Core {
   void set_sp(ExceptionLevel el, u64 v) { sp_[static_cast<int>(el)] = v; }
 
   u64 sysreg(SysReg r) const { return sysregs_[static_cast<size_t>(r)]; }
-  void set_sysreg(SysReg r, u64 v) { sysregs_[static_cast<size_t>(r)] = v; }
+  // Every sysreg write funnels through here (simulated MSR and privileged
+  // C++ software alike), which is what lets the hot path cache derived
+  // translation state: writes to TTBR0/TTBR1/VTTBR/HCR refresh the cached
+  // ASID/VMID/stage-2 flags and advance the L0 context epoch; watchpoint
+  // register writes re-arm the watchpoint fast-path flag.
+  void set_sysreg(SysReg r, u64 v) {
+    sysregs_[static_cast<size_t>(r)] = v;
+    if (r == SysReg::kTtbr0El1 || r == SysReg::kTtbr1El1 ||
+        r == SysReg::kVttbrEl2 || r == SysReg::kHcrEl2) {
+      refresh_translation_context();
+    } else if (arch::is_watchpoint_reg(r)) {
+      refresh_watchpoints();
+    }
+  }
 
   // --- Trap handlers (privileged C++ software) ------------------------------
   using TrapHandler = std::function<TrapAction(const TrapInfo&)>;
@@ -141,10 +154,19 @@ class Core {
   };
   WalkOutcome walk_translation(VirtAddr va, u64 vpage) const;
 
-  // Stage-2 world: on when HCR_EL2.VM is set.
-  bool stage2_enabled() const;
-  u16 current_vmid() const;
-  u16 current_asid() const;
+  // Stage-2 world: on when HCR_EL2.VM is set. Cached in the core and
+  // recomputed only by set_sysreg() on TTBR0_EL1/VTTBR_EL2/HCR_EL2 writes,
+  // so translate() never re-derives them from the sysreg file.
+  bool stage2_enabled() const { return cached_stage2_; }
+  u16 current_vmid() const { return cached_vmid_; }
+  u16 current_asid() const { return cached_asid_; }
+
+  // Host-side statistic: number of arch::decode() calls this core has made
+  // (i.e. decoded-page cache misses). Not an obs counter on purpose — the
+  // count depends on per-core cache state, so it is not topology-invariant
+  // and must stay out of replay-compared counter snapshots. Tests use it
+  // to pin down eviction behaviour.
+  u64 decode_count() const { return decode_count_; }
 
   // Event hook consulted on every committed instruction (used by tests and
   // the scheduler model); may be empty.
@@ -180,9 +202,11 @@ class Core {
   bool check_perms(const mem::TlbEntry& e, AccessType type, bool unpriv,
                    ExceptionLevel el) const;
   std::optional<mem::TlbEntry> translate_slow(VirtAddr va, u64 vpage,
-                                              Translation* out);
+                                              Translation* out, u64* gen_out);
   void check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit);
   Cycles sysreg_write_cost(SysReg r) const;
+  void refresh_translation_context();
+  void refresh_watchpoints();
 
   const arch::Platform& plat_;
   mem::PhysMem& pm_;
@@ -195,10 +219,96 @@ class Core {
   arch::PState pstate_;
   std::array<u64, arch::kNumSysRegs> sysregs_{};
 
-  const arch::Insn& decode_cached(u32 word);
+  // --- Hot-path state (host-side memoization; zero architectural effect) ----
+  // See DESIGN.md §11. Everything below is owned by the core's thread and
+  // touched without locks; coherence with the shared Tlb/PhysMem rides on
+  // the Tlb generation counter and the context epoch.
+
+  // L0 translation cache: direct-mapped per-access-type memoization of
+  // fully-checked translate() results. An entry is usable only while
+  //   * tlb_gen   == tlb_.generation()  (no TLB mutation since install:
+  //     the micro-TLB still holds exactly the memoized entry, so a hit is
+  //     observationally an L1 hit with zero extra cost), and
+  //   * ctx_epoch == ctx_epoch_         (no TTBR0/TTBR1/VTTBR/HCR write —
+  //     bare §4.1.2 domain switches miss L0 and re-consult the real TLB),
+  //   * el/pan match PSTATE             (permissions were checked under
+  //     exactly this privilege; PSTATE is externally mutable by reference,
+  //     so it is compared directly rather than epoch-tracked).
+  // Unprivileged (LDTR/STTR) accesses bypass L0 entirely.
+  struct L0Entry {
+    u64 vpage = 0;
+    u64 tlb_gen = 0;
+    u64 ctx_epoch = 0;
+    ExceptionLevel el = ExceptionLevel::kEl0;
+    bool pan = false;
+    bool valid = false;
+    PhysAddr pa_page = 0;   // post-permission-check output frame
+    mem::TlbEntry entry;    // for the lz::check TLB-vs-walk oracle
+  };
+  static constexpr unsigned kL0FetchSlots = 4;
+  static constexpr unsigned kL0DataSlots = 8;
+  L0Entry* l0_slot(AccessType type, u64 vpage) {
+    switch (type) {
+      case AccessType::kFetch: return &l0_fetch_[vpage & (kL0FetchSlots - 1)];
+      case AccessType::kRead: return &l0_read_[vpage & (kL0DataSlots - 1)];
+      case AccessType::kWrite: return &l0_write_[vpage & (kL0DataSlots - 1)];
+    }
+    return &l0_read_[0];
+  }
+  std::array<L0Entry, kL0FetchSlots> l0_fetch_{};
+  std::array<L0Entry, kL0DataSlots> l0_read_{};
+  std::array<L0Entry, kL0DataSlots> l0_write_{};
+  u64 ctx_epoch_ = 1;  // bumped by every TTBR0/TTBR1/VTTBR/HCR write
+
+  // Derived translation context (satellite: no sysreg-file re-derivation
+  // per translate() call).
+  u16 cached_asid_ = 0;
+  u16 cached_vmid_ = 0;
+  bool cached_stage2_ = false;
+
+  // Decoded-page cache: per physical code page, the fetched word and its
+  // decode, direct-mapped by page index. A slot re-checks the live word on
+  // every fetch (via the cached PhysMem page pointer), so self-modifying
+  // code re-decodes exactly as the old value-keyed cache did, but a hot
+  // loop costs pointer arithmetic — no lock, no hash, and no clear-all
+  // eviction cliff (a conflicting page only evicts its own slot).
+  struct DecodedPage {
+    PhysAddr ppage = ~PhysAddr{0};
+    const u8* host = nullptr;
+    std::array<u32, kPageSize / 4> words{};
+    std::array<arch::Insn, kPageSize / 4> insns{};
+    std::array<bool, kPageSize / 4> filled{};
+  };
+  static constexpr unsigned kDecodedPages = 512;  // power of two
+  const arch::Insn& decode_at(PhysAddr pa);
+  DecodedPage* dpage_slot(PhysAddr ppage);
+  std::array<std::unique_ptr<DecodedPage>, kDecodedPages> dpages_{};
+  DecodedPage* cur_dpage_ = nullptr;  // last fetched page (sequential fetch)
+  u64 decode_count_ = 0;
+
+  // Batched accounting: the per-instruction base cost, data-access cost,
+  // retired-instruction count and L0 hit count accumulate in these plain
+  // scalars and flush to the shared atomics/TLB at well-defined points.
+  // Flush contract (everything outside the straight-line loop sees exact
+  // values): flush_pending() runs at exception entry (before the entry
+  // cost is charged and traced), at ERET, at exec_system entry (every
+  // trace-emitting or directly-charged system op), before the on_insn
+  // hook, at run() exit, and at the end of a top-level (outside-run)
+  // step() or translate(). Privileged C++ software only ever runs behind
+  // one of these boundaries, so it always observes exact counters, cycle
+  // totals and TlbStats; trace timestamps (ledger totals) are
+  // byte-identical to the unbatched engine.
+  void flush_pending();
+  u64 pending_insn_ = 0;
+  Cycles pending_insn_cycles_ = 0;
+  Cycles pending_mem_cycles_ = 0;
+  u64 pending_l0_hits_ = 0;
+  bool in_run_ = false;
+
+  // Watchpoint fast path: armed only while some DBGWCR enable bit is set.
+  bool watchpoints_armed_ = false;
 
   std::array<TrapHandler, 3> handlers_{};
-  std::unordered_map<u32, arch::Insn> decode_cache_;
   bool stop_requested_ = false;
   bool stop_unhandled_ = false;
   TrapInfo last_trap_;

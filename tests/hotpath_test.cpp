@@ -1,0 +1,513 @@
+// Hot-path coherence tests: the per-core L0 translation cache must be
+// architecturally invisible — every TLBI flavour (local and remote DVM
+// broadcast), every translation-context change and every PSTATE.PAN toggle
+// must reach through it, while a bare TTBR0 rewrite (LightZone's §4.1.2
+// domain switch) may still legally hit the *main* TLB. Plus the decoded-page
+// cache (no re-decode of a hot loop no matter how many distinct words run),
+// the batched-accounting flush contract, and the lock-free PhysMem radix.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+#include "sim/assembler.h"
+#include "sim/machine.h"
+
+namespace lz::sim {
+namespace {
+
+using arch::ExceptionClass;
+using arch::ExceptionLevel;
+using mem::S1Attrs;
+using mem::TlbEntry;
+
+constexpr VirtAddr kCodeVa = 0x400000;
+constexpr VirtAddr kDataVa = 0x500000;
+constexpr VirtAddr kFillVa = 0x800000;
+
+S1Attrs CodeAttrs() {
+  S1Attrs a;
+  a.user = false;
+  a.read_only = true;
+  a.pxn = false;
+  return a;
+}
+
+S1Attrs DataAttrs(bool user = false) {
+  S1Attrs a;
+  a.user = user;
+  return a;
+}
+
+class HotPathTest : public ::testing::Test {
+ protected:
+  explicit HotPathTest(unsigned cores = 1)
+      : machine(arch::Platform::cortex_a55(), /*seed=*/42, cores) {}
+
+  // EL1 execution context under one stage-1 table, stage-2 off.
+  void UseTable(mem::Stage1Table& t, unsigned core_id = 0) {
+    auto& core = machine.core(core_id);
+    core.set_sysreg(SysReg::kTtbr0El1, t.ttbr());
+    core.pstate().el = ExceptionLevel::kEl1;
+  }
+
+  // Warm one VA into the TLB and the L0: first translate misses and
+  // refills, second is served by the L0 (counted as a micro-TLB hit).
+  PhysAddr Warm(VirtAddr va, unsigned core_id = 0) {
+    auto& core = machine.core(core_id);
+    auto t1 = core.translate(va, AccessType::kRead, false);
+    EXPECT_TRUE(t1.ok);
+    auto t2 = core.translate(va, AccessType::kRead, false);
+    EXPECT_TRUE(t2.ok);
+    EXPECT_EQ(t1.pa, t2.pa);
+    return t2.pa;
+  }
+
+  Machine machine;
+};
+
+// --- L0 invalidation coherence ----------------------------------------------
+// Shape shared by the TLBI flavours: warm a translation (TLB refill + L0
+// install), remap the page in the live table, issue the TLBI, and check the
+// next translate walks the *new* tables. A stale L0 hit would return the
+// old frame and would be counted as a micro-TLB hit instead of a miss.
+
+class L0InvalidationTest : public HotPathTest {
+ protected:
+  void SetUp() override {
+    tbl = std::make_unique<mem::Stage1Table>(machine.mem(), /*asid=*/1);
+    frame_a = machine.mem().alloc_frame();
+    frame_b = machine.mem().alloc_frame();
+    LZ_CHECK_OK(tbl->map(kDataVa, frame_a, DataAttrs()));
+    UseTable(*tbl);
+  }
+
+  // Remap kDataVa from frame_a to frame_b without telling the TLB.
+  void Remap() {
+    LZ_CHECK_OK(tbl->unmap(kDataVa));
+    LZ_CHECK_OK(tbl->map(kDataVa, frame_b, DataAttrs()));
+  }
+
+  void ExpectFreshWalkAfterInvalidate() {
+    const auto before = machine.tlb(0).stats();
+    auto t = machine.core(0).translate(kDataVa, AccessType::kRead, false);
+    const auto after = machine.tlb(0).stats();
+    EXPECT_TRUE(t.ok);
+    EXPECT_EQ(t.pa, frame_b);  // stale L0/TLB data would still say frame_a
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.l1_hits, before.l1_hits);
+  }
+
+  std::unique_ptr<mem::Stage1Table> tbl;
+  PhysAddr frame_a = 0, frame_b = 0;
+};
+
+TEST_F(L0InvalidationTest, TlbiVae1ReachesL0) {
+  EXPECT_EQ(Warm(kDataVa), frame_a);
+  Remap();
+  machine.tlb(0).invalidate_va(kDataVa >> kPageShift, /*asid=*/1, /*vmid=*/0);
+  ExpectFreshWalkAfterInvalidate();
+}
+
+TEST_F(L0InvalidationTest, TlbiAside1ReachesL0) {
+  EXPECT_EQ(Warm(kDataVa), frame_a);
+  Remap();
+  machine.tlb(0).invalidate_asid(/*asid=*/1, /*vmid=*/0);
+  ExpectFreshWalkAfterInvalidate();
+}
+
+TEST_F(L0InvalidationTest, TlbiVmalle1ReachesL0) {
+  EXPECT_EQ(Warm(kDataVa), frame_a);
+  Remap();
+  machine.tlb(0).invalidate_vmid(/*vmid=*/0);
+  ExpectFreshWalkAfterInvalidate();
+}
+
+TEST_F(L0InvalidationTest, TlbiAllReachesL0) {
+  EXPECT_EQ(Warm(kDataVa), frame_a);
+  Remap();
+  machine.tlb(0).invalidate_all();
+  ExpectFreshWalkAfterInvalidate();
+}
+
+// The generation substrate itself: every invalidation flavour advances it,
+// and refilling over a live aliasing entry advances it too (some core may
+// have memoized the overwritten entry).
+TEST(TlbGenerationTest, InvalidationsAndLiveEvictionsAdvanceGeneration) {
+  mem::Tlb tlb(16, 64, /*seed=*/1);
+  TlbEntry e;
+  e.valid = true;
+  e.vpage = 0x400;
+  e.asid = 1;
+  e.ppage = 0x4000'0000;
+  e.s1_root = 0x4000'2000;
+
+  const u64 g0 = tlb.generation();
+  tlb.insert(e);  // fresh fill into empty slots: no live entry disturbed
+  EXPECT_EQ(tlb.generation(), g0);
+
+  TlbEntry e2 = e;
+  e2.ppage = 0x4000'1000;
+  const u64 g1 = tlb.insert(e2);  // overwrites the live aliasing entry
+  EXPECT_GT(g1, g0);
+
+  u64 g = tlb.generation();
+  tlb.invalidate_va(0x400, 1, 0);
+  EXPECT_GT(tlb.generation(), g);
+  g = tlb.generation();
+  tlb.invalidate_asid(1, 0);
+  EXPECT_GT(tlb.generation(), g);
+  g = tlb.generation();
+  tlb.invalidate_vmid(0);
+  EXPECT_GT(tlb.generation(), g);
+  g = tlb.generation();
+  tlb.invalidate_va_all_asid(0x400, 0);
+  EXPECT_GT(tlb.generation(), g);
+  g = tlb.generation();
+  tlb.invalidate_all();
+  EXPECT_GT(tlb.generation(), g);
+}
+
+// Remote DVM broadcast (TLBI VAE1IS from another core) must invalidate this
+// core's L0 as well — the generation counter is the cross-core channel.
+class RemoteDvmTest : public HotPathTest {
+ protected:
+  RemoteDvmTest() : HotPathTest(/*cores=*/2) {}
+};
+
+TEST_F(RemoteDvmTest, BroadcastShootdownReachesRemoteL0) {
+  mem::Stage1Table tbl(machine.mem(), /*asid=*/1);
+  const PhysAddr frame_a = machine.mem().alloc_frame();
+  const PhysAddr frame_b = machine.mem().alloc_frame();
+  LZ_CHECK_OK(tbl.map(kDataVa, frame_a, DataAttrs()));
+  UseTable(tbl, /*core_id=*/0);
+
+  EXPECT_EQ(Warm(kDataVa, /*core_id=*/0), frame_a);
+
+  LZ_CHECK_OK(tbl.unmap(kDataVa));
+  LZ_CHECK_OK(tbl.map(kDataVa, frame_b, DataAttrs()));
+  {
+    // Core 1 issues the broadcast invalidate over the modelled DVM
+    // interconnect; core 0 never touches its own TLB.
+    Machine::CoreBinding bind(machine, 1);
+    machine.tlbi_va_is(kDataVa >> kPageShift, /*asid=*/1, /*vmid=*/0);
+  }
+
+  const auto before = machine.tlb(0).stats();
+  auto t = machine.core(0).translate(kDataVa, AccessType::kRead, false);
+  EXPECT_TRUE(t.ok);
+  EXPECT_EQ(t.pa, frame_b);
+  EXPECT_EQ(machine.tlb(0).stats().misses, before.misses + 1);
+}
+
+// A bare TTBR0 rewrite (same ASID, no TLBI — the §4.1.2 domain-switch fast
+// path) must miss the L0 (context epoch changed) but may architecturally
+// still hit the main TLB's stale-but-matching entry. After a TLBI ASIDE1
+// the new table takes effect.
+TEST_F(HotPathTest, BareTtbr0RewriteMissesL0ButMayHitMainTlb) {
+  mem::Stage1Table tbl_a(machine.mem(), /*asid=*/1);
+  mem::Stage1Table tbl_b(machine.mem(), /*asid=*/1);
+  const PhysAddr frame_a = machine.mem().alloc_frame();
+  const PhysAddr frame_b = machine.mem().alloc_frame();
+  LZ_CHECK_OK(tbl_a.map(kDataVa, frame_a, DataAttrs()));
+  LZ_CHECK_OK(tbl_b.map(kDataVa, frame_b, DataAttrs()));
+  UseTable(tbl_a);
+
+  EXPECT_EQ(Warm(kDataVa), frame_a);
+  const auto warm = machine.tlb(0).stats();
+  EXPECT_EQ(warm.misses, 1u);
+  EXPECT_EQ(warm.l1_hits, 1u);  // the L0 hit, committed as a micro-TLB hit
+
+  // Switch tables without invalidating. The TLB still holds (vpage, asid 1)
+  // derived from table A, and serving it is architecturally legal.
+  machine.core(0).set_sysreg(SysReg::kTtbr0El1, tbl_b.ttbr());
+  auto t = machine.core(0).translate(kDataVa, AccessType::kRead, false);
+  const auto stale = machine.tlb(0).stats();
+  EXPECT_TRUE(t.ok);
+  EXPECT_EQ(t.pa, frame_a);                    // legal stale main-TLB hit
+  EXPECT_EQ(stale.l1_hits, warm.l1_hits + 1);  // served by the real TLB
+  EXPECT_EQ(stale.misses, warm.misses);
+
+  // The conventional switch (TLBI after rewrite) exposes table B.
+  machine.tlb(0).invalidate_asid(/*asid=*/1, /*vmid=*/0);
+  t = machine.core(0).translate(kDataVa, AccessType::kRead, false);
+  EXPECT_TRUE(t.ok);
+  EXPECT_EQ(t.pa, frame_b);
+  EXPECT_EQ(machine.tlb(0).stats().misses, stale.misses + 1);
+}
+
+// PSTATE.PAN is compared directly by the L0: toggling it re-runs the full
+// permission check (privileged access to a user page flips between OK and
+// permission fault), and toggling it back may legally re-hit the L0.
+TEST_F(HotPathTest, PanToggleRechecksPermissions) {
+  mem::Stage1Table tbl(machine.mem(), /*asid=*/1);
+  const PhysAddr frame = machine.mem().alloc_frame();
+  LZ_CHECK_OK(tbl.map(kDataVa, frame, DataAttrs(/*user=*/true)));
+  UseTable(tbl);
+  auto& core = machine.core(0);
+
+  core.pstate().pan = false;
+  EXPECT_EQ(Warm(kDataVa), frame);  // privileged read of user page, PAN clear
+
+  core.pstate().pan = true;
+  auto t = core.translate(kDataVa, AccessType::kRead, false);
+  EXPECT_FALSE(t.ok);
+  EXPECT_TRUE(t.permission);
+
+  core.pstate().pan = false;
+  t = core.translate(kDataVa, AccessType::kRead, false);
+  EXPECT_TRUE(t.ok);
+  EXPECT_EQ(t.pa, frame);
+}
+
+// --- Cached translation context ---------------------------------------------
+
+TEST_F(HotPathTest, CachedAsidVmidFollowSysregWrites) {
+  auto& core = machine.core(0);
+  core.set_sysreg(SysReg::kTtbr0El1, mem::make_ttbr(0x4000'2000, /*asid=*/7));
+  EXPECT_EQ(core.current_asid(), 7u);
+  EXPECT_FALSE(core.stage2_enabled());
+  EXPECT_EQ(core.current_vmid(), 0u);  // stage-2 off: VMID pinned to 0
+
+  // VTTBR alone does nothing until HCR_EL2.VM turns stage-2 on.
+  core.set_sysreg(SysReg::kVttbrEl2, mem::make_vttbr(0x4000'3000, /*vmid=*/9));
+  EXPECT_EQ(core.current_vmid(), 0u);
+  core.set_sysreg(SysReg::kHcrEl2, arch::hcr::kVm);
+  EXPECT_TRUE(core.stage2_enabled());
+  EXPECT_EQ(core.current_vmid(), 9u);
+
+  core.set_sysreg(SysReg::kTtbr0El1, mem::make_ttbr(0x4000'2000, /*asid=*/3));
+  EXPECT_EQ(core.current_asid(), 3u);
+  core.set_sysreg(SysReg::kHcrEl2, 0);
+  EXPECT_FALSE(core.stage2_enabled());
+  EXPECT_EQ(core.current_vmid(), 0u);
+}
+
+// --- Decoded-page cache ------------------------------------------------------
+
+class DecodeCacheTest : public HotPathTest {
+ protected:
+  void InstallCode(Asm& a) {
+    tbl = std::make_unique<mem::Stage1Table>(machine.mem(), /*asid=*/1);
+    code_pa = machine.mem().alloc_frame();
+    a.install(machine.mem(), code_pa);
+    LZ_CHECK_OK(tbl->map(kCodeVa, code_pa, CodeAttrs()));
+    UseTable(*tbl);
+    machine.core(0).set_pc(kCodeVa);
+    machine.core(0).set_handler(ExceptionLevel::kEl1, [](const TrapInfo&) {
+      return TrapAction::kStop;
+    });
+  }
+
+  std::unique_ptr<mem::Stage1Table> tbl;
+  PhysAddr code_pa = 0;
+};
+
+TEST_F(DecodeCacheTest, HotLoopDecodesEachWordOnce) {
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, 500);
+  a.bind(loop);
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  const auto r = core.run(10'000);
+  EXPECT_EQ(r.reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.decode_count(), a.insn_count());  // one decode per word
+
+  core.set_pc(kCodeVa);
+  core.run(10'000);
+  EXPECT_EQ(core.decode_count(), a.insn_count());  // second run: all cached
+}
+
+TEST_F(DecodeCacheTest, SelfModifyingCodeRedecodes) {
+  Asm a;
+  a.movz(0, 111);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  core.run(10);
+  EXPECT_EQ(core.x(0), 111u);
+  const u64 d = core.decode_count();
+
+  // Patch the movz in place (host-side write, as a JIT or loader would).
+  machine.mem().write(code_pa, 4, arch::enc::movz(0, 222));
+  core.set_pc(kCodeVa);
+  core.run(10);
+  EXPECT_EQ(core.x(0), 222u);
+  EXPECT_EQ(core.decode_count(), d + 1);  // only the patched word re-decoded
+}
+
+// Regression for the old value-keyed decode cache, which wiped itself
+// wholesale after 65536 distinct words: executing >65536 distinct words on
+// other pages must never force a hot page to re-decode.
+TEST_F(DecodeCacheTest, HotPageSurvives64KDistinctWords) {
+  Asm hot;
+  auto loop = hot.new_label();
+  hot.movz(1, 10);
+  hot.bind(loop);
+  hot.sub_imm(1, 1, 1);
+  hot.cbnz(1, loop);
+  hot.svc(0);
+  InstallCode(hot);
+
+  auto& core = machine.core(0);
+  core.run(1'000);
+  const u64 after_hot = core.decode_count();
+  EXPECT_EQ(after_hot, hot.insn_count());
+
+  // 68 pages of distinct words = 69632 > 65536 decodes. The filler frames
+  // must not collide with the hot page's direct-mapped decode slot (512
+  // slots), so skip any frame that aliases it — collisions evicting the
+  // slot would be *correct* but are not what this test pins down.
+  constexpr unsigned kFillerPages = 68;
+  constexpr unsigned kWordsPerPage = kPageSize / 4;
+  const u64 hot_slot = page_index(code_pa) % 512;
+  std::vector<PhysAddr> filler;
+  while (filler.size() < kFillerPages) {
+    const PhysAddr f = machine.mem().alloc_frame();
+    if (page_index(f) % 512 != hot_slot) filler.push_back(f);
+  }
+  u32 n = 0;
+  for (unsigned p = 0; p < kFillerPages; ++p) {
+    std::array<u32, kWordsPerPage> words;
+    for (unsigned w = 0; w < kWordsPerPage; ++w, ++n) {
+      // Distinct words throughout: MOVZ x9..x12 with a running imm16.
+      words[w] = arch::enc::movz(static_cast<u8>(9 + (n >> 16)),
+                                 static_cast<u16>(n & 0xffff));
+    }
+    if (p == kFillerPages - 1) words[kWordsPerPage - 1] = arch::enc::svc(0);
+    machine.mem().write_bytes(filler[p], words.data(), sizeof(words));
+    LZ_CHECK_OK(tbl->map(kFillVa + u64{p} * kPageSize, filler[p], CodeAttrs()));
+  }
+
+  core.set_pc(kFillVa);  // falls straight through all 68 pages to the SVC
+  const auto r = core.run(100'000);
+  EXPECT_EQ(r.reason, StopReason::kHandlerStop);
+  const u64 after_filler = core.decode_count();
+  EXPECT_GE(after_filler - after_hot, 65537u);
+
+  // The hot page must still be fully decoded: re-running it decodes nothing.
+  core.set_pc(kCodeVa);
+  core.run(1'000);
+  EXPECT_EQ(core.decode_count(), after_filler);
+}
+
+// --- Batched accounting ------------------------------------------------------
+// After run() returns (a flush boundary), counters, cycle totals and
+// TlbStats must be exact — identical to charging every instruction
+// individually.
+
+TEST_F(DecodeCacheTest, BatchedAccountingExactAfterRun) {
+  constexpr u64 kIters = 200;
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.mov_imm64(3, kDataVa);
+  a.bind(loop);
+  a.ldr(2, 3);  // one data access per iteration
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+  const PhysAddr data_pa = machine.mem().alloc_frame();
+  LZ_CHECK_OK(tbl->map(kDataVa, data_pa, DataAttrs()));
+
+  auto& core = machine.core(0);
+  const auto r = core.run(10'000);
+  EXPECT_EQ(r.reason, StopReason::kHandlerStop);
+
+  // mov_imm64 may be several words; derive the step count from the run.
+  const u64 steps = r.steps;
+  const auto& plat = core.platform();
+  EXPECT_EQ(core.account().of(CostKind::kInsn), steps * plat.insn_base);
+  EXPECT_EQ(core.account().of(CostKind::kMem), kIters * plat.mem_access);
+
+  const auto stats = machine.tlb(0).stats();
+  EXPECT_EQ(stats.lookups(), steps + kIters);  // one fetch each + the loads
+  EXPECT_EQ(stats.misses, 2u);                 // code page + data page
+  EXPECT_EQ(stats.l2_hits, 0u);
+  EXPECT_EQ(stats.l1_hits, steps + kIters - 2);
+}
+
+// Two identical machines run the same program to identical counters and
+// cycle totals — the batched flush cannot depend on host timing.
+TEST(HotPathDeterminismTest, BatchedRunsAreReproducible) {
+  auto run_once = [](u64* cycles, mem::TlbStats* stats) {
+    Machine m(arch::Platform::cortex_a55(), /*seed=*/42);
+    mem::Stage1Table tbl(m.mem(), /*asid=*/1);
+    const PhysAddr code = m.mem().alloc_frame();
+    Asm a;
+    auto loop = a.new_label();
+    a.movz(1, 300);
+    a.bind(loop);
+    a.sub_imm(1, 1, 1);
+    a.cbnz(1, loop);
+    a.svc(0);
+    a.install(m.mem(), code);
+    LZ_CHECK_OK(tbl.map(kCodeVa, code, CodeAttrs()));
+    auto& core = m.core(0);
+    core.set_sysreg(SysReg::kTtbr0El1, tbl.ttbr());
+    core.pstate().el = ExceptionLevel::kEl1;
+    core.set_pc(kCodeVa);
+    core.set_handler(ExceptionLevel::kEl1,
+                     [](const TrapInfo&) { return TrapAction::kStop; });
+    core.run(10'000);
+    *cycles = core.account().total();
+    *stats = m.tlb(0).stats();
+  };
+  u64 c1 = 0, c2 = 0;
+  mem::TlbStats s1, s2;
+  run_once(&c1, &s1);
+  run_once(&c2, &s2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(s1.l1_hits, s2.l1_hits);
+  EXPECT_EQ(s1.misses, s2.misses);
+}
+
+// --- PhysMem radix -----------------------------------------------------------
+
+TEST(PhysMemRadixTest, InRamAndOverflowRoundTrip) {
+  mem::PhysMem pm(0x4000'0000, u64{1} << 20);  // 256 in-radix pages
+  pm.write(0x4000'0000, 8, 0x1122334455667788ull);
+  EXPECT_EQ(pm.read(0x4000'0000, 8), 0x1122334455667788ull);
+  // Past the end of RAM: served by the overflow map, still zero-initialised.
+  const PhysAddr beyond = 0x4000'0000 + (u64{1} << 20) + 0x2340;
+  EXPECT_EQ(pm.read(beyond, 4), 0u);
+  pm.write(beyond, 4, 0xdeadbeef);
+  EXPECT_EQ(pm.read(beyond, 4), 0xdeadbeefu);
+}
+
+TEST(PhysMemRadixTest, ConcurrentFirstTouchReads) {
+  mem::PhysMem pm(0x4000'0000, u64{64} << 20);
+  // Hammer first-touch page materialisation from several threads at once:
+  // each thread owns a disjoint stripe of pages, writes a pattern and reads
+  // it back while the others are concurrently faulting in their own pages.
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPagesPer = 64;
+  std::vector<std::thread> workers;
+  std::array<bool, kThreads> ok{};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pm, &ok, t] {
+      bool good = true;
+      for (unsigned p = 0; p < kPagesPer; ++p) {
+        const PhysAddr pa =
+            0x4000'0000 + (u64{t} * kPagesPer + p) * kPageSize + 8 * t;
+        pm.write(pa, 8, (u64{t} << 32) | p);
+        good &= pm.read(pa, 8) == ((u64{t} << 32) | p);
+      }
+      ok[t] = good;
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (unsigned t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]);
+}
+
+}  // namespace
+}  // namespace lz::sim
