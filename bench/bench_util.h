@@ -1,25 +1,48 @@
-// Shared plumbing for the bench binaries' observability flags.
+// Shared plumbing for the bench binaries' command lines and reports.
 //
-// Every bench main accepts, in addition to the google-benchmark flags:
-//   --json <path>   write a machine-readable lz.bench.report.v1 document
-//                   (headline results + per-CostKind cycle breakdown +
-//                   counter snapshot) covering the table/figure printers
-//   --trace <path>  arm the lz::obs event ring for the same region and
-//                   dump it as Chrome trace-event JSON (Perfetto-openable)
+// Every bench main parses its flags through one parser (no per-binary
+// hand-rolled loops), so all seven binaries accept the same set and reject
+// unknown flags with the same error:
 //
-// Both flags are stripped from argv before benchmark::Initialize sees it.
-// The report intentionally covers only the deterministic print_* phase,
-// not the wall-clock-driven BM_* loops, so two runs of the same binary
-// produce byte-identical artifacts.
+//   --json <path>           write a machine-readable lz.bench.report
+//                           document (headline results + per-CostKind cycle
+//                           breakdown + counter snapshot; v2 adds latency
+//                           histograms and the cycle-sampling profile)
+//   --report-schema v1|v2   report schema (default v2; v1 reproduces the
+//                           pre-v2 document byte-for-byte)
+//   --trace <path>          arm the lz::obs event ring for the same region
+//                           and dump it as Chrome trace-event JSON
+//   --profile <path>        write the profiler's collapsed-stack file
+//                           (flamegraph.pl / speedscope input)
+//   --sample-period <N>     profiler sampling period in simulated cycles
+//                           (default 4096; 0 disables sampling)
+//   --cores <N>             size of the SMP machine (0 = binary default)
+//   --iters <K>             workload scale factor (default 1)
+//   --benchmark_*           passed through to google-benchmark untouched
+//
+// Any other `--flag` is an error: the binary prints the offender to stderr
+// and exits 2, so a typo can never silently run the wrong experiment.
+//
+// The report covers only the deterministic print_* phase, not the
+// wall-clock-driven BM_* loops, so two runs of the same binary produce
+// byte-identical simulation sections. Host-timed headline numbers (MIPS)
+// are wall-clock by nature; ObsSession::repeats() tells the bench how many
+// in-process repeats to run (3 under v2, 1 under v1) and record_stats()
+// reports their mean plus v2-only `.min` / `.median` keys.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/cost.h"
@@ -29,20 +52,34 @@ namespace lz::bench {
 struct ObsOptions {
   std::string json_path;
   std::string trace_path;
+  std::string profile_path;
+  obs::ReportSchema schema = obs::ReportSchema::kV2;
+  u64 sample_period = obs::Profiler::kDefaultPeriod;  // 0 = profiler off
   unsigned cores = 0;  // --cores N: size of the SMP machine (0 = not given)
+  u64 iters = 1;       // --iters K: workload scale factor
 };
 
-// Removes "--json <path>" / "--json=<path>" (and the same for --trace and
-// --cores) from argv so google-benchmark does not reject the unknown flags.
-inline ObsOptions strip_obs_flags(int* argc, char** argv) {
+// Parses the shared flag set out of argv, leaving only argv[0], positional
+// arguments, and --benchmark_* flags for benchmark::Initialize. Unknown
+// --flags (and malformed values for known ones) are fatal: exit(2) with a
+// message naming the offender.
+inline ObsOptions parse_bench_flags(int* argc, char** argv) {
   ObsOptions opts;
-  std::string cores_str;
+  std::string schema_str, cores_str, period_str, iters_str;
+  const auto die = [&](const char* what, const std::string& arg) {
+    std::fprintf(stderr, "%s: %s '%s' (supported: --json --report-schema "
+                 "--trace --profile --sample-period --cores --iters "
+                 "--benchmark_*)\n",
+                 argv[0], what, arg.c_str());
+    std::exit(2);
+  };
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg(argv[i]);
     const auto take = [&](std::string_view flag, std::string* dst) {
       if (arg == flag) {
-        if (i + 1 < *argc) *dst = argv[++i];
+        if (i + 1 >= *argc) die("missing value for", std::string(arg));
+        *dst = argv[++i];
         return true;
       }
       if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
@@ -53,31 +90,65 @@ inline ObsOptions strip_obs_flags(int* argc, char** argv) {
       return false;
     };
     if (take("--json", &opts.json_path) ||
+        take("--report-schema", &schema_str) ||
         take("--trace", &opts.trace_path) ||
-        take("--cores", &cores_str)) {
+        take("--profile", &opts.profile_path) ||
+        take("--sample-period", &period_str) ||
+        take("--cores", &cores_str) ||
+        take("--iters", &iters_str)) {
       continue;
     }
-    argv[out++] = argv[i];
+    if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    die("unknown flag", std::string(arg));
   }
   *argc = out;
+  if (!schema_str.empty()) {
+    if (schema_str == "v1") {
+      opts.schema = obs::ReportSchema::kV1;
+    } else if (schema_str == "v2") {
+      opts.schema = obs::ReportSchema::kV2;
+    } else {
+      die("unknown report schema", schema_str);
+    }
+  }
   if (!cores_str.empty()) {
     const long n = std::strtol(cores_str.c_str(), nullptr, 10);
-    if (n >= 1 && n <= 64) opts.cores = static_cast<unsigned>(n);
+    if (n < 1 || n > 64) die("bad core count", cores_str);
+    opts.cores = static_cast<unsigned>(n);
+  }
+  if (!period_str.empty()) {
+    opts.sample_period = std::strtoull(period_str.c_str(), nullptr, 10);
+  }
+  if (!iters_str.empty()) {
+    opts.iters = std::strtoull(iters_str.c_str(), nullptr, 10);
+    if (opts.iters == 0) opts.iters = 1;
   }
   return opts;
 }
 
 // One per bench main. Construction resets all process-wide observability
-// state (so the report covers exactly this run) and arms the event ring
-// when a trace was requested; finish() assembles and writes the artifacts.
+// state (so the report covers exactly this run), arms the event ring when a
+// trace was requested, and arms the sampling profiler when a v2 report or a
+// collapsed-stack file was requested; finish() assembles and writes the
+// artifacts.
 class ObsSession {
  public:
   static constexpr std::size_t kTraceCapacity = 1u << 16;
 
   ObsSession(std::string bench_name, int* argc, char** argv)
-      : opts_(strip_obs_flags(argc, argv)), report_(std::move(bench_name)) {
+      : opts_(parse_bench_flags(argc, argv)), report_(std::move(bench_name)) {
     obs::reset_all();
+    report_.set_schema(opts_.schema);
     if (!opts_.trace_path.empty()) obs::trace().arm(kTraceCapacity);
+    const bool want_profile =
+        !opts_.profile_path.empty() ||
+        (opts_.schema == obs::ReportSchema::kV2 && !opts_.json_path.empty());
+    if (want_profile && opts_.sample_period > 0) {
+      obs::profiler().arm(opts_.sample_period);
+    }
     instance_ = this;
   }
   ~ObsSession() {
@@ -94,6 +165,20 @@ class ObsSession {
     report_.add_result(std::move(key), value);
   }
 
+  // Records a repeated host-timed measurement: mean under the bare key
+  // (matches the single-repeat v1 layout), plus `.min` and `.median` keys
+  // under v2 so reports expose run-to-run variance.
+  void add_stats(const std::string& key, std::vector<double> values) {
+    if (values.empty()) return;
+    double sum = 0;
+    for (const double v : values) sum += v;
+    report_.add_result(key, sum / static_cast<double>(values.size()));
+    if (opts_.schema != obs::ReportSchema::kV2) return;
+    std::sort(values.begin(), values.end());
+    report_.add_result(key + ".min", values.front());
+    report_.add_result(key + ".median", values[values.size() / 2]);
+  }
+
   // Writes the requested artifacts. Call after the print_* phase and
   // before benchmark::RunSpecifiedBenchmarks() so the gbench timing loops
   // (wall-clock-dependent iteration counts) cannot perturb them.
@@ -108,7 +193,20 @@ class ObsSession {
                      opts_.trace_path.c_str());
       }
     }
-    if (opts_.json_path.empty()) return;
+    if (!opts_.profile_path.empty()) {
+      if (obs::profiler().write_collapsed(opts_.profile_path)) {
+        std::printf("obs: wrote %llu profile samples to %s\n",
+                    static_cast<unsigned long long>(obs::profiler().samples()),
+                    opts_.profile_path.c_str());
+      } else {
+        std::fprintf(stderr, "obs: failed to write profile to %s\n",
+                     opts_.profile_path.c_str());
+      }
+    }
+    if (opts_.json_path.empty()) {
+      obs::profiler().disarm();
+      return;
+    }
     const auto& ledger = obs::cycle_ledger();
     report_.set_cycles_total(ledger.total());
     for (std::size_t k = 0; k < sim::kNumCostKinds; ++k) {
@@ -116,6 +214,13 @@ class ObsSession {
                          ledger.of(k));
     }
     report_.add_counters(obs::registry().snapshot());
+    if (opts_.schema == obs::ReportSchema::kV2) {
+      report_.add_histograms(obs::histograms().snapshot());
+      // Capture the profile while the profiler is still armed so the
+      // section records the effective sampling period.
+      if (opts_.sample_period > 0) report_.set_profile(obs::profiler());
+    }
+    obs::profiler().disarm();
     if (report_.write(opts_.json_path)) {
       std::printf("obs: wrote report to %s\n", opts_.json_path.c_str());
     } else {
@@ -127,6 +232,11 @@ class ObsSession {
   static ObsSession* instance() { return instance_; }
 
   unsigned cores() const { return opts_.cores; }
+  u64 iters() const { return opts_.iters; }
+  bool v2() const { return opts_.schema == obs::ReportSchema::kV2; }
+  // In-process repeats for host-timed measurements: v1 keeps the historic
+  // single run (byte-identical goldens), v2 runs three and reports spread.
+  unsigned repeats() const { return v2() ? 3 : 1; }
 
  private:
   ObsOptions opts_;
@@ -141,6 +251,11 @@ inline void record(std::string key, double value) {
 }
 inline void record(std::string key, u64 value) {
   if (auto* s = ObsSession::instance()) s->add_result(std::move(key), value);
+}
+
+// Repeated-measurement hook: mean under `key`, `.min`/`.median` under v2.
+inline void record_stats(const std::string& key, std::vector<double> values) {
+  if (auto* s = ObsSession::instance()) s->add_stats(key, std::move(values));
 }
 
 }  // namespace lz::bench

@@ -13,13 +13,15 @@
 // and cycle totals are deterministic — ci.sh gates on them — while host
 // wall-time and MIPS describe this machine and are reported, not gated.
 //
-// Flags: --json/--trace (bench_util), --cores N (max cores for the scaling
-// sweep), --iters K (workload scale factor, default 1; TSan runs use small
-// K so the sanitizer finishes quickly).
+// Flags: the shared bench_util set. --cores N caps the scaling sweep,
+// --iters K scales every workload (TSan runs use small K so the sanitizer
+// finishes quickly). Under the v2 report schema the three single-core
+// workloads run ObsSession::repeats() times: MIPS and wall time are
+// reported as mean plus `.min`/`.median`, while sim_insns/sim_cycles are
+// identical across repeats by construction.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -226,28 +228,43 @@ double mips(const GuestRun& r) {
   return r.wall_s > 0 ? static_cast<double>(r.steps) / r.wall_s / 1e6 : 0;
 }
 
-void report(const char* name, const GuestRun& r) {
-  std::printf("  %-16s %10.2f host-MIPS  (%llu insns, %llu cycles, %.3fs)\n",
-              name, mips(r), static_cast<unsigned long long>(r.steps),
-              static_cast<unsigned long long>(r.cycles), r.wall_s);
+// Runs one single-core workload `repeats` times and reports the spread.
+// The simulated totals must agree across repeats (they are functions of
+// the executed work alone); host timing is what varies.
+void report(const char* name, GuestRun (*run)(u64), u64 iters,
+            unsigned repeats) {
+  std::vector<double> mips_v, wall_v;
+  GuestRun last;
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    const GuestRun r = run(iters);
+    if (rep > 0) {
+      LZ_CHECK(r.steps == last.steps);
+      LZ_CHECK(r.cycles == last.cycles);
+    }
+    last = r;
+    mips_v.push_back(mips(r));
+    wall_v.push_back(r.wall_s);
+  }
+  double mips_mean = 0;
+  for (const double m : mips_v) mips_mean += m;
+  mips_mean /= static_cast<double>(mips_v.size());
+  std::printf("  %-16s %10.2f host-MIPS  (%llu insns, %llu cycles, %.3fs"
+              "%s)\n",
+              name, mips_mean, static_cast<unsigned long long>(last.steps),
+              static_cast<unsigned long long>(last.cycles), last.wall_s,
+              repeats > 1 ? ", mean of 3" : "");
   const std::string base = name;
-  bench::record(base + ".mips", mips(r));
-  bench::record(base + ".host_s", r.wall_s);
-  bench::record(base + ".sim_insns", r.steps);
-  bench::record(base + ".sim_cycles", r.cycles);
+  bench::record_stats(base + ".mips", std::move(mips_v));
+  bench::record_stats(base + ".host_s", std::move(wall_v));
+  bench::record(base + ".sim_insns", last.steps);
+  bench::record(base + ".sim_cycles", last.cycles);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   lz::bench::ObsSession obs("throughput", &argc, argv);
-  u64 scale = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      scale = std::strtoull(argv[++i], nullptr, 10);
-      if (scale == 0) scale = 1;
-    }
-  }
+  const u64 scale = obs.iters();
   const unsigned max_cores = obs.cores() > 0 ? obs.cores() : 4;
 
   std::printf("Host throughput (simulated MIPS), %s build\n\n",
@@ -258,9 +275,9 @@ int main(int argc, char** argv) {
 #endif
   );
 
-  report("straight_line", run_straight_line(100'000 * scale));
-  report("pointer_chase", run_pointer_chase(400'000 * scale));
-  report("domain_switch", run_domain_switch(150'000 * scale));
+  report("straight_line", run_straight_line, 100'000 * scale, obs.repeats());
+  report("pointer_chase", run_pointer_chase, 400'000 * scale, obs.repeats());
+  report("domain_switch", run_domain_switch, 150'000 * scale, obs.repeats());
 
   std::printf("\nPer-core scaling (straight_line on every core):\n");
   double mips1 = 0;

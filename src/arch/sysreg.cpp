@@ -68,6 +68,26 @@ constexpr std::array<SysRegInfo, kNumSysRegs> kTable = {{
     {SysReg::kDbgwcr2El1, "DBGWCR2_EL1", {2, 0, 0, 2, 7}, 1},
     {SysReg::kDbgwvr3El1, "DBGWVR3_EL1", {2, 0, 0, 3, 6}, 1},
     {SysReg::kDbgwcr3El1, "DBGWCR3_EL1", {2, 0, 0, 3, 7}, 1},
+    // PMUv3 (D13.4). min_el = 0: the model behaves as if PMUSERENR_EL0.EN
+    // were set, so EL0 and EL1 both access the PMU untrapped.
+    {SysReg::kPmcrEl0, "PMCR_EL0", {3, 3, 9, 12, 0}, 0},
+    {SysReg::kPmcntensetEl0, "PMCNTENSET_EL0", {3, 3, 9, 12, 1}, 0},
+    {SysReg::kPmcntenclrEl0, "PMCNTENCLR_EL0", {3, 3, 9, 12, 2}, 0},
+    {SysReg::kPmselrEl0, "PMSELR_EL0", {3, 3, 9, 12, 5}, 0},
+    {SysReg::kPmccntrEl0, "PMCCNTR_EL0", {3, 3, 9, 13, 0}, 0},
+    {SysReg::kPmxevtyperEl0, "PMXEVTYPER_EL0", {3, 3, 9, 13, 1}, 0},
+    {SysReg::kPmxevcntrEl0, "PMXEVCNTR_EL0", {3, 3, 9, 13, 2}, 0},
+    {SysReg::kPmccfiltrEl0, "PMCCFILTR_EL0", {3, 3, 14, 15, 7}, 0},
+    // PMEVCNTR<n>_EL0 = (3,3,14,0b10nn:nnn split) -> n=0..3: CRm=8, op2=n.
+    {SysReg::kPmevcntr0El0, "PMEVCNTR0_EL0", {3, 3, 14, 8, 0}, 0},
+    {SysReg::kPmevcntr1El0, "PMEVCNTR1_EL0", {3, 3, 14, 8, 1}, 0},
+    {SysReg::kPmevcntr2El0, "PMEVCNTR2_EL0", {3, 3, 14, 8, 2}, 0},
+    {SysReg::kPmevcntr3El0, "PMEVCNTR3_EL0", {3, 3, 14, 8, 3}, 0},
+    // PMEVTYPER<n>_EL0 -> n=0..3: CRm=12, op2=n.
+    {SysReg::kPmevtyper0El0, "PMEVTYPER0_EL0", {3, 3, 14, 12, 0}, 0},
+    {SysReg::kPmevtyper1El0, "PMEVTYPER1_EL0", {3, 3, 14, 12, 1}, 0},
+    {SysReg::kPmevtyper2El0, "PMEVTYPER2_EL0", {3, 3, 14, 12, 2}, 0},
+    {SysReg::kPmevtyper3El0, "PMEVTYPER3_EL0", {3, 3, 14, 12, 3}, 0},
 }};
 
 const std::unordered_map<u16, SysReg>& reverse_map() {
@@ -138,6 +158,26 @@ bool is_watchpoint_reg(SysReg reg) {
     case SysReg::kDbgwvr1El1: case SysReg::kDbgwcr1El1:
     case SysReg::kDbgwvr2El1: case SysReg::kDbgwcr2El1:
     case SysReg::kDbgwvr3El1: case SysReg::kDbgwcr3El1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_pmu_reg(SysReg reg) {
+  switch (reg) {
+    case SysReg::kPmcrEl0:
+    case SysReg::kPmcntensetEl0:
+    case SysReg::kPmcntenclrEl0:
+    case SysReg::kPmselrEl0:
+    case SysReg::kPmccntrEl0:
+    case SysReg::kPmxevtyperEl0:
+    case SysReg::kPmxevcntrEl0:
+    case SysReg::kPmccfiltrEl0:
+    case SysReg::kPmevcntr0El0: case SysReg::kPmevcntr1El0:
+    case SysReg::kPmevcntr2El0: case SysReg::kPmevcntr3El0:
+    case SysReg::kPmevtyper0El0: case SysReg::kPmevtyper1El0:
+    case SysReg::kPmevtyper2El0: case SysReg::kPmevtyper3El0:
       return true;
     default:
       return false;

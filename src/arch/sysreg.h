@@ -68,6 +68,19 @@ enum class SysReg : u8 {
   kDbgwvr1El1, kDbgwcr1El1,
   kDbgwvr2El1, kDbgwcr2El1,
   kDbgwvr3El1, kDbgwcr3El1,
+  // Performance Monitors (PMUv3 subset, D13.4). Guest-readable at EL0/EL1;
+  // the model behaves as if PMUSERENR_EL0.EN were set. Backed by dedicated
+  // per-core state in sim::Core (PmuState), not the generic sysreg file.
+  kPmcrEl0,
+  kPmcntensetEl0,
+  kPmcntenclrEl0,
+  kPmselrEl0,
+  kPmccntrEl0,
+  kPmxevtyperEl0,
+  kPmxevcntrEl0,
+  kPmccfiltrEl0,
+  kPmevcntr0El0, kPmevcntr1El0, kPmevcntr2El0, kPmevcntr3El0,
+  kPmevtyper0El0, kPmevtyper1El0, kPmevtyper2El0, kPmevtyper3El0,
   kCount,
 };
 
@@ -130,5 +143,44 @@ bool is_stage1_control_reg(SysReg reg);
 const SysReg* el1_context_regs(std::size_t* count);
 
 bool is_watchpoint_reg(SysReg reg);
+
+// True for the PMUv3 registers above. These are per-core PMU state owned by
+// sim::Core::PmuState rather than the generic sysreg file; sim::Core routes
+// reads/writes through its pmu_read/pmu_write emulation.
+bool is_pmu_reg(SysReg reg);
+
+// --- PMUv3 constants the model honours (D13.4) -----------------------------
+namespace pmu {
+// Number of generic event counters (PMCR_EL0.N).
+inline constexpr unsigned kNumCounters = 4;
+
+// PMCR_EL0 bits.
+inline constexpr u64 kPmcrE = u64{1} << 0;  // enable all counters
+inline constexpr u64 kPmcrP = u64{1} << 1;  // reset event counters (WO)
+inline constexpr u64 kPmcrC = u64{1} << 2;  // reset cycle counter (WO)
+inline constexpr unsigned kPmcrNShift = 11;  // N field [15:11], read-only
+
+// PMCNTENSET/CLR_EL0: bit 31 is the cycle counter, bits [N-1:0] the
+// generic event counters.
+inline constexpr u32 kCntenCycle = u32{1} << 31;
+inline constexpr u32 kCntenMask = kCntenCycle | ((u32{1} << kNumCounters) - 1);
+
+// PMEVTYPERn_EL0 / PMCCFILTR_EL0 filter bits. P excludes EL1, U excludes
+// EL0; NSH *includes* EL2 when set (EL2 is excluded by default).
+inline constexpr u64 kFiltP = u64{1} << 31;
+inline constexpr u64 kFiltU = u64{1} << 30;
+inline constexpr u64 kFiltNsh = u64{1} << 27;
+inline constexpr u64 kEvtMask = 0x3ff;  // evtCount field [9:0]
+
+// Event numbers (D13.11.2) wired to state the simulator already tracks.
+inline constexpr u64 kEvtL1dTlbRefill = 0x05;  // successful L1 TLB refill
+inline constexpr u64 kEvtInstRetired = 0x08;
+inline constexpr u64 kEvtExcTaken = 0x09;
+inline constexpr u64 kEvtCpuCycles = 0x11;
+// IMPLEMENTATION DEFINED: LightZone intra-process domain switch, counted at
+// every architecturally executed write to TTBR0_EL1 (the §4.1.2 bare-switch
+// signature; call-gate switches funnel through the same MSR).
+inline constexpr u64 kEvtLzDomainSwitch = 0xc0;
+}  // namespace pmu
 
 }  // namespace lz::arch

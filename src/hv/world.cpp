@@ -1,6 +1,7 @@
 #include "hv/world.h"
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 
 namespace lz::hv {
 
@@ -48,15 +49,23 @@ std::size_t full_el1_ctx_count() {
 void charge_full_vm_exit(sim::Machine& m) {
   const auto& p = m.platform();
   world_counters().vm_exit.add();
+  const Cycles start = m.account().total();
   charge_sysreg_save(m, full_el1_ctx_count());
   m.charge(CostKind::kCtx, p.fp_simd_ctx + p.gic_ctx + p.timer_ctx);
+  static obs::Histogram& h =
+      obs::histograms().histogram("hv.world.vm_switch_cycles");
+  h.record(m.account().total() - start);
 }
 
 void charge_full_vm_entry(sim::Machine& m) {
   const auto& p = m.platform();
   world_counters().vm_entry.add();
+  const Cycles start = m.account().total();
   charge_sysreg_restore(m, full_el1_ctx_count());
   m.charge(CostKind::kCtx, p.fp_simd_ctx + p.gic_ctx + p.timer_ctx);
+  static obs::Histogram& h =
+      obs::histograms().histogram("hv.world.vm_switch_cycles");
+  h.record(m.account().total() - start);
 }
 
 }  // namespace lz::hv

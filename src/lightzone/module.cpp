@@ -3,6 +3,7 @@
 #include <span>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/trace.h"
 
 namespace lz::core {
@@ -49,6 +50,26 @@ struct LzCounters {
 LzCounters& lz_counters() {
   static LzCounters c;
   return c;
+}
+
+// Latency histograms (obs::Histogram, DESIGN.md §12): simulated-cycle
+// distributions of the module's four headline operations. Recording is
+// observe-only — it never charges the account — so always-on recording
+// cannot perturb cycle totals or v1 report byte-identity.
+struct LzHists {
+  obs::Histogram& gate_switch =
+      obs::histograms().histogram("lz.gate.switch_cycles");
+  obs::Histogram& pan_switch =
+      obs::histograms().histogram("lz.pan.switch_cycles");
+  obs::Histogram& hvc_forward =
+      obs::histograms().histogram("lz.hvc.forward_cycles");
+  obs::Histogram& world_switch =
+      obs::histograms().histogram("lz.world.switch_cycles");
+};
+
+LzHists& lz_hists() {
+  static LzHists h;
+  return h;
 }
 
 }  // namespace
@@ -635,6 +656,7 @@ void LzModule::enter_world(LzContext& ctx) {
   PerCoreWorld& w = world();
   LZ_CHECK(w.active == nullptr);
   auto& core = machine().core();
+  const Cycles start = machine().account().total();
   w.saved_hcr = core.sysreg(SysReg::kHcrEl2);
   w.saved_vttbr = core.sysreg(SysReg::kVttbrEl2);
   host_.write_hcr(lz_hcr(ctx));
@@ -644,17 +666,20 @@ void LzModule::enter_world(LzContext& ctx) {
   core.set_handler(ExceptionLevel::kEl1, nullptr);  // stub owns EL1 vectors
   host_.push_delegate(this);
   w.active = &ctx;
+  lz_hists().world_switch.record(machine().account().total() - start);
 }
 
 void LzModule::exit_world(LzContext& ctx) {
   PerCoreWorld& w = world();
   LZ_CHECK(w.active == &ctx);
+  const Cycles start = machine().account().total();
   host_.pop_delegate(this);
   host_.write_hcr(w.saved_hcr);
   host_.write_vttbr(w.saved_vttbr);
   lz_counters().world_exit.add();
   obs::trace().world_switch(obs::WorldKind::kLzExit, ctx.vmid);
   w.active = nullptr;
+  lz_hists().world_switch.record(machine().account().total() - start);
 }
 
 sim::RunResult LzModule::run(LzContext& ctx, u64 max_steps) {
@@ -716,7 +741,9 @@ Result<Cycles> LzModule::exec_gate_switch(LzContext& ctx, int gate) {
   for (int i = 0; i < 64 && core.pc() != entry && ctx.proc().alive(); ++i) {
     core.step();
   }
-  return machine().account().total() - start;
+  const Cycles delta = machine().account().total() - start;
+  lz_hists().gate_switch.record(delta);
+  return delta;
 }
 
 Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
@@ -728,7 +755,9 @@ Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
   machine().charge(CostKind::kSysreg, machine().platform().pan_toggle);
   lz_counters().pan_toggle.add();
   obs::trace().pan_toggle(pan);
-  return machine().account().total() - start;
+  const Cycles delta = machine().account().total() - start;
+  lz_hists().pan_switch.record(delta);
+  return delta;
 }
 
 // --- Trap handling -----------------------------------------------------------
@@ -758,6 +787,7 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
       obs::trace().hvc_forward(
           static_cast<u32>(core.sysreg(SysReg::kEsrEl1)),
           static_cast<u8>(arch::esr_ec(core.sysreg(SysReg::kEsrEl1))));
+      const Cycles fwd_start = machine().account().total();
       if (nested()) charge_nested_entry(*ctx);
       // §5.2.1: HCR_EL2/VTTBR_EL2 are *retained* while the host kernel
       // serves the trap; the ablation charges the conventional switches.
@@ -767,6 +797,7 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
       }
       const auto action = handle_forwarded(*ctx);
       if (nested() && action == TrapAction::kResume) charge_nested_exit(*ctx);
+      lz_hists().hvc_forward.record(machine().account().total() - fwd_start);
       return action;
     }
     case ExceptionClass::kDataAbortLowerEl:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/histogram.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace lz::obs {
@@ -68,6 +70,8 @@ void reset_all() {
   registry().reset();
   cycle_ledger().reset();
   trace().clear();
+  histograms().reset();
+  profiler().reset();
 }
 
 }  // namespace lz::obs

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/profiler.h"
+
 namespace lz::obs {
 
 // --- Json: constructors -------------------------------------------------------
@@ -364,9 +366,31 @@ void Report::add_counters(const Snapshot& snapshot) {
   counters_.insert(counters_.end(), snapshot.begin(), snapshot.end());
 }
 
+void Report::add_histograms(std::vector<HistogramStats> stats) {
+  histograms_.insert(histograms_.end(),
+                     std::make_move_iterator(stats.begin()),
+                     std::make_move_iterator(stats.end()));
+}
+
+void Report::set_profile(const Profiler& profiler) {
+  ProfileSection p;
+  p.period = profiler.period();
+  p.samples = profiler.samples();
+  p.dropped_keys = profiler.dropped_keys();
+  for (const auto& slice : profiler.by_domain()) {
+    char key[32];
+    std::snprintf(key, sizeof key, "vmid%u.asid%u", slice.vmid, slice.asid);
+    p.by_domain.emplace_back(key, slice.samples);
+  }
+  p.by_el = profiler.by_el();
+  p.hotspots = profiler.hotspots(/*top_n=*/32);
+  profile_ = std::move(p);
+}
+
 Json Report::to_json() const {
+  const bool v2 = schema_ == ReportSchema::kV2;
   Json doc = Json::object();
-  doc.set("schema", Json::string(std::string(kSchema)));
+  doc.set("schema", Json::string(std::string(v2 ? kSchemaV2 : kSchema)));
   doc.set("bench", Json::string(bench_));
 
   Json results = Json::object();
@@ -383,6 +407,45 @@ Json Report::to_json() const {
   Json counters = Json::object();
   for (const auto& [k, v] : counters_) counters.set(k, Json::number(v));
   doc.set("counters", std::move(counters));
+  if (!v2) return doc;
+
+  Json hists = Json::object();
+  for (const auto& h : histograms_) {
+    Json row = Json::object();
+    row.set("count", Json::number(h.count));
+    row.set("min", Json::number(h.min));
+    row.set("max", Json::number(h.max));
+    row.set("mean", Json::number(h.mean));
+    row.set("p50", Json::number(h.p50));
+    row.set("p90", Json::number(h.p90));
+    row.set("p99", Json::number(h.p99));
+    hists.set(h.name, std::move(row));
+  }
+  doc.set("histograms", std::move(hists));
+
+  if (profile_.has_value()) {
+    const ProfileSection& p = *profile_;
+    Json prof = Json::object();
+    prof.set("period", Json::number(p.period));
+    prof.set("samples", Json::number(p.samples));
+    prof.set("dropped_keys", Json::number(p.dropped_keys));
+    Json by_domain = Json::object();
+    for (const auto& [k, v] : p.by_domain) by_domain.set(k, Json::number(v));
+    prof.set("by_domain", std::move(by_domain));
+    Json by_el = Json::object();
+    by_el.set("el0", Json::number(p.by_el[0]));
+    by_el.set("el1", Json::number(p.by_el[1]));
+    by_el.set("el2", Json::number(p.by_el[2]));
+    prof.set("by_el", std::move(by_el));
+    Json hot = Json::object();
+    for (const auto& [pc, n] : p.hotspots) {
+      char key[24];
+      std::snprintf(key, sizeof key, "0x%" PRIx64, pc);
+      hot.set(key, Json::number(n));
+    }
+    prof.set("hotspots", std::move(hot));
+    doc.set("profile", std::move(prof));
+  }
   return doc;
 }
 
@@ -395,13 +458,58 @@ bool Report::write(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+namespace {
+
+// Every member of `obj` must be an object containing all of `fields`, each
+// a number.
+bool all_rows_have_numbers(const Json& obj,
+                           std::initializer_list<const char*> fields) {
+  for (const auto& [name, row] : obj.members()) {
+    (void)name;
+    if (!row.is_object()) return false;
+    for (const char* f : fields) {
+      const Json* v = row.find(f);
+      if (v == nullptr || !v->is_number()) return false;
+    }
+  }
+  return true;
+}
+
+bool validate_v2_sections(const Json& doc) {
+  const Json* hists = doc.find("histograms");
+  if (hists == nullptr || !hists->is_object() ||
+      !all_rows_have_numbers(
+          *hists, {"count", "min", "max", "mean", "p50", "p90", "p99"})) {
+    return false;
+  }
+  const Json* prof = doc.find("profile");
+  if (prof == nullptr) return true;  // profile is optional in v2
+  if (!prof->is_object()) return false;
+  for (const char* f : {"period", "samples", "dropped_keys"}) {
+    const Json* v = prof->find(f);
+    if (v == nullptr || !v->is_number()) return false;
+  }
+  for (const char* f : {"by_domain", "by_el", "hotspots"}) {
+    const Json* v = prof->find(f);
+    if (v == nullptr || !v->is_object()) return false;
+  }
+  for (const char* f : {"el0", "el1", "el2"}) {
+    const Json* v = prof->find("by_el")->find(f);
+    if (v == nullptr || !v->is_number()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool Report::validate(const Json& doc) {
   if (!doc.is_object()) return false;
   const Json* schema = doc.find("schema");
-  if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != kSchema) {
-    return false;
-  }
+  if (schema == nullptr || !schema->is_string()) return false;
+  const bool v1 = schema->as_string() == kSchema;
+  const bool v2 = schema->as_string() == kSchemaV2;
+  if (!v1 && !v2) return false;
+  if (v2 && !validate_v2_sections(doc)) return false;
   const Json* bench = doc.find("bench");
   if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
     return false;

@@ -7,18 +7,35 @@
 // bench binary emits behind `--json <path>`:
 //
 //   {
-//     "schema": "lz.bench.report.v1",
+//     "schema": "lz.bench.report.v1" | "lz.bench.report.v2",
 //     "bench": "<binary name>",
 //     "results": { "<series>.<point>": number, ... },
 //     "cycles": { "total": N, "by_kind": { "<CostKind name>": N, ... } },
 //     "counters": { "<subsystem.object.event>": N, ... }
+//     // v2 only:
+//     "histograms": { "<name>": { "count","min","max","mean",
+//                                 "p50","p90","p99" }, ... },
+//     "profile": { "period","samples","dropped_keys",
+//                  "by_domain": { "vmid<v>.asid<a>": cycles, ... },
+//                  "by_el": { "el0","el1","el2" },
+//                  "hotspots": { "0x<pc>": samples, ... } }
 //   }
 //
-// Reports never contain wall-clock time: cycle totals and counter values
+// v1 stays frozen: a v1 document produced today is byte-identical to one
+// produced before the v2 sections existed, so checked-in v1 goldens keep
+// diffing clean. v2 appends the histogram and profile sections after the
+// shared envelope; everything up to "counters" is laid out identically in
+// both schemas so consumers can share the common parser.
+//
+// The simulation-derived sections never contain wall-clock time: cycle
+// totals, counter values, histogram percentiles, and profile attributions
 // are fully determined by the executed work, so a BENCH_*.json trajectory
-// diff across PRs is a real regression signal, not noise.
+// diff across PRs is a real regression signal, not noise. (Host-timing
+// headline results, e.g. throughput MIPS, live in "results" and describe
+// the machine that produced them.)
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <map>
 #include <optional>
@@ -28,9 +45,12 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "support/types.h"
 
 namespace lz::obs {
+
+class Profiler;
 
 class Json {
  public:
@@ -92,11 +112,17 @@ class Json {
   std::vector<Json> elements_;
 };
 
+enum class ReportSchema { kV1, kV2 };
+
 class Report {
  public:
   static constexpr std::string_view kSchema = "lz.bench.report.v1";
+  static constexpr std::string_view kSchemaV2 = "lz.bench.report.v2";
 
   explicit Report(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void set_schema(ReportSchema schema) { schema_ = schema; }
+  ReportSchema schema() const { return schema_; }
 
   // Bench-specific headline numbers, keyed "<series>.<point>".
   void add_result(std::string key, double value);
@@ -110,23 +136,41 @@ class Report {
   // Counter snapshot section (typically registry().snapshot()).
   void add_counters(const Snapshot& snapshot);
 
+  // v2-only sections; ignored when the report is serialised as v1.
+  void add_histograms(std::vector<HistogramStats> stats);
+  void set_profile(const Profiler& profiler);
+
   const std::string& bench() const { return bench_; }
 
   Json to_json() const;
   std::string to_string() const { return to_json().dump(); }
   bool write(const std::string& path) const;
 
-  // Validates the envelope produced by to_json(): schema tag, bench name,
-  // and the three sections. Used by tests and by tooling that consumes
-  // BENCH_*.json trajectories.
+  // Validates the envelope produced by to_json(): schema tag (either
+  // version), bench name, the three shared sections, and — for v2 — the
+  // histogram section plus, when present, the profile section. Used by
+  // tests, the report_check tool, and tooling that consumes BENCH_*.json
+  // trajectories.
   static bool validate(const Json& doc);
 
  private:
+  struct ProfileSection {
+    u64 period = 0;
+    u64 samples = 0;
+    u64 dropped_keys = 0;
+    std::vector<std::pair<std::string, u64>> by_domain;  // "vmid<v>.asid<a>"
+    std::array<u64, 3> by_el{};
+    std::vector<std::pair<u64, u64>> hotspots;  // (pc, samples)
+  };
+
+  ReportSchema schema_ = ReportSchema::kV1;
   std::string bench_;
   std::vector<std::pair<std::string, Json>> results_;
   u64 cycles_total_ = 0;
   std::vector<std::pair<std::string, u64>> cycles_by_kind_;
   Snapshot counters_;
+  std::vector<HistogramStats> histograms_;
+  std::optional<ProfileSection> profile_;
 };
 
 }  // namespace lz::obs

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/counters.h"
+
 namespace lz::obs {
 
 const char* to_string(EventKind kind) {
@@ -160,6 +162,11 @@ void Trace::push(const Event& e) {
     ++count_;
   } else {
     ++dropped_;  // wraparound: the oldest event was overwritten
+    // Surface silent truncation in the counter registry too, so reports
+    // flag it without the trace file. Registered lazily on the first drop:
+    // drop-free runs keep their counter section (and v1 goldens) unchanged.
+    static Counter& dropped_counter = registry().counter("obs.trace.dropped");
+    dropped_counter.add();
   }
 }
 

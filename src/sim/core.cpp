@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/counters.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/bits.h"
 
@@ -29,6 +30,17 @@ constexpr u32 kMaxNestedFaults = 8;
 
 bool is_el2_reg(SysReg r) { return arch::sysreg_info(r).min_el == 2; }
 
+// PMEVTYPERn/PMCCFILTR filter check: P excludes EL1, U excludes EL0, NSH
+// *includes* EL2 (excluded by default) — D13.4.1.
+bool pmu_filter_allows(u64 filter, ExceptionLevel el) {
+  switch (el) {
+    case ExceptionLevel::kEl0: return !(filter & arch::pmu::kFiltU);
+    case ExceptionLevel::kEl1: return !(filter & arch::pmu::kFiltP);
+    case ExceptionLevel::kEl2: return (filter & arch::pmu::kFiltNsh) != 0;
+  }
+  return false;
+}
+
 // Cached registry handles shared by every Core in the process (`sim.core.*`).
 struct CoreCounters {
   obs::Counter& excp_entry = obs::registry().counter("sim.core.excp_entry");
@@ -51,6 +63,7 @@ Core::Core(const arch::Platform& platform, mem::PhysMem& pm, mem::Tlb& tlb,
     : plat_(platform), pm_(pm), tlb_(tlb), account_(account) {
   pstate_.el = ExceptionLevel::kEl0;
   set_sysreg(SysReg::kHcrEl2, arch::hcr::kRw);
+  refresh_profiler();  // pick up a profiler armed before core construction
 }
 
 void Core::set_handler(ExceptionLevel el, TrapHandler handler) {
@@ -77,6 +90,7 @@ void Core::refresh_watchpoints() {
 }
 
 void Core::flush_pending() {
+  const u64 retired = pending_insn_;
   if (pending_insn_ != 0) {
     core_counters().insn_retired.add(pending_insn_);
     pending_insn_ = 0;
@@ -93,6 +107,162 @@ void Core::flush_pending() {
     tlb_.commit_l1_hits(pending_l0_hits_);
     pending_l0_hits_ = 0;
   }
+  // PMU counting rides the flush points (after the batched charges landed,
+  // so the account total is exact). Flushes bracket every EL change, which
+  // is what makes per-EL filtering exact despite the batching.
+  if (pmu_active_) pmu_commit(retired);
+}
+
+// --- PMUv3 subset (DESIGN.md §12) --------------------------------------------
+
+void Core::pmu_refresh() {
+  pmu_active_ = (pmu_.pmcr & arch::pmu::kPmcrE) && pmu_.cnten != 0;
+  pmu_cc_base_ = account_.total();  // reopen the counting interval here
+}
+
+void Core::pmu_commit(u64 retired) {
+  namespace pmu = arch::pmu;
+  const Cycles now = account_.total();
+  const Cycles delta = now - pmu_cc_base_;
+  pmu_cc_base_ = now;
+  const auto el = pstate_.el;
+  if ((pmu_.cnten & pmu::kCntenCycle) && pmu_filter_allows(pmu_.ccfiltr, el)) {
+    pmu_.ccntr += delta;
+  }
+  for (unsigned i = 0; i < pmu::kNumCounters; ++i) {
+    if (!(pmu_.cnten & (u32{1} << i))) continue;
+    const u64 typer = pmu_.evtyper[i];
+    if (!pmu_filter_allows(typer, el)) continue;
+    switch (typer & pmu::kEvtMask) {
+      case pmu::kEvtCpuCycles: pmu_.evcntr[i] += delta; break;
+      case pmu::kEvtInstRetired: pmu_.evcntr[i] += retired; break;
+      default: break;  // discrete events arrive via pmu_event()
+    }
+  }
+}
+
+void Core::pmu_event(u64 event, ExceptionLevel el) {
+  namespace pmu = arch::pmu;
+  for (unsigned i = 0; i < pmu::kNumCounters; ++i) {
+    if (!(pmu_.cnten & (u32{1} << i))) continue;
+    const u64 typer = pmu_.evtyper[i];
+    if ((typer & pmu::kEvtMask) != event) continue;
+    if (!pmu_filter_allows(typer, el)) continue;
+    ++pmu_.evcntr[i];
+  }
+}
+
+u64 Core::pmu_read(SysReg r) {
+  namespace pmu = arch::pmu;
+  // Reads only happen behind a flush boundary (exec_system flushes at
+  // entry; privileged C++ runs behind one by the flush contract), so the
+  // account total is exact — fold the open interval in before reporting.
+  if (pmu_active_) pmu_commit(0);
+  switch (r) {
+    case SysReg::kPmcrEl0:
+      return (pmu_.pmcr & pmu::kPmcrE) |
+             (u64{pmu::kNumCounters} << pmu::kPmcrNShift);
+    case SysReg::kPmccntrEl0: return pmu_.ccntr;
+    case SysReg::kPmccfiltrEl0: return pmu_.ccfiltr;
+    case SysReg::kPmselrEl0: return pmu_.selr;
+    case SysReg::kPmcntensetEl0:
+    case SysReg::kPmcntenclrEl0: return pmu_.cnten;
+    case SysReg::kPmxevtyperEl0: {
+      const u64 sel = pmu_.selr & 0x1f;
+      if (sel == 31) return pmu_.ccfiltr;  // PMXEVTYPER alias for the filter
+      return sel < pmu::kNumCounters ? pmu_.evtyper[sel] : 0;
+    }
+    case SysReg::kPmxevcntrEl0: {
+      const u64 sel = pmu_.selr & 0x1f;
+      return sel < pmu::kNumCounters ? pmu_.evcntr[sel] : 0;
+    }
+    default: break;
+  }
+  const auto idx = static_cast<std::size_t>(r);
+  const auto ev0 = static_cast<std::size_t>(SysReg::kPmevcntr0El0);
+  const auto ty0 = static_cast<std::size_t>(SysReg::kPmevtyper0El0);
+  if (idx >= ev0 && idx < ev0 + pmu::kNumCounters) return pmu_.evcntr[idx - ev0];
+  if (idx >= ty0 && idx < ty0 + pmu::kNumCounters) return pmu_.evtyper[idx - ty0];
+  return 0;
+}
+
+void Core::pmu_write(SysReg r, u64 v) {
+  namespace pmu = arch::pmu;
+  constexpr u64 kFilters = pmu::kFiltP | pmu::kFiltU | pmu::kFiltNsh;
+  // Close the open interval under the old configuration first: writes take
+  // effect from here on, never retroactively.
+  if (pmu_active_) pmu_commit(0);
+  switch (r) {
+    case SysReg::kPmcrEl0:
+      if (v & pmu::kPmcrP) pmu_.evcntr.fill(0);
+      if (v & pmu::kPmcrC) pmu_.ccntr = 0;
+      pmu_.pmcr = v & pmu::kPmcrE;
+      break;
+    case SysReg::kPmcntensetEl0:
+      pmu_.cnten |= static_cast<u32>(v) & pmu::kCntenMask;
+      break;
+    case SysReg::kPmcntenclrEl0:
+      pmu_.cnten &= ~(static_cast<u32>(v) & pmu::kCntenMask);
+      break;
+    case SysReg::kPmselrEl0: pmu_.selr = v & 0x1f; break;
+    case SysReg::kPmccntrEl0: pmu_.ccntr = v; break;
+    case SysReg::kPmccfiltrEl0: pmu_.ccfiltr = v & kFilters; break;
+    case SysReg::kPmxevtyperEl0: {
+      const u64 sel = pmu_.selr & 0x1f;
+      if (sel == 31) {
+        pmu_.ccfiltr = v & kFilters;
+      } else if (sel < pmu::kNumCounters) {
+        pmu_.evtyper[sel] = v & (kFilters | pmu::kEvtMask);
+      }
+      break;
+    }
+    case SysReg::kPmxevcntrEl0: {
+      const u64 sel = pmu_.selr & 0x1f;
+      if (sel < pmu::kNumCounters) pmu_.evcntr[sel] = v;
+      break;
+    }
+    default: {
+      const auto idx = static_cast<std::size_t>(r);
+      const auto ev0 = static_cast<std::size_t>(SysReg::kPmevcntr0El0);
+      const auto ty0 = static_cast<std::size_t>(SysReg::kPmevtyper0El0);
+      if (idx >= ev0 && idx < ev0 + pmu::kNumCounters) {
+        pmu_.evcntr[idx - ev0] = v;
+      } else if (idx >= ty0 && idx < ty0 + pmu::kNumCounters) {
+        pmu_.evtyper[idx - ty0] = v & (kFilters | pmu::kEvtMask);
+      }
+      break;
+    }
+  }
+  pmu_refresh();
+}
+
+// --- Sampling profiler fast path ---------------------------------------------
+
+void Core::refresh_profiler() {
+  auto& p = obs::profiler();
+  const u64 epoch = p.epoch();
+  if (epoch == prof_epoch_) return;
+  prof_epoch_ = epoch;
+  prof_period_ = p.period();
+  prof_on_ = prof_period_ != 0;
+  prof_next_ =
+      account_.total() + pending_insn_cycles_ + pending_mem_cycles_ +
+      prof_period_;
+}
+
+void Core::prof_take_samples(Cycles now, u64 pc) {
+  obs::SampleKey key;
+  key.core = obs_core_id_;
+  key.el = static_cast<u8>(pstate_.el);
+  key.pan = pstate_.pan ? 1 : 0;
+  key.vmid = current_vmid();
+  key.asid = current_asid();
+  key.pc = pc;
+  auto& p = obs::profiler();
+  do {  // an expensive instruction can span several sample periods
+    p.record(key);
+    prof_next_ += prof_period_;
+  } while (now >= prof_next_);
 }
 
 // --- Translation -------------------------------------------------------------
@@ -202,6 +372,9 @@ std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
     return std::nullopt;
   }
   *gen_out = tlb_.insert(*w.entry);
+  // PMU event 0x05: the walk succeeded and refilled the TLB. Faulting walks
+  // install nothing, so they are not refills.
+  if (pmu_active_) pmu_event(arch::pmu::kEvtL1dTlbRefill, pstate_.el);
   return w.entry;
 }
 
@@ -372,6 +545,9 @@ void Core::take_exception(const TrapInfo& info) {
   const auto target = info.target;
   const auto from = info.from;
   LZ_CHECK(target >= from || from == ExceptionLevel::kEl2);
+  // PMU event 0x09, attributed to the EL the exception was taken *from*
+  // (the flush above already closed that EL's counting interval).
+  if (pmu_active_) pmu_event(arch::pmu::kEvtExcTaken, from);
 
   const bool el2 = target == ExceptionLevel::kEl2;
   set_sysreg(el2 ? SysReg::kElrEl2 : SysReg::kElrEl1, info.pc);
@@ -451,6 +627,7 @@ RunResult Core::run(u64 max_steps) {
   // only the outermost exit — and every exit back into C++ — flushes.
   const bool outer = !in_run_;
   in_run_ = true;
+  if (outer) refresh_profiler();  // arm/disarm takes effect at run entry
   for (u64 i = 0; i < max_steps; ++i) {
     step();
     ++result.steps;
@@ -517,12 +694,24 @@ void Core::step() {
   ++pending_insn_;
   pc_ = insn_pc + 4;
 
+  // Sampling profiler: fires on this core's simulated cycle total crossing
+  // the next sample boundary, so profiles are host-independent and exactly
+  // reproducible. One predictable branch when disarmed.
+  if (prof_on_) {
+    const Cycles now =
+        account_.total() + pending_insn_cycles_ + pending_mem_cycles_;
+    if (now >= prof_next_) prof_take_samples(now, insn_pc);
+  }
+
   execute(insn);
   if (on_insn) {
     flush_pending();  // the hook may observe counters/cycles
     on_insn(insn);
   }
-  if (!in_run_) flush_pending();  // top-level single step: exact snapshot
+  if (!in_run_) {
+    flush_pending();  // top-level single step: exact snapshot
+    refresh_profiler();  // gate-driven stepping polls the profiler here
+  }
 }
 
 bool Core::cond_holds(Cond cond) const {
@@ -887,10 +1076,16 @@ void Core::exec_system(const Insn& insn) {
 
   if (is_read) {
     u64 v;
-    switch (r) {
-      case SysReg::kNzcv: v = pstate_.to_spsr() & (u64{0xf} << 28); break;
-      case SysReg::kDaif: v = u64{pstate_.irq_masked} << 7; break;
-      default: v = sysreg(r); break;
+    if (arch::is_pmu_reg(r)) {
+      // Live PMU value: the entry flush above already committed the open
+      // counting interval, so a PMCCNTR read here is cycle-exact.
+      v = pmu_read(r);
+    } else {
+      switch (r) {
+        case SysReg::kNzcv: v = pstate_.to_spsr() & (u64{0xf} << 28); break;
+        case SysReg::kDaif: v = u64{pstate_.irq_masked} << 7; break;
+        default: v = sysreg(r); break;
+      }
     }
     set_x(insn.rt, v);
     account_.charge(CostKind::kSysreg, plat_.sysreg_read);
@@ -912,9 +1107,12 @@ void Core::exec_system(const Insn& insn) {
       set_sysreg(r, v);
       if (r == SysReg::kTtbr0El1) {
         // The architectural signature of a LightZone domain switch: a bare
-        // TTBR0 update with no TLB maintenance (§4.1.2).
+        // TTBR0 update with no TLB maintenance (§4.1.2). Gate-driven
+        // switches funnel through this same MSR, so the impl-defined PMU
+        // event counts both flavours.
         core_counters().ttbr0_switch.add();
         obs::trace().ttbr_switch(mem::ttbr_asid(v), v);
+        if (pmu_active_) pmu_event(arch::pmu::kEvtLzDomainSwitch, el);
       }
       break;
   }

@@ -94,8 +94,20 @@ class Core {
       refresh_translation_context();
     } else if (arch::is_watchpoint_reg(r)) {
       refresh_watchpoints();
+    } else if (arch::is_pmu_reg(r)) {
+      pmu_write(r, v);  // PmuState is authoritative, not the sysreg file
     }
   }
+
+  // --- PMUv3 subset (DESIGN.md §12) -----------------------------------------
+  // Dedicated per-core PMU state; guest MRS/MSR and privileged C++ both
+  // route through these (set_sysreg() dispatches writes here). Reads
+  // materialize live values: the open counting interval since the last
+  // commit is folded in first. The PMU *observes* the cycle account and
+  // never charges it, so enabling it cannot perturb simulated totals.
+  u64 pmu_read(SysReg r);
+  void pmu_write(SysReg r, u64 v);
+  bool pmu_active() const { return pmu_active_; }
 
   // --- Trap handlers (privileged C++ software) ------------------------------
   using TrapHandler = std::function<TrapAction(const TrapInfo&)>;
@@ -188,6 +200,10 @@ class Core {
 
   // Most recent stop cause when a handler returned kStop.
   const TrapInfo& last_trap() const { return last_trap_; }
+
+  // Identity this core reports in profiler samples (Machine sets it to the
+  // core index; standalone cores default to 0).
+  void set_obs_core_id(u32 id) { obs_core_id_ = id; }
 
  private:
   void execute(const arch::Insn& insn);
@@ -307,6 +323,43 @@ class Core {
 
   // Watchpoint fast path: armed only while some DBGWCR enable bit is set.
   bool watchpoints_armed_ = false;
+
+  // --- PMUv3 state (DESIGN.md §12) ------------------------------------------
+  // Counting piggybacks on the batched-accounting flush points: every
+  // flush_pending() commits the account-total delta since `pmu_cc_base_`
+  // (plus the just-retired instruction batch) to the enabled counters,
+  // filtered by the EL in force at commit time. Flushes bracket every EL
+  // change (exception entry, ERET, exec_system), so attribution is exact.
+  // When `pmu_active_` is false the hot path pays a single predictable
+  // branch per flush point and nothing per instruction.
+  struct PmuState {
+    u64 pmcr = 0;       // only E is writable; N reads back kNumCounters
+    u64 ccntr = 0;      // PMCCNTR_EL0
+    u64 ccfiltr = 0;    // PMCCFILTR_EL0 (P/U/NSH honoured)
+    u64 selr = 0;       // PMSELR_EL0 (PMXEV* indirection)
+    u32 cnten = 0;      // PMCNTENSET/CLR composite
+    std::array<u64, arch::pmu::kNumCounters> evcntr{};
+    std::array<u64, arch::pmu::kNumCounters> evtyper{};
+  };
+  void pmu_refresh();               // recompute pmu_active_, reopen interval
+  void pmu_commit(u64 retired);     // close the open counting interval
+  void pmu_event(u64 event, ExceptionLevel el);  // discrete event (+1)
+  PmuState pmu_;
+  bool pmu_active_ = false;         // PMCR.E && some counter enabled
+  Cycles pmu_cc_base_ = 0;          // account total at last commit
+
+  // --- Sampling profiler fast path (obs::profiler()) ------------------------
+  // Deterministic sampling on this core's simulated cycle total. The armed
+  // period is polled (epoch compare, two relaxed loads) at run() entry and
+  // top-level step() exit; while disarmed the per-instruction cost is one
+  // predictable branch on `prof_on_`.
+  void refresh_profiler();
+  void prof_take_samples(Cycles now, u64 pc);
+  bool prof_on_ = false;
+  u64 prof_period_ = 0;
+  u64 prof_epoch_ = 0;
+  Cycles prof_next_ = 0;
+  u32 obs_core_id_ = 0;
 
   std::array<TrapHandler, 3> handlers_{};
   bool stop_requested_ = false;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/histogram.h"
+
 namespace lz::sim {
 
 thread_local Machine::Binding Machine::tls_binding_;
@@ -23,6 +25,7 @@ Machine::Machine(const arch::Platform& platform, u64 seed, unsigned num_cores,
         16, 1024, seed + id, "sim.core" + std::to_string(id) + ".tlb");
     unit->core =
         std::make_unique<Core>(platform, *pm_, *unit->tlb, unit->account);
+    unit->core->set_obs_core_id(id);  // profiler sample identity
     cores_.push_back(std::move(unit));
   }
 }
@@ -45,9 +48,13 @@ Machine::CoreBinding::~CoreBinding() {
 void Machine::charge_dvm_broadcast() {
   if (num_cores() <= 1) return;  // no remote cores to snoop
   c_dvm_bcast_->add();
-  charge(CostKind::kTlbi,
-         plat_.dvm_bcast_base +
-             static_cast<Cycles>(num_cores() - 1) * plat_.dvm_bcast_per_core);
+  const Cycles cost =
+      plat_.dvm_bcast_base +
+      static_cast<Cycles>(num_cores() - 1) * plat_.dvm_bcast_per_core;
+  charge(CostKind::kTlbi, cost);
+  static obs::Histogram& h =
+      obs::histograms().histogram("sim.dvm.shootdown_cycles");
+  h.record(cost);
 }
 
 void Machine::tlbi_va_is(u64 vpage, u16 asid, u16 vmid) {

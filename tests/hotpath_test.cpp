@@ -12,6 +12,9 @@
 
 #include "mem/phys_mem.h"
 #include "mem/tlb.h"
+#include "obs/counters.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/assembler.h"
 #include "sim/machine.h"
 
@@ -469,6 +472,62 @@ TEST(HotPathDeterminismTest, BatchedRunsAreReproducible) {
   EXPECT_EQ(c1, c2);
   EXPECT_EQ(s1.l1_hits, s2.l1_hits);
   EXPECT_EQ(s1.misses, s2.misses);
+}
+
+// The entire observability stack is observe-only: arming the event trace,
+// the sampling profiler, and the PMU must not move a single simulated
+// cycle. Guards the lock-free hot path against instrumentation costs
+// leaking into the cost model.
+TEST(HotPathDeterminismTest, ObservabilityOffCycleIdentity) {
+  auto run_once = [](bool observed) {
+    obs::reset_all();
+    if (observed) {
+      obs::trace().arm(256);
+      obs::profiler().arm(64);
+    } else {
+      obs::trace().disarm();
+      obs::profiler().disarm();
+    }
+    Machine m(arch::Platform::cortex_a55(), /*seed=*/42);
+    mem::Stage1Table tbl(m.mem(), /*asid=*/1);
+    const PhysAddr code = m.mem().alloc_frame();
+    Asm a;
+    auto loop = a.new_label();
+    a.movz(1, 500);
+    a.mov_imm64(3, kDataVa);
+    a.bind(loop);
+    a.ldr(2, 3);
+    a.sub_imm(1, 1, 1);
+    a.cbnz(1, loop);
+    a.svc(0);
+    a.install(m.mem(), code);
+    LZ_CHECK_OK(tbl.map(kCodeVa, code, CodeAttrs()));
+    LZ_CHECK_OK(tbl.map(kDataVa, m.mem().alloc_frame(), DataAttrs()));
+    auto& core = m.core(0);
+    core.set_sysreg(SysReg::kTtbr0El1, tbl.ttbr());
+    core.pstate().el = ExceptionLevel::kEl1;
+    core.set_pc(kCodeVa);
+    core.set_handler(ExceptionLevel::kEl1,
+                     [](const TrapInfo&) { return TrapAction::kStop; });
+    if (observed) {
+      namespace pmu = arch::pmu;
+      core.set_sysreg(SysReg::kPmccfiltrEl0, pmu::kFiltNsh);
+      core.set_sysreg(SysReg::kPmcntensetEl0,
+                      pmu::kCntenCycle | pmu::kCntenMask);
+      core.set_sysreg(SysReg::kPmevtyper0El0, pmu::kEvtInstRetired);
+      core.set_sysreg(SysReg::kPmevtyper1El0, pmu::kEvtL1dTlbRefill);
+      core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE);
+    }
+    core.run(10'000);
+    const u64 total = core.account().total();
+    obs::trace().disarm();
+    obs::profiler().disarm();
+    obs::reset_all();
+    return total;
+  };
+  const u64 quiet = run_once(false);
+  const u64 observed = run_once(true);
+  EXPECT_EQ(quiet, observed);
 }
 
 // --- PhysMem radix -----------------------------------------------------------

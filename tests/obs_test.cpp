@@ -8,6 +8,8 @@
 
 #include "mem/tlb.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "sim/cost.h"
@@ -142,6 +144,19 @@ TEST_F(ObsTest, RingBufferWrapsAndCountsDrops) {
     EXPECT_EQ(events[i].kind, obs::EventKind::kGateSwitch);
     EXPECT_EQ(events[i].a0, 6u + i);
   }
+}
+
+TEST_F(ObsTest, TraceDropsSurfaceInCounterAndChromeMetadata) {
+  obs::trace().arm(4);
+  for (u16 g = 0; g < 10; ++g) obs::trace().gate_switch(g, 0);
+  // Silent truncation is never silent: the registry counter mirrors the
+  // ring's drop count, and the Chrome export carries it as metadata.
+  const obs::Counter* c = obs::registry().find("obs.trace.dropped");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), obs::trace().dropped());
+  EXPECT_EQ(c->value(), 6u);
+  const std::string json = obs::trace().to_chrome_json();
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
 }
 
 TEST_F(ObsTest, TraceTimestampsFollowTheCycleLedger) {
@@ -283,6 +298,52 @@ TEST_F(ObsTest, ValidateRejectsWrongSchemaOrMissingSections) {
   doc.set("schema", Json::string("lz.bench.report.v0"));
   EXPECT_FALSE(Report::validate(doc));
   EXPECT_FALSE(Report::validate(Json::object()));
+}
+
+// A v2 report carries latency histograms and the sampling profile, and its
+// validator checks both sections.
+TEST_F(ObsTest, V2ReportRoundTripsWithHistogramsAndProfile) {
+  obs::profiler().arm(64);
+  workload::lz_switch_avg_cycles(arch::Platform::cortex_a55(),
+                                 workload::Placement::kHost, 2, 40);
+  Report report("v2_style");
+  report.set_schema(obs::ReportSchema::kV2);
+  report.add_result("r", u64{1});
+  report.set_cycles_total(obs::cycle_ledger().total());
+  report.add_counters(obs::registry().snapshot());
+  report.add_histograms(obs::histograms().snapshot());
+  report.set_profile(obs::profiler());
+  obs::profiler().disarm();
+
+  const auto doc = Json::parse(report.to_string());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(Report::validate(*doc));
+  EXPECT_EQ(doc->find("schema")->as_string(), Report::kSchemaV2);
+
+  // The workload's gate switches landed in the latency histogram with a
+  // full percentile row.
+  const Json* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const Json* gate = hists->find("lz.gate.switch_cycles");
+  ASSERT_NE(gate, nullptr);
+  EXPECT_GT(gate->find("count")->as_u64(), 0u);
+  EXPECT_GE(gate->find("p99")->as_u64(), gate->find("p50")->as_u64());
+  EXPECT_GE(gate->find("max")->as_u64(), gate->find("p99")->as_u64());
+
+  // The profile section attributes samples per domain and per EL.
+  const Json* prof = doc->find("profile");
+  ASSERT_NE(prof, nullptr);
+  EXPECT_EQ(prof->find("period")->as_u64(), 64u);
+  EXPECT_GT(prof->find("samples")->as_u64(), 0u);
+  ASSERT_NE(prof->find("by_domain"), nullptr);
+  EXPECT_GT(prof->find("by_domain")->size(), 0u);
+  ASSERT_NE(prof->find("hotspots"), nullptr);
+  EXPECT_GT(prof->find("hotspots")->size(), 0u);
+
+  // Stripping the histograms section invalidates the v2 document.
+  auto no_hist = *doc;
+  no_hist.set("histograms", Json::number(u64{0}));
+  EXPECT_FALSE(Report::validate(no_hist));
 }
 
 // End-to-end: the exact flow the bench binaries run behind --json.

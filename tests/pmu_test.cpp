@@ -1,0 +1,420 @@
+// PMUv3 subset: counter enable/reset plumbing, cycle and event counting at
+// the batched-accounting flush points, EL filtering, the PMSELR/PMXEV*
+// indirection, and the end-to-end guarantee that a guest reading
+// PMCCNTR_EL0 sees exactly the host's cycle accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lightzone/api.h"
+#include "sim/assembler.h"
+#include "sim/machine.h"
+
+namespace lz::sim {
+namespace {
+
+namespace pmu = arch::pmu;
+using mem::S1Attrs;
+
+constexpr VirtAddr kCodeVa = 0x400000;
+constexpr VirtAddr kDataVa = 0x500000;
+
+class PmuTest : public ::testing::Test {
+ protected:
+  PmuTest() : machine(arch::Platform::cortex_a55()) {}
+
+  void InstallFlat(Asm& a) {
+    tbl = std::make_unique<mem::Stage1Table>(machine.mem(), /*asid=*/1);
+    const PhysAddr code_pa = machine.mem().alloc_frame();
+    data_pa = machine.mem().alloc_frame();
+    a.install(machine.mem(), code_pa);
+    S1Attrs code;
+    code.user = false;
+    code.read_only = true;
+    code.pxn = false;
+    LZ_CHECK_OK(tbl->map(kCodeVa, code_pa, code));
+    S1Attrs data;
+    LZ_CHECK_OK(tbl->map(kDataVa, data_pa, data));
+    auto& core = machine.core();
+    core.set_sysreg(SysReg::kTtbr0El1, tbl->ttbr());
+    core.pstate().el = arch::ExceptionLevel::kEl1;
+    core.set_pc(kCodeVa);
+  }
+
+  void StopOnTrap() {
+    machine.core().set_handler(arch::ExceptionLevel::kEl1, [this](
+                                   const TrapInfo&) {
+      ++traps;
+      return TrapAction::kStop;
+    });
+  }
+
+  // Host-side PMU programming helpers (the same set_sysreg dispatch the
+  // guest MSRs use).
+  void EnableCycles(u64 filter = 0) {
+    auto& core = machine.core();
+    core.set_sysreg(SysReg::kPmccfiltrEl0, filter);
+    core.set_sysreg(SysReg::kPmcntensetEl0, pmu::kCntenCycle);
+    core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE);
+  }
+  void EnableEvent(unsigned counter, u64 typer) {
+    auto& core = machine.core();
+    core.set_sysreg(
+        static_cast<SysReg>(
+            static_cast<int>(SysReg::kPmevtyper0El0) + counter),
+        typer);
+    core.set_sysreg(SysReg::kPmcntensetEl0, u64{1} << counter);
+    core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE);
+  }
+  u64 EventCount(unsigned counter) {
+    return machine.core().pmu_read(static_cast<SysReg>(
+        static_cast<int>(SysReg::kPmevcntr0El0) + counter));
+  }
+
+  Machine machine;
+  std::unique_ptr<mem::Stage1Table> tbl;
+  PhysAddr data_pa = 0;
+  int traps = 0;
+};
+
+TEST_F(PmuTest, PmcrReadsBackEnableAndCounterCount) {
+  Asm a;
+  a.movz(1, pmu::kPmcrE);
+  a.msr(arch::SysReg::kPmcrEl0, 1);
+  a.mrs(2, arch::SysReg::kPmcrEl0);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  machine.core().run(100);
+  EXPECT_EQ(machine.core().x(2),
+            pmu::kPmcrE | (u64{pmu::kNumCounters} << pmu::kPmcrNShift));
+}
+
+TEST_F(PmuTest, CycleCounterTracksAccountExactly) {
+  Asm a;
+  const auto loop = a.new_label();
+  a.movz(0, 500);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.mov_imm64(1, kDataVa);
+  a.ldr(3, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  EnableCycles();  // filter 0: EL0 + EL1 counted
+  auto& core = machine.core();
+  const Cycles t0 = core.account().total();
+  EXPECT_EQ(core.pmu_read(SysReg::kPmccntrEl0), 0u);
+  core.run(100'000);
+  const Cycles host_delta = core.account().total() - t0;
+  EXPECT_GT(host_delta, 0u);
+  // The whole run executed at EL1, so PMCCNTR must equal the account
+  // delta cycle for cycle — the PMU observes the one cost model, it does
+  // not keep a second one.
+  EXPECT_EQ(core.pmu_read(SysReg::kPmccntrEl0), host_delta);
+}
+
+TEST_F(PmuTest, DisabledPmuStaysAtZero) {
+  Asm a;
+  a.movz(2, 7);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  // Counters selected but PMCR.E clear: nothing may count.
+  machine.core().set_sysreg(SysReg::kPmcntensetEl0, pmu::kCntenCycle);
+  machine.core().run(100);
+  EXPECT_EQ(machine.core().pmu_read(SysReg::kPmccntrEl0), 0u);
+}
+
+TEST_F(PmuTest, InstRetiredCountsBetweenReads) {
+  constexpr u64 kIters = 100;
+  Asm a;
+  a.movz(0, kIters);
+  a.mrs(20, arch::SysReg::kPmevcntr0El0);
+  const auto loop = a.new_label();
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.mrs(21, arch::SysReg::kPmevcntr0El0);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  EnableEvent(0, pmu::kEvtInstRetired);
+  machine.core().run(10'000);
+  // Both MRS reads observe a count that includes the MRS itself (the
+  // exec_system flush commits it before the read), so the delta is the
+  // loop body plus the closing MRS: 3 * iters + 1.
+  EXPECT_EQ(machine.core().x(21) - machine.core().x(20), 3 * kIters + 1);
+}
+
+TEST_F(PmuTest, El1FilterExcludesEl1Work) {
+  Asm a;
+  const auto loop = a.new_label();
+  a.movz(0, 200);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  // P excludes EL1 on the cycle filter; the same bit on an event counter
+  // must gate INST_RETIRED too. The whole program runs at EL1, so both
+  // stay at zero while the account advances.
+  EnableCycles(pmu::kFiltP);
+  EnableEvent(0, pmu::kEvtInstRetired | pmu::kFiltP);
+  auto& core = machine.core();
+  const Cycles t0 = core.account().total();
+  core.run(10'000);
+  EXPECT_GT(core.account().total(), t0);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmccntrEl0), 0u);
+  EXPECT_EQ(EventCount(0), 0u);
+}
+
+TEST_F(PmuTest, ExcTakenCountsEveryException) {
+  Asm a;
+  a.svc(0);
+  a.svc(0);
+  a.svc(0);
+  InstallFlat(a);
+  auto& core = machine.core();
+  core.set_handler(arch::ExceptionLevel::kEl1, [this](const TrapInfo&) {
+    ++traps;
+    return traps < 3 ? TrapAction::kResume : TrapAction::kStop;
+  });
+  EnableEvent(1, pmu::kEvtExcTaken);
+  core.run(100);
+  EXPECT_EQ(traps, 3);
+  EXPECT_EQ(EventCount(1), 3u);
+}
+
+TEST_F(PmuTest, TlbRefillEventFiresOnWalks) {
+  Asm a;
+  a.mov_imm64(1, kDataVa);
+  a.ldr(2, 1);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  EnableEvent(2, pmu::kEvtL1dTlbRefill);
+  machine.core().run(100);
+  // Cold TLBs: at least the first code fetch and the data access walk.
+  EXPECT_GE(EventCount(2), 2u);
+}
+
+TEST_F(PmuTest, DomainSwitchEventCountsTtbrWrites) {
+  constexpr u64 kIters = 10;
+  Asm a;
+  const auto loop = a.new_label();
+  a.movz(0, kIters);
+  a.bind(loop);
+  a.msr(arch::SysReg::kTtbr0El1, 5);
+  a.msr(arch::SysReg::kTtbr0El1, 6);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  EnableEvent(3, pmu::kEvtLzDomainSwitch);
+  auto& core = machine.core();
+  core.set_x(5, tbl->ttbr());
+  core.set_x(6, tbl->ttbr());
+  core.run(1000);
+  // The impl-defined event counts architecturally executed TTBR0 writes —
+  // the bare §4.1.2 switch signature.
+  EXPECT_EQ(EventCount(3), 2 * kIters);
+}
+
+TEST_F(PmuTest, PmcrResetBitsClearSelectively) {
+  Asm a;
+  const auto loop = a.new_label();
+  a.movz(0, 50);
+  a.bind(loop);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  InstallFlat(a);
+  StopOnTrap();
+  EnableCycles();
+  EnableEvent(0, pmu::kEvtInstRetired);
+  auto& core = machine.core();
+  core.run(10'000);
+  ASSERT_GT(core.pmu_read(SysReg::kPmccntrEl0), 0u);
+  ASSERT_GT(EventCount(0), 0u);
+  // P resets the event counters only.
+  core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE | pmu::kPmcrP);
+  EXPECT_EQ(EventCount(0), 0u);
+  EXPECT_GT(core.pmu_read(SysReg::kPmccntrEl0), 0u);
+  // C resets the cycle counter only.
+  core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE | pmu::kPmcrC);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmccntrEl0), 0u);
+}
+
+TEST_F(PmuTest, SelrIndirectionAndCcfiltrAlias) {
+  auto& core = machine.core();
+  core.set_sysreg(SysReg::kPmselrEl0, 2);
+  core.set_sysreg(SysReg::kPmxevtyperEl0, pmu::kEvtCpuCycles | pmu::kFiltU);
+  core.set_sysreg(SysReg::kPmxevcntrEl0, 123);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmevtyper2El0),
+            pmu::kEvtCpuCycles | pmu::kFiltU);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmevcntr2El0), 123u);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmxevcntrEl0), 123u);
+  // PMSELR == 31 aliases PMXEVTYPER to PMCCFILTR.
+  core.set_sysreg(SysReg::kPmselrEl0, 31);
+  core.set_sysreg(SysReg::kPmxevtyperEl0, pmu::kFiltNsh);
+  EXPECT_EQ(core.pmu_read(SysReg::kPmccfiltrEl0), pmu::kFiltNsh);
+  // Event-number bits are masked off the cycle filter.
+  EXPECT_EQ(core.pmu_read(SysReg::kPmxevtyperEl0) & pmu::kEvtMask, 0u);
+}
+
+TEST_F(PmuTest, EnabledPmuLeavesCycleTotalsIdentical) {
+  // The observe-only contract: the exact same program must charge the
+  // exact same cycles whether the PMU is fully armed or untouched.
+  const auto run_once = [](bool with_pmu) {
+    Machine machine(arch::Platform::cortex_a55());
+    mem::Stage1Table tbl(machine.mem(), /*asid=*/1);
+    Asm a;
+    const auto loop = a.new_label();
+    a.movz(0, 300);
+    a.bind(loop);
+    a.mov_imm64(1, kDataVa);
+    a.ldr(2, 1);
+    a.sub_imm(0, 0, 1);
+    a.cbnz(0, loop);
+    a.svc(0);
+    const PhysAddr code_pa = machine.mem().alloc_frame();
+    a.install(machine.mem(), code_pa);
+    S1Attrs code;
+    code.user = false;
+    code.read_only = true;
+    code.pxn = false;
+    LZ_CHECK_OK(tbl.map(kCodeVa, code_pa, code));
+    S1Attrs data;
+    LZ_CHECK_OK(tbl.map(kDataVa, machine.mem().alloc_frame(), data));
+    auto& core = machine.core();
+    core.set_sysreg(SysReg::kTtbr0El1, tbl.ttbr());
+    core.pstate().el = arch::ExceptionLevel::kEl1;
+    core.set_pc(kCodeVa);
+    core.set_handler(arch::ExceptionLevel::kEl1,
+                     [](const TrapInfo&) { return TrapAction::kStop; });
+    if (with_pmu) {
+      core.set_sysreg(SysReg::kPmccfiltrEl0, pmu::kFiltNsh);
+      core.set_sysreg(SysReg::kPmcntensetEl0,
+                      pmu::kCntenCycle | pmu::kCntenMask);
+      for (unsigned i = 0; i < pmu::kNumCounters; ++i) {
+        core.set_sysreg(
+            static_cast<SysReg>(static_cast<int>(SysReg::kPmevtyper0El0) + i),
+            pmu::kEvtInstRetired);
+      }
+      core.set_sysreg(SysReg::kPmcrEl0, pmu::kPmcrE);
+    }
+    core.run(100'000);
+    return core.account().total();
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+}  // namespace
+}  // namespace lz::sim
+
+namespace lz::core {
+namespace {
+
+namespace pmu = arch::pmu;
+using kernel::nr::kExit;
+using sim::Asm;
+using sim::SysReg;
+
+void InstallCode(Env& env, kernel::Process& proc, Asm& a,
+                 VirtAddr va = Env::kCodeVa) {
+  LZ_CHECK_OK(env.kern().populate_page(proc, va,
+                                       kernel::kProtRead | kernel::kProtExec));
+  const auto walk = proc.pgt().lookup(page_floor(va));
+  a.install(env.machine->mem(), page_floor(walk.out_addr) + page_offset(va));
+}
+
+// Acceptance: a guest-EL1 program that brackets a gate-switch loop with
+// PMCCNTR_EL0 reads must observe exactly the cycles the host's Table-5
+// accounting charged between those two instructions — including the EL2
+// excursions (syscall forwarding, demand paging) inside the window, since
+// the guest filter counts every EL.
+TEST(PmuGuestTest, GuestPmccntrMatchesHostAccountingAcrossGateSwitches) {
+  Env env(Env::Options().platform(arch::Platform::cortex_a55()));
+  auto& proc = env.new_process();
+  LzProc lz = LzProc::enter(*env.module, proc, true, 1);
+
+  const VirtAddr dom0_va = Env::kHeapVa + 0x20000;
+  const VirtAddr dom1_va = Env::kHeapVa + 0x30000;
+  const int pgt1 = lz.lz_alloc().value();
+  ASSERT_EQ(pgt1, 1);
+  ASSERT_TRUE(lz.lz_prot(dom0_va, kPageSize, 0, kLzRead | kLzWrite).is_ok());
+  ASSERT_TRUE(
+      lz.lz_prot(dom1_va, kPageSize, pgt1, kLzRead | kLzWrite).is_ok());
+  ASSERT_TRUE(lz.lz_map_gate_pgt(0, /*gate=*/0).is_ok());
+  ASSERT_TRUE(lz.lz_map_gate_pgt(pgt1, /*gate=*/1).is_ok());
+
+  constexpr u64 kLoops = 48;
+  Asm a;
+  // Program the PMU from EL1: cycle counter over every EL (NSH includes
+  // the EL2 module work inside the window).
+  a.mov_imm64(1, pmu::kFiltNsh);
+  a.msr(arch::SysReg::kPmccfiltrEl0, 1);
+  a.mov_imm64(1, pmu::kCntenCycle);
+  a.msr(arch::SysReg::kPmcntensetEl0, 1);
+  a.movz(1, pmu::kPmcrE);
+  a.msr(arch::SysReg::kPmcrEl0, 1);
+  // Gate addresses and domain buffers (x16..x28 are gate-clobbered).
+  a.mov_imm64(5, UpperLayout::gate_va(1));  // -> pgt1
+  a.mov_imm64(6, UpperLayout::gate_va(0));  // -> pgt0
+  a.mov_imm64(3, dom1_va);
+  a.mov_imm64(4, dom0_va);
+  a.movz(0, kLoops);
+  a.mrs(9, arch::SysReg::kPmccntrEl0);
+  const auto loop = a.new_label();
+  a.bind(loop);
+  a.blr(5);
+  const VirtAddr entry1 = Env::kCodeVa + a.size_bytes();
+  a.ldr(2, 3);
+  a.blr(6);
+  const VirtAddr entry0 = Env::kCodeVa + a.size_bytes();
+  a.ldr(2, 4);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.mrs(10, arch::SysReg::kPmccntrEl0);
+  a.movz(8, kExit);
+  a.svc(0);
+  InstallCode(env, proc, a);
+  ASSERT_TRUE(lz.lz_set_gate_entry(0, entry0).is_ok());
+  ASSERT_TRUE(lz.lz_set_gate_entry(1, entry1).is_ok());
+
+  // Host-side ledger probe: record the exact account total at each
+  // committed PMCCNTR read (the on_insn hook runs behind a flush, so the
+  // total is exact; the read's own sysreg cost is identical at both
+  // probes and cancels in the delta).
+  std::vector<Cycles> probe;
+  auto& core = env.machine->core();
+  core.on_insn = [&](const arch::Insn& insn) {
+    if (insn.op == arch::Op::kMrs && insn.sysreg.has_value() &&
+        *insn.sysreg == arch::SysReg::kPmccntrEl0) {
+      probe.push_back(core.account().total());
+    }
+  };
+
+  lz.run();
+  core.on_insn = nullptr;
+  EXPECT_FALSE(proc.alive());
+  EXPECT_TRUE(proc.kill_reason().empty()) << proc.kill_reason();
+
+  ASSERT_EQ(probe.size(), 2u);
+  const u64 guest_delta = core.x(10) - core.x(9);
+  const Cycles host_delta = probe[1] - probe[0];
+  EXPECT_EQ(guest_delta, host_delta);
+  // 2 * kLoops gate switches happened inside the window; each costs at
+  // least the gate's instruction stream.
+  EXPECT_GT(guest_delta, 2 * kLoops * 10);
+}
+
+}  // namespace
+}  // namespace lz::core

@@ -1,0 +1,212 @@
+// lz::obs sampling profiler: deterministic cycle-driven sampling with
+// per-domain/per-EL attribution, hotspot tables, and collapsed-stack
+// export, driven through real simulated programs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/profiler.h"
+#include "sim/assembler.h"
+#include "sim/machine.h"
+
+namespace lz::sim {
+namespace {
+
+using mem::S1Attrs;
+
+constexpr VirtAddr kCodeVa = 0x400000;
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::reset_all(); }
+  void TearDown() override {
+    obs::profiler().disarm();
+    obs::reset_all();
+  }
+};
+
+// ALU loop, x0 = iterations, ends in SVC.
+void EmitLoop(Asm& a, int body_ops) {
+  const auto loop = a.new_label();
+  a.movz(1, 1);
+  a.bind(loop);
+  for (int i = 0; i < body_ops; ++i) a.add_imm(2, 2, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+}
+
+// Stages `a` on a fresh single-core machine at EL1 and runs it to the SVC.
+void RunProgram(const Asm& a, u64 iters, u64 max_steps = 2'000'000) {
+  Machine machine(arch::Platform::cortex_a55());
+  auto& pm = machine.mem();
+  mem::Stage1Table tbl(pm, /*asid=*/1);
+  const PhysAddr code_pa = pm.alloc_frame();
+  Asm copy = a;
+  copy.install(pm, code_pa);
+  S1Attrs code;
+  code.user = false;
+  code.read_only = true;
+  code.pxn = false;
+  LZ_CHECK_OK(tbl.map(kCodeVa, code_pa, code));
+  auto& core = machine.core();
+  core.pstate().el = arch::ExceptionLevel::kEl1;
+  core.set_sysreg(SysReg::kTtbr0El1, tbl.ttbr());
+  core.set_pc(kCodeVa);
+  core.set_x(0, iters);
+  core.set_handler(arch::ExceptionLevel::kEl1,
+                   [](const TrapInfo&) { return TrapAction::kStop; });
+  const auto r = core.run(max_steps);
+  LZ_CHECK(r.reason == StopReason::kHandlerStop);
+}
+
+TEST_F(ProfilerTest, DisarmedProfilerRecordsNothing) {
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 2000);
+  EXPECT_EQ(obs::profiler().samples(), 0u);
+  EXPECT_TRUE(obs::profiler().collapsed().empty());
+}
+
+TEST_F(ProfilerTest, ArmedProfilerAttributesSimulatedTime) {
+  obs::profiler().arm(256);
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 2000);
+  const auto& p = obs::profiler();
+  EXPECT_GT(p.samples(), 10u);
+  EXPECT_EQ(p.dropped_keys(), 0u);
+  // Single-core EL1 loop: every sample lands at EL1 in (vmid 0, asid 1).
+  const auto by_el = p.by_el();
+  EXPECT_EQ(by_el[0], 0u);
+  EXPECT_EQ(by_el[1], p.samples());
+  EXPECT_EQ(by_el[2], 0u);
+  const auto domains = p.by_domain();
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0].asid, 1u);
+  EXPECT_EQ(domains[0].samples, p.samples());
+}
+
+TEST_F(ProfilerTest, HotspotsPointIntoTheLoopBody) {
+  obs::profiler().arm(128);
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 4000);
+  const auto hot = obs::profiler().hotspots(8);
+  ASSERT_FALSE(hot.empty());
+  u64 total = 0;
+  for (const auto& [pc, n] : hot) {
+    EXPECT_GE(pc, kCodeVa);
+    EXPECT_LT(pc, kCodeVa + kPageSize);
+    total += n;
+  }
+  // With one tiny loop, the top hotspots cover every sample.
+  EXPECT_EQ(total, obs::profiler().samples());
+  // Sorted by count descending.
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    EXPECT_GE(hot[i - 1].second, hot[i].second);
+  }
+}
+
+TEST_F(ProfilerTest, SamplingIsDeterministicAcrossRuns) {
+  Asm a;
+  EmitLoop(a, 16);
+  obs::profiler().arm(512);
+  RunProgram(a, 3000);
+  const std::string first = obs::profiler().collapsed();
+  const u64 first_samples = obs::profiler().samples();
+  obs::profiler().reset();  // keeps the armed period
+  RunProgram(a, 3000);
+  EXPECT_EQ(obs::profiler().samples(), first_samples);
+  EXPECT_EQ(obs::profiler().collapsed(), first);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST_F(ProfilerTest, DomainSwitchesSplitAttribution) {
+  obs::profiler().arm(128);
+  // Two stage-1 tables (ASIDs 1 and 2) sharing one code page; the loop
+  // burns cycles in each domain per iteration.
+  auto machine = std::make_unique<Machine>(arch::Platform::cortex_a55());
+  auto& pm = machine->mem();
+  const PhysAddr code_pa = pm.alloc_frame();
+  mem::Stage1Table t1(pm, /*asid=*/1), t2(pm, /*asid=*/2);
+  S1Attrs code;
+  code.user = false;
+  code.read_only = true;
+  code.pxn = false;
+  LZ_CHECK_OK(t1.map(kCodeVa, code_pa, code));
+  LZ_CHECK_OK(t2.map(kCodeVa, code_pa, code));
+
+  Asm a;
+  const auto loop = a.new_label();
+  a.bind(loop);
+  a.msr(arch::SysReg::kTtbr0El1, 5);
+  for (int i = 0; i < 16; ++i) a.add_imm(2, 2, 1);
+  a.msr(arch::SysReg::kTtbr0El1, 6);
+  for (int i = 0; i < 16; ++i) a.add_imm(2, 2, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  a.install(pm, code_pa);
+
+  auto& core = machine->core();
+  core.pstate().el = arch::ExceptionLevel::kEl1;
+  core.set_sysreg(SysReg::kTtbr0El1, t1.ttbr());
+  core.set_pc(kCodeVa);
+  core.set_x(0, 2000);
+  core.set_x(5, t1.ttbr());
+  core.set_x(6, t2.ttbr());
+  core.set_handler(arch::ExceptionLevel::kEl1,
+                   [](const TrapInfo&) { return TrapAction::kStop; });
+  const auto r = core.run(1'000'000);
+  ASSERT_EQ(r.reason, StopReason::kHandlerStop);
+
+  const auto domains = obs::profiler().by_domain();
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_EQ(domains[0].asid, 1u);
+  EXPECT_EQ(domains[1].asid, 2u);
+  // Both domains burn comparable cycles, so both must accumulate samples.
+  EXPECT_GT(domains[0].samples, 0u);
+  EXPECT_GT(domains[1].samples, 0u);
+}
+
+TEST_F(ProfilerTest, CollapsedLinesCarryTheFullContext) {
+  obs::profiler().arm(256);
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 2000);
+  const std::string text = obs::profiler().collapsed();
+  ASSERT_FALSE(text.empty());
+  // Every line: core<c>;EL<e>;pan<p>;vmid<v>;asid<a>;0x<pc> <count>\n
+  EXPECT_EQ(text.rfind("core0;EL1;pan0;vmid0;asid1;0x", 0), 0u);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(ProfilerTest, ResetClearsSamplesButKeepsPeriod) {
+  obs::profiler().arm(512);
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 2000);
+  EXPECT_GT(obs::profiler().samples(), 0u);
+  obs::profiler().reset();
+  EXPECT_EQ(obs::profiler().samples(), 0u);
+  EXPECT_TRUE(obs::profiler().armed());
+  EXPECT_EQ(obs::profiler().period(), 512u);
+}
+
+TEST_F(ProfilerTest, RearmingChangesThePeriodMidSession) {
+  obs::profiler().arm(4096);
+  Asm a;
+  EmitLoop(a, 8);
+  RunProgram(a, 2000);
+  const u64 coarse = obs::profiler().samples();
+  obs::profiler().reset();
+  obs::profiler().arm(128);
+  RunProgram(a, 2000);
+  // A 32x finer period must produce strictly more samples.
+  EXPECT_GT(obs::profiler().samples(), coarse);
+}
+
+}  // namespace
+}  // namespace lz::sim
