@@ -10,18 +10,26 @@
 //                           histograms and the cycle-sampling profile)
 //   --report-schema v1|v2   report schema (default v2; v1 reproduces the
 //                           pre-v2 document byte-for-byte)
-//   --trace <path>          arm the lz::obs event ring for the same region
-//                           and dump it as Chrome trace-event JSON
+//   --trace <path>          arm the lz::obs event ring *and* the span
+//                           tracer for the same region and dump both as
+//                           Chrome trace-event JSON (instant events +
+//                           nested duration spans)
 //   --profile <path>        write the profiler's collapsed-stack file
 //                           (flamegraph.pl / speedscope input)
 //   --sample-period <N>     profiler sampling period in simulated cycles
 //                           (default 4096; 0 disables sampling)
+//   --ts-period <N>         time-series sampling period in simulated
+//                           cycles (0 = off); adds the v2 "timeseries"
+//                           report section
 //   --cores <N>             size of the SMP machine (0 = binary default)
 //   --iters <K>             workload scale factor (default 1)
+//   --help / -h             print this flag summary and exit 0
 //   --benchmark_*           passed through to google-benchmark untouched
 //
 // Any other `--flag` is an error: the binary prints the offender to stderr
-// and exits 2, so a typo can never silently run the wrong experiment.
+// and exits 2, so a typo can never silently run the wrong experiment. Both
+// the --help text and the unknown-flag message come from one place here,
+// so they cannot drift between binaries.
 //
 // The report covers only the deterministic print_* phase, not the
 // wall-clock-driven BM_* loops, so two runs of the same binary produce
@@ -41,9 +49,12 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/cost.h"
 
@@ -55,9 +66,30 @@ struct ObsOptions {
   std::string profile_path;
   obs::ReportSchema schema = obs::ReportSchema::kV2;
   u64 sample_period = obs::Profiler::kDefaultPeriod;  // 0 = profiler off
+  u64 ts_period = 0;   // --ts-period N: time-series sampling (0 = off)
   unsigned cores = 0;  // --cores N: size of the SMP machine (0 = not given)
   u64 iters = 1;       // --iters K: workload scale factor
 };
+
+// The one flag summary every bench binary prints for --help; keep in sync
+// with the header comment above.
+inline void print_bench_usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [flags] [--benchmark_* flags]\n"
+      "  --json <path>          write lz.bench.report JSON\n"
+      "  --report-schema v1|v2  report schema (default v2)\n"
+      "  --trace <path>         Chrome/Perfetto trace: arch events + spans\n"
+      "  --profile <path>       collapsed stacks (flamegraph.pl input)\n"
+      "  --sample-period <N>    profiler period, simulated cycles "
+      "(default %llu, 0 = off)\n"
+      "  --ts-period <N>        time-series sampling period, simulated "
+      "cycles (0 = off)\n"
+      "  --cores <N>            SMP machine size (default: binary-specific)\n"
+      "  --iters <K>            workload scale factor (default 1)\n"
+      "  --help, -h             this text\n",
+      argv0, static_cast<unsigned long long>(obs::Profiler::kDefaultPeriod));
+}
 
 // Parses the shared flag set out of argv, leaving only argv[0], positional
 // arguments, and --benchmark_* flags for benchmark::Initialize. Unknown
@@ -65,17 +97,19 @@ struct ObsOptions {
 // message naming the offender.
 inline ObsOptions parse_bench_flags(int* argc, char** argv) {
   ObsOptions opts;
-  std::string schema_str, cores_str, period_str, iters_str;
+  std::string schema_str, cores_str, period_str, ts_period_str, iters_str;
   const auto die = [&](const char* what, const std::string& arg) {
-    std::fprintf(stderr, "%s: %s '%s' (supported: --json --report-schema "
-                 "--trace --profile --sample-period --cores --iters "
-                 "--benchmark_*)\n",
-                 argv[0], what, arg.c_str());
+    std::fprintf(stderr, "%s: %s '%s'\n", argv[0], what, arg.c_str());
+    print_bench_usage(argv[0], stderr);
     std::exit(2);
   };
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      print_bench_usage(argv[0], stdout);
+      std::exit(0);
+    }
     const auto take = [&](std::string_view flag, std::string* dst) {
       if (arg == flag) {
         if (i + 1 >= *argc) die("missing value for", std::string(arg));
@@ -94,6 +128,7 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
         take("--trace", &opts.trace_path) ||
         take("--profile", &opts.profile_path) ||
         take("--sample-period", &period_str) ||
+        take("--ts-period", &ts_period_str) ||
         take("--cores", &cores_str) ||
         take("--iters", &iters_str)) {
       continue;
@@ -122,6 +157,9 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
   if (!period_str.empty()) {
     opts.sample_period = std::strtoull(period_str.c_str(), nullptr, 10);
   }
+  if (!ts_period_str.empty()) {
+    opts.ts_period = std::strtoull(ts_period_str.c_str(), nullptr, 10);
+  }
   if (!iters_str.empty()) {
     opts.iters = std::strtoull(iters_str.c_str(), nullptr, 10);
     if (opts.iters == 0) opts.iters = 1;
@@ -142,13 +180,20 @@ class ObsSession {
       : opts_(parse_bench_flags(argc, argv)), report_(std::move(bench_name)) {
     obs::reset_all();
     report_.set_schema(opts_.schema);
-    if (!opts_.trace_path.empty()) obs::trace().arm(kTraceCapacity);
+    if (!opts_.trace_path.empty()) {
+      obs::trace().arm(kTraceCapacity);
+      obs::spans().arm(kTraceCapacity);
+    }
+    if (opts_.ts_period > 0) obs::timeseries().arm(opts_.ts_period);
     const bool want_profile =
         !opts_.profile_path.empty() ||
         (opts_.schema == obs::ReportSchema::kV2 && !opts_.json_path.empty());
     if (want_profile && opts_.sample_period > 0) {
       obs::profiler().arm(opts_.sample_period);
     }
+    // Black boxes are most valuable in unattended runs; make sure a stray
+    // abort (LZ_CHECK, oracle fail-stop) dumps the last events per core.
+    obs::install_flight_abort_handler();
     instance_ = this;
   }
   ~ObsSession() {
@@ -183,11 +228,15 @@ class ObsSession {
   // before benchmark::RunSpecifiedBenchmarks() so the gbench timing loops
   // (wall-clock-dependent iteration counts) cannot perturb them.
   void finish() {
+    const bool spans_armed = obs::spans().armed();
     if (!opts_.trace_path.empty()) {
       obs::trace().disarm();
-      if (obs::trace().write_chrome_json(opts_.trace_path)) {
-        std::printf("obs: wrote %zu trace events to %s\n",
-                    obs::trace().size(), opts_.trace_path.c_str());
+      obs::spans().disarm();
+      if (obs::trace().write_chrome_json(opts_.trace_path,
+                                         obs::spans().chrome_fragment())) {
+        std::printf("obs: wrote %zu trace events + %zu spans to %s\n",
+                    obs::trace().size(), obs::spans().size(),
+                    opts_.trace_path.c_str());
       } else {
         std::fprintf(stderr, "obs: failed to write trace to %s\n",
                      opts_.trace_path.c_str());
@@ -219,6 +268,17 @@ class ObsSession {
       // Capture the profile while the profiler is still armed so the
       // section records the effective sampling period.
       if (opts_.sample_period > 0) report_.set_profile(obs::profiler());
+      // Optional v3 sections: emitted only when their instrument ran, so
+      // reports from flagless runs stay byte-identical with pre-v3 output.
+      if (opts_.ts_period > 0) {
+        // Final snapshot catches the tail between the last period boundary
+        // and the end of the run; set_timeseries() while armed records the
+        // period itself.
+        obs::timeseries().sample_now();
+        report_.set_timeseries(obs::timeseries());
+        obs::timeseries().disarm();
+      }
+      if (spans_armed) report_.set_spans(obs::spans());
     }
     obs::profiler().disarm();
     if (report_.write(opts_.json_path)) {

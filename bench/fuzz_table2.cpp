@@ -20,6 +20,7 @@
 #include <string>
 
 #include "check/fuzz.h"
+#include "obs/flight.h"
 
 namespace {
 
@@ -70,7 +71,13 @@ int main(int argc, char** argv) {
       cfg.streams = static_cast<unsigned>(parse_u64(v));
     } else if (const char* v = next("--ops")) {
       cfg.ops_per_stream = static_cast<int>(parse_u64(v));
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--seed S] [--cores N] [--streams M] [--ops K]\n",
+                  argv[0]);
+      return 0;
     } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], argv[i]);
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--cores N] [--streams M] [--ops K]\n",
                    argv[0]);
@@ -78,6 +85,10 @@ int main(int argc, char** argv) {
     }
   }
   const unsigned streams = cfg.streams != 0 ? cfg.streams : cfg.cores;
+
+  // A crashed fuzz run (LZ_CHECK, oracle abort) should leave a state trail:
+  // dump the flight recorder's per-core black box on abort.
+  lz::obs::install_flight_abort_handler();
 
   std::printf("fuzz_table2: seed=%llu cores=%u streams=%u ops/stream=%d\n",
               static_cast<unsigned long long>(cfg.seed), cfg.cores, streams,
@@ -115,6 +126,9 @@ int main(int argc, char** argv) {
 
   if (g_failures != 0) {
     std::printf("fuzz_table2: %d failure(s)\n", g_failures);
+    // Divergence without a fail-stop abort (captured handler): still dump
+    // the black box so the failing op sequence's tail is on record.
+    lz::obs::flight_dump(stderr);
     return 1;
   }
   std::printf("fuzz_table2: OK (%llu ops x3 runs, zero divergence)\n",

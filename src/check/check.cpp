@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/flight.h"
+
 namespace lz::check {
 
 namespace {
@@ -46,6 +48,10 @@ void report(Divergence d) {
   }
   std::fprintf(stderr, "lz::check divergence [%s]: %s\n", d.kind.c_str(),
                d.detail.c_str());
+  // Fail-stop path: print the flight recorder's black box — the last N
+  // architectural events per core leading into the divergence — before
+  // dying, so unattended runs (CI, fuzzing) leave a state trail.
+  obs::flight_dump(stderr);
   std::abort();
 }
 

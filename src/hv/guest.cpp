@@ -1,6 +1,7 @@
 #include "hv/guest.h"
 
 #include "obs/counters.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lz::hv {
@@ -93,6 +94,7 @@ Cycles GuestVm::kvm_hypercall_roundtrip() {
   const Cycles start = machine.cycles();
   guest_counters().kvm_hypercall.add();
   const u16 vmid = mem::vttbr_vmid(stage2_->vttbr());
+  const obs::SpanScope span(obs::SpanKind::kWorldSwitch, /*arg=*/2, vmid);
 
   // Guest kernel executes HVC: trap to EL2, full switch to the host,
   // dispatch the (empty) hypercall, full switch back, ERET into the guest.
@@ -174,6 +176,9 @@ sim::TrapAction GuestVm::on_el2_trap(const TrapInfo& info) {
     guest_counters().hvc_forward.add();
     obs::trace().hvc_forward(static_cast<u32>(info.esr),
                              static_cast<u8>(info.ec));
+    const obs::SpanScope span(obs::SpanKind::kHvcForward,
+                              static_cast<u64>(info.ec),
+                              mem::vttbr_vmid(stage2_->vttbr()));
     host_.machine().charge(CostKind::kDispatch,
                            host_.machine().platform().dispatch_kernel);
     host_.machine().core().eret_from(ExceptionLevel::kEl2);

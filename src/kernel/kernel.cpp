@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/counters.h"
+#include "obs/span.h"
 
 namespace lz::kernel {
 
@@ -268,6 +269,8 @@ void Kernel::register_ioctl_device(u64 fd, IoctlHandler handler) {
 void Kernel::dispatch_syscall(Process& proc, sim::Core& core) {
   const auto& plat = machine_.platform();
   kernel_counters().syscall.add();
+  const obs::SpanScope span(obs::SpanKind::kSyscall, core.x(8), tlb_vmid_,
+                            proc.asid());
   // Kernel entry: save pt_regs, dispatch through the syscall table.
   machine_.charge(CostKind::kGpr, plat.gpr_save_all());
   machine_.charge(CostKind::kDispatch, plat.dispatch_kernel);
@@ -474,11 +477,14 @@ unsigned Kernel::submit(CoreTask task) {
 
 void Kernel::run_on(unsigned core_id, CoreTask task) {
   LZ_CHECK(core_id < machine_.num_cores());
+  // Capture the enqueuing thread's span context here, not in the worker:
+  // the queue hop is where causality would otherwise break.
+  const u64 span_parent = obs::SpanTracer::current();
   std::lock_guard<std::mutex> lock(sched_mu_);
   if (run_queues_.size() < machine_.num_cores()) {
     run_queues_.resize(machine_.num_cores());
   }
-  run_queues_[core_id].push_back(std::move(task));
+  run_queues_[core_id].push_back({std::move(task), span_parent});
 }
 
 std::size_t Kernel::queued_tasks() const {
@@ -510,7 +516,7 @@ void Kernel::schedule() {
     workers.emplace_back([this, id] {
       sim::Machine::CoreBinding bind(machine_, id);
       for (;;) {
-        CoreTask task;
+        QueuedTask task;
         {
           std::lock_guard<std::mutex> lock(sched_mu_);
           auto& q = run_queues_[id];
@@ -518,7 +524,12 @@ void Kernel::schedule() {
           task = std::move(q.front());
           q.pop_front();
         }
-        task(id);
+        // Re-establish the submitter's span as the ambient parent and run
+        // the task under its own span, so cross-core work stays attached
+        // to the request that queued it.
+        obs::SpanTracer::Adopt adopt(task.span_parent);
+        obs::SpanScope span(obs::SpanKind::kTask, id);
+        task.fn(id);
       }
     });
   }

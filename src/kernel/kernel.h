@@ -154,6 +154,9 @@ class Kernel {
   // and joins. Tasks may enqueue further tasks while running.
   using CoreTask = std::function<void(unsigned core_id)>;
   // Round-robin placement across cores; returns the chosen core id.
+  // Enqueuing captures the caller's innermost open span (obs), so the
+  // worker's task span stays causally linked to the submitting request
+  // across the queue hop (free when span tracing is disarmed).
   unsigned submit(CoreTask task);
   // Pinned placement.
   void run_on(unsigned core_id, CoreTask task);
@@ -189,8 +192,15 @@ class Kernel {
   std::atomic<u64> sched_generation_{0};
   u64 pages_mapped_ = 0;
 
+  // A queued task plus the span context it was submitted under (0 when
+  // span tracing is disarmed or the submitter had no open span).
+  struct QueuedTask {
+    CoreTask fn;
+    u64 span_parent = 0;
+  };
+
   mutable std::mutex sched_mu_;
-  std::vector<std::deque<CoreTask>> run_queues_;
+  std::vector<std::deque<QueuedTask>> run_queues_;
   unsigned rr_next_ = 0;
 };
 

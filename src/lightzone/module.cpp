@@ -4,6 +4,7 @@
 
 #include "obs/counters.h"
 #include "obs/histogram.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lz::core {
@@ -656,6 +657,7 @@ void LzModule::enter_world(LzContext& ctx) {
   PerCoreWorld& w = world();
   LZ_CHECK(w.active == nullptr);
   auto& core = machine().core();
+  const obs::SpanScope span(obs::SpanKind::kWorldSwitch, /*arg=*/0, ctx.vmid);
   const Cycles start = machine().account().total();
   w.saved_hcr = core.sysreg(SysReg::kHcrEl2);
   w.saved_vttbr = core.sysreg(SysReg::kVttbrEl2);
@@ -672,6 +674,7 @@ void LzModule::enter_world(LzContext& ctx) {
 void LzModule::exit_world(LzContext& ctx) {
   PerCoreWorld& w = world();
   LZ_CHECK(w.active == &ctx);
+  const obs::SpanScope span(obs::SpanKind::kWorldSwitch, /*arg=*/1, ctx.vmid);
   const Cycles start = machine().account().total();
   host_.pop_delegate(this);
   host_.write_hcr(w.saved_hcr);
@@ -725,14 +728,14 @@ Result<Cycles> LzModule::exec_gate_switch(LzContext& ctx, int gate) {
     return err(Errc::kNoGate, "gate switch: gate has no table mapped");
   }
   lz_counters().gate_switch.add();
-  {
-    const int pgt = ctx.gates[gate].pgt;
-    const u16 asid =
-        static_cast<std::size_t>(pgt) < ctx.pgts.size() && ctx.pgts[pgt].in_use
-            ? ctx.pgts[pgt].tbl->asid()
-            : 0;
-    obs::trace().gate_switch(static_cast<u16>(gate), asid);
-  }
+  const int pgt = ctx.gates[gate].pgt;
+  const u16 asid =
+      static_cast<std::size_t>(pgt) < ctx.pgts.size() && ctx.pgts[pgt].in_use
+          ? ctx.pgts[pgt].tbl->asid()
+          : 0;
+  obs::trace().gate_switch(static_cast<u16>(gate), asid);
+  const obs::SpanScope span(obs::SpanKind::kGateSwitch,
+                            static_cast<u64>(gate), ctx.vmid, asid);
   core.set_x(30, entry);
   core.set_pc(UpperLayout::gate_va(static_cast<u32>(gate)));
   // Measure on the calling core's own ledger: machine().cycles() sums every
@@ -749,6 +752,7 @@ Result<Cycles> LzModule::exec_gate_switch(LzContext& ctx, int gate) {
 Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
   LZ_CHECK(active() == &ctx);
   auto& core = machine().core();
+  const obs::SpanScope span(obs::SpanKind::kPanSwitch, pan, ctx.vmid);
   const Cycles start = machine().account().total();
   core.pstate().pan = pan;
   machine().charge(CostKind::kInsn, machine().platform().insn_base);
@@ -787,6 +791,10 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
       obs::trace().hvc_forward(
           static_cast<u32>(core.sysreg(SysReg::kEsrEl1)),
           static_cast<u8>(arch::esr_ec(core.sysreg(SysReg::kEsrEl1))));
+      const obs::SpanScope span(
+          obs::SpanKind::kHvcForward,
+          static_cast<u64>(arch::esr_ec(core.sysreg(SysReg::kEsrEl1))),
+          ctx->vmid);
       const Cycles fwd_start = machine().account().total();
       if (nested()) charge_nested_entry(*ctx);
       // §5.2.1: HCR_EL2/VTTBR_EL2 are *retained* while the host kernel

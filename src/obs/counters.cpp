@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace lz::obs {
@@ -72,6 +75,10 @@ void reset_all() {
   trace().clear();
   histograms().reset();
   profiler().reset();
+  spans().clear();
+  timeseries().reset();
+  flight().clear();
+  clear_domain_labels();
 }
 
 }  // namespace lz::obs

@@ -78,6 +78,17 @@ class Registry {
 // The process-wide registry all subsystems wire into.
 Registry& registry();
 
+namespace detail {
+// Next ledger total at which a time-series sample is due (timeseries.h).
+// Parked at ~0 while the sampler is disarmed so the hook in
+// CycleLedger::charge stays one relaxed load + one never-taken compare.
+inline std::atomic<u64> g_ts_next_due{~u64{0}};
+}  // namespace detail
+
+// Out-of-line sampling slow path (timeseries.cpp); called only when a
+// charge crosses the due threshold.
+void timeseries_poll_slow(u64 total);
+
 // Mirror of every CycleAccount charge in the process, indexed by the raw
 // CostKind value (obs sits below sim, so the enum itself lives there).
 // Doubles as the deterministic clock for the event trace: `total()` is the
@@ -87,8 +98,11 @@ class CycleLedger {
   static constexpr std::size_t kMaxKinds = 32;
 
   void charge(std::size_t kind, u64 cycles) {
-    total_.fetch_add(cycles, std::memory_order_relaxed);
+    const u64 total =
+        total_.fetch_add(cycles, std::memory_order_relaxed) + cycles;
     by_kind_[kind].fetch_add(cycles, std::memory_order_relaxed);
+    if (total >= detail::g_ts_next_due.load(std::memory_order_relaxed))
+      timeseries_poll_slow(total);
   }
   u64 total() const { return total_.load(std::memory_order_relaxed); }
   u64 of(std::size_t kind) const {
@@ -106,8 +120,10 @@ class CycleLedger {
 
 CycleLedger& cycle_ledger();
 
-// Convenience for tests and bench runs: zero the registry, the ledger and
-// the event trace (declared in trace.h) in one call.
+// Convenience for tests and bench runs: zero the registry, the ledger, the
+// event trace, the histogram registry, the profiler, the span tracer, the
+// time-series sampler, the flight recorder and the tenant labels in one
+// call.
 void reset_all();
 
 }  // namespace lz::obs

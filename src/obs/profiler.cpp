@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/span.h"
+
 namespace lz::obs {
 
 void Profiler::arm(u64 period) {
@@ -72,10 +74,19 @@ std::string Profiler::collapsed() const {
   out.reserve(samples_map_.size() * 64);
   for (const auto& [key, n] : samples_map_) {
     char buf[128];
-    std::snprintf(buf, sizeof buf,
-                  "core%u;EL%u;pan%u;vmid%u;asid%u;0x%" PRIx64 " %" PRIu64
-                  "\n",
-                  key.core, key.el, key.pan, key.vmid, key.asid, key.pc, n);
+    std::snprintf(buf, sizeof buf, "core%u;EL%u;pan%u;vmid%u;asid%u;",
+                  key.core, key.el, key.pan, key.vmid, key.asid);
+    out += buf;
+    // Tenant frame, when one is registered for this (VMID, ASID). The
+    // label is user-supplied, so it must not smuggle flamegraph.pl's
+    // frame separator (';') or the count separator (whitespace) into the
+    // stack line — sanitize_frame maps those to '_'.
+    const std::string label = domain_label(key.vmid, key.asid);
+    if (!label.empty()) {
+      out += sanitize_frame(label);
+      out += ';';
+    }
+    std::snprintf(buf, sizeof buf, "0x%" PRIx64 " %" PRIu64 "\n", key.pc, n);
     out += buf;
   }
   return out;

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "obs/profiler.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 
 namespace lz::obs {
 
@@ -387,6 +389,36 @@ void Report::set_profile(const Profiler& profiler) {
   profile_ = std::move(p);
 }
 
+void Report::set_timeseries(const TimeSeries& series) {
+  TimeSeriesSection section;
+  section.period = series.period();
+  section.dropped = series.dropped();
+  for (TimeSeriesSample& sample : series.samples()) {
+    TimeSeriesSection::Snap snap;
+    snap.ts = sample.ts;
+    snap.counters = std::move(sample.counters);
+    snap.histograms = std::move(sample.histograms);
+    section.snapshots.push_back(std::move(snap));
+  }
+  timeseries_ = std::move(section);
+}
+
+void Report::set_spans(const SpanTracer& tracer) {
+  SpanSection section;
+  section.completed = tracer.completed();
+  section.dropped = tracer.dropped();
+  section.max_depth = tracer.max_depth();
+  for (std::size_t k = 0; k < static_cast<std::size_t>(SpanKind::kCount);
+       ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    // Qualified: the Report::to_string() member hides the namespace-scope
+    // overload set inside member definitions.
+    section.by_kind.emplace_back(lz::obs::to_string(kind),
+                                 tracer.completed_of(kind));
+  }
+  spans_ = std::move(section);
+}
+
 Json Report::to_json() const {
   const bool v2 = schema_ == ReportSchema::kV2;
   Json doc = Json::object();
@@ -446,6 +478,46 @@ Json Report::to_json() const {
     prof.set("hotspots", std::move(hot));
     doc.set("profile", std::move(prof));
   }
+
+  if (timeseries_.has_value()) {
+    const TimeSeriesSection& ts = *timeseries_;
+    Json section = Json::object();
+    section.set("period", Json::number(ts.period));
+    section.set("dropped", Json::number(ts.dropped));
+    Json snaps = Json::array();
+    for (const auto& snap : ts.snapshots) {
+      Json row = Json::object();
+      row.set("ts", Json::number(snap.ts));
+      Json counters = Json::object();
+      for (const auto& [k, v] : snap.counters) counters.set(k, Json::number(v));
+      row.set("counters", std::move(counters));
+      Json hists = Json::object();
+      for (const auto& h : snap.histograms) {
+        Json hrow = Json::object();
+        hrow.set("count", Json::number(h.count));
+        hrow.set("p50", Json::number(h.p50));
+        hrow.set("p90", Json::number(h.p90));
+        hrow.set("p99", Json::number(h.p99));
+        hists.set(h.name, std::move(hrow));
+      }
+      row.set("histograms", std::move(hists));
+      snaps.push(std::move(row));
+    }
+    section.set("snapshots", std::move(snaps));
+    doc.set("timeseries", std::move(section));
+  }
+
+  if (spans_.has_value()) {
+    const SpanSection& s = *spans_;
+    Json section = Json::object();
+    section.set("completed", Json::number(s.completed));
+    section.set("dropped", Json::number(s.dropped));
+    section.set("max_depth", Json::number(s.max_depth));
+    Json by_kind = Json::object();
+    for (const auto& [k, v] : s.by_kind) by_kind.set(k, Json::number(v));
+    section.set("by_kind", std::move(by_kind));
+    doc.set("spans", std::move(section));
+  }
   return doc;
 }
 
@@ -500,6 +572,59 @@ bool validate_v2_sections(const Json& doc) {
   return true;
 }
 
+// Every member of `obj` must be a number (counter maps).
+bool all_members_are_numbers(const Json& obj) {
+  for (const auto& [name, v] : obj.members()) {
+    (void)name;
+    if (!v.is_number()) return false;
+  }
+  return true;
+}
+
+// "timeseries" / "spans" are optional in v2; when present they must match
+// the schema exactly (report_check gates on this).
+bool validate_v3_sections(const Json& doc) {
+  const Json* ts = doc.find("timeseries");
+  if (ts != nullptr) {
+    if (!ts->is_object()) return false;
+    for (const char* f : {"period", "dropped"}) {
+      const Json* v = ts->find(f);
+      if (v == nullptr || !v->is_number()) return false;
+    }
+    const Json* snaps = ts->find("snapshots");
+    if (snaps == nullptr || !snaps->is_array()) return false;
+    for (const Json& snap : snaps->elements()) {
+      if (!snap.is_object()) return false;
+      const Json* t = snap.find("ts");
+      if (t == nullptr || !t->is_number()) return false;
+      const Json* counters = snap.find("counters");
+      if (counters == nullptr || !counters->is_object() ||
+          !all_members_are_numbers(*counters)) {
+        return false;
+      }
+      const Json* hists = snap.find("histograms");
+      if (hists == nullptr || !hists->is_object() ||
+          !all_rows_have_numbers(*hists, {"count", "p50", "p90", "p99"})) {
+        return false;
+      }
+    }
+  }
+  const Json* spans = doc.find("spans");
+  if (spans != nullptr) {
+    if (!spans->is_object()) return false;
+    for (const char* f : {"completed", "dropped", "max_depth"}) {
+      const Json* v = spans->find(f);
+      if (v == nullptr || !v->is_number()) return false;
+    }
+    const Json* by_kind = spans->find("by_kind");
+    if (by_kind == nullptr || !by_kind->is_object() ||
+        !all_members_are_numbers(*by_kind)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool Report::validate(const Json& doc) {
@@ -510,6 +635,7 @@ bool Report::validate(const Json& doc) {
   const bool v2 = schema->as_string() == kSchemaV2;
   if (!v1 && !v2) return false;
   if (v2 && !validate_v2_sections(doc)) return false;
+  if (v2 && !validate_v3_sections(doc)) return false;
   const Json* bench = doc.find("bench");
   if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
     return false;

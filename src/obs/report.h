@@ -18,7 +18,15 @@
 //     "profile": { "period","samples","dropped_keys",
 //                  "by_domain": { "vmid<v>.asid<a>": cycles, ... },
 //                  "by_el": { "el0","el1","el2" },
-//                  "hotspots": { "0x<pc>": samples, ... } }
+//                  "hotspots": { "0x<pc>": samples, ... } },
+//     "timeseries": { "period","dropped",
+//                     "snapshots": [ { "ts": N,
+//                                      "counters": { "<name>": N, ... },
+//                                      "histograms": { "<name>":
+//                                        { "count","p50","p90","p99" },
+//                                        ... } }, ... ] },
+//     "spans": { "completed","dropped","max_depth",
+//                "by_kind": { "request": N, "syscall": N, ... } }
 //   }
 //
 // v1 stays frozen: a v1 document produced today is byte-identical to one
@@ -51,6 +59,8 @@
 namespace lz::obs {
 
 class Profiler;
+class SpanTracer;
+class TimeSeries;
 
 class Json {
  public:
@@ -139,6 +149,12 @@ class Report {
   // v2-only sections; ignored when the report is serialised as v1.
   void add_histograms(std::vector<HistogramStats> stats);
   void set_profile(const Profiler& profiler);
+  // Snapshot the time-series sampler / span tracer into optional v2
+  // sections ("timeseries", "spans"). Sections appear only when these are
+  // called, so reports from runs without --ts-period / --trace stay
+  // byte-identical to pre-v3 output.
+  void set_timeseries(const TimeSeries& series);
+  void set_spans(const SpanTracer& tracer);
 
   const std::string& bench() const { return bench_; }
 
@@ -163,6 +179,24 @@ class Report {
     std::vector<std::pair<u64, u64>> hotspots;  // (pc, samples)
   };
 
+  struct TimeSeriesSection {
+    struct Snap {
+      u64 ts = 0;
+      Snapshot counters;
+      std::vector<HistogramStats> histograms;
+    };
+    u64 period = 0;
+    u64 dropped = 0;
+    std::vector<Snap> snapshots;
+  };
+
+  struct SpanSection {
+    u64 completed = 0;
+    u64 dropped = 0;
+    u64 max_depth = 0;
+    std::vector<std::pair<std::string, u64>> by_kind;
+  };
+
   ReportSchema schema_ = ReportSchema::kV1;
   std::string bench_;
   std::vector<std::pair<std::string, Json>> results_;
@@ -171,6 +205,8 @@ class Report {
   Snapshot counters_;
   std::vector<HistogramStats> histograms_;
   std::optional<ProfileSection> profile_;
+  std::optional<TimeSeriesSection> timeseries_;
+  std::optional<SpanSection> spans_;
 };
 
 }  // namespace lz::obs

@@ -1,0 +1,244 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/counters.h"
+#include "obs/flight.h"
+
+namespace lz::obs {
+namespace {
+
+// Per-thread open-span state. `stack` holds the spans this thread opened
+// and has not yet closed; `ambient` is the cross-thread parent adopted by
+// SpanTracer::Adopt (kernel workers running a submitted task).
+struct OpenSpan {
+  u64 id = 0;
+  u64 parent = 0;
+  u64 arg = 0;
+  Cycles start = 0;
+  u16 vmid = 0, asid = 0;
+  SpanKind kind = SpanKind::kCount;
+};
+
+struct TlsSpans {
+  std::array<OpenSpan, SpanTracer::kMaxDepth> stack;
+  std::size_t depth = 0;
+  u64 ambient = 0;
+};
+
+thread_local TlsSpans t_spans;
+
+Cycles span_now() { return cycle_ledger().total(); }
+
+void atomic_max(std::atomic<u64>& target, u64 value) {
+  u64 seen = target.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !target.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+struct DomainLabels {
+  std::mutex mu;
+  std::map<u32, std::string> labels;  // vmid<<16 | asid
+};
+
+DomainLabels& domain_labels() {
+  static DomainLabels labels;
+  return labels;
+}
+
+constexpr u32 domain_key(u16 vmid, u16 asid) {
+  return (static_cast<u32>(vmid) << 16) | asid;
+}
+
+}  // namespace
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kTask: return "task";
+    case SpanKind::kSyscall: return "syscall";
+    case SpanKind::kHvcForward: return "hvc-forward";
+    case SpanKind::kGateSwitch: return "gate-switch";
+    case SpanKind::kPanSwitch: return "pan-switch";
+    case SpanKind::kWorldSwitch: return "world-switch";
+    case SpanKind::kCount: break;
+  }
+  return "unknown";
+}
+
+void SpanTracer::arm(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.assign(capacity ? capacity : 1, SpanEvent{});
+  head_ = 0;
+  count_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(ring_.begin(), ring_.end(), SpanEvent{});
+  head_ = 0;
+  count_ = 0;
+  completed_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  max_depth_.store(0, std::memory_order_relaxed);
+  for (auto& k : by_kind_) k.store(0, std::memory_order_relaxed);
+}
+
+#ifndef LZ_OBS_NO_TRACE
+u64 SpanTracer::begin(SpanKind kind, u64 arg, u16 vmid, u16 asid) {
+  if (!armed_.load(std::memory_order_relaxed)) return 0;
+  TlsSpans& t = t_spans;
+  if (t.depth >= kMaxDepth) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const u64 parent = t.depth ? t.stack[t.depth - 1].id : t.ambient;
+  const u64 id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  t.stack[t.depth++] = {id, parent, arg, span_now(), vmid, asid, kind};
+  atomic_max(max_depth_, t.depth);
+  return id;
+}
+
+void SpanTracer::end(u64 id) {
+  if (id == 0) return;
+  TlsSpans& t = t_spans;
+  // Unwind to the matching id; anything above it was abandoned (its scope
+  // leaked past its parent's), which RAII makes impossible in practice.
+  while (t.depth > 0) {
+    const OpenSpan open = t.stack[--t.depth];
+    if (open.id != id) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    SpanEvent e;
+    e.start = open.start;
+    e.end = span_now();
+    e.id = open.id;
+    e.parent = open.parent;
+    e.arg = open.arg;
+    e.core = current_core();
+    e.vmid = open.vmid;
+    e.asid = open.asid;
+    e.kind = open.kind;
+    push(e);
+    return;
+  }
+}
+
+u64 SpanTracer::current() {
+  const TlsSpans& t = t_spans;
+  return t.depth ? t.stack[t.depth - 1].id : t.ambient;
+}
+#endif  // LZ_OBS_NO_TRACE
+
+SpanTracer::Adopt::Adopt(u64 parent) {
+  prev_ = t_spans.ambient;
+  t_spans.ambient = parent;
+}
+
+SpanTracer::Adopt::~Adopt() { t_spans.ambient = prev_; }
+
+void SpanTracer::push(const SpanEvent& e) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<std::size_t>(e.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  if (count_ == ring_.size()) dropped_.fetch_add(1, std::memory_order_relaxed);
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::size_t SpanTracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<SpanEvent> SpanTracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out;
+  out.reserve(count_);
+  const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::string SpanTracer::chrome_fragment() const {
+  std::string out;
+  char buf[352];
+  for (const SpanEvent& e : events()) {
+    const Cycles dur = e.end >= e.start ? e.end - e.start : 0;
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "%s{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":%u,\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+        ",\"args\":{\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+        ",\"arg\":%" PRIu64 ",\"vmid\":%u,\"asid\":%u",
+        out.empty() ? "" : ",", to_string(e.kind), e.core,
+        static_cast<u64>(e.start), static_cast<u64>(dur), e.id, e.parent,
+        e.arg, e.vmid, e.asid);
+    out.append(buf, static_cast<std::size_t>(n));
+    const std::string label = domain_label(e.vmid, e.asid);
+    if (!label.empty()) {
+      out += ",\"tenant\":\"";
+      out += sanitize_frame(label);
+      out += '"';
+    }
+    out += "}}";
+  }
+  return out;
+}
+
+SpanScope::SpanScope(SpanKind kind, u64 arg, u16 vmid, u16 asid)
+    : id_(spans().begin(kind, arg, vmid, asid)) {}
+
+SpanScope::~SpanScope() { spans().end(id_); }
+
+SpanTracer& spans() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+void set_domain_label(u16 vmid, u16 asid, std::string_view label) {
+  DomainLabels& dl = domain_labels();
+  std::lock_guard<std::mutex> lock(dl.mu);
+  dl.labels[domain_key(vmid, asid)] = std::string(label);
+}
+
+std::string domain_label(u16 vmid, u16 asid) {
+  DomainLabels& dl = domain_labels();
+  std::lock_guard<std::mutex> lock(dl.mu);
+  auto it = dl.labels.find(domain_key(vmid, asid));
+  return it == dl.labels.end() ? std::string() : it->second;
+}
+
+void clear_domain_labels() {
+  DomainLabels& dl = domain_labels();
+  std::lock_guard<std::mutex> lock(dl.mu);
+  dl.labels.clear();
+}
+
+std::string sanitize_frame(std::string_view frame) {
+  std::string out(frame);
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+        c == '"' || c == '\\')
+      c = '_';
+  }
+  return out;
+}
+
+}  // namespace lz::obs

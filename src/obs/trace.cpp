@@ -25,10 +25,8 @@ const char* to_string(EventKind kind) {
   return "?";
 }
 
-namespace {
-
-const char* tlb_scope_name(u8 scope) {
-  switch (static_cast<TlbScope>(scope)) {
+const char* to_string(TlbScope scope) {
+  switch (scope) {
     case TlbScope::kAll: return "all";
     case TlbScope::kVmid: return "vmid";
     case TlbScope::kAsid: return "asid";
@@ -38,14 +36,24 @@ const char* tlb_scope_name(u8 scope) {
   return "?";
 }
 
-const char* world_kind_name(u8 kind) {
-  switch (static_cast<WorldKind>(kind)) {
+const char* to_string(WorldKind kind) {
+  switch (kind) {
     case WorldKind::kVmEntry: return "vm-entry";
     case WorldKind::kVmExit: return "vm-exit";
     case WorldKind::kLzEnter: return "lz-enter";
     case WorldKind::kLzExit: return "lz-exit";
   }
   return "?";
+}
+
+namespace {
+
+const char* tlb_scope_name(u8 scope) {
+  return to_string(static_cast<TlbScope>(scope));
+}
+
+const char* world_kind_name(u8 kind) {
+  return to_string(static_cast<WorldKind>(kind));
 }
 
 void append_kv_u64(std::string& out, const char* key, u64 v, bool first) {
@@ -182,7 +190,7 @@ std::vector<Event> Trace::events() const {
   return out;
 }
 
-std::string Trace::to_chrome_json() const {
+std::string Trace::to_chrome_json(std::string_view extra_events) const {
   std::string out;
   out.reserve(size() * 128 + 128);
   out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":"
@@ -206,14 +214,19 @@ std::string Trace::to_chrome_json() const {
     append_args(out, e);
     out += "}}";
   }
+  if (!extra_events.empty()) {
+    if (!first) out += ',';
+    out += extra_events;
+  }
   out += "]}";
   return out;
 }
 
-bool Trace::write_chrome_json(const std::string& path) const {
+bool Trace::write_chrome_json(const std::string& path,
+                              std::string_view extra_events) const {
   std::ofstream f(path, std::ios::binary);
   if (!f) return false;
-  const std::string json = to_chrome_json();
+  const std::string json = to_chrome_json(extra_events);
   f.write(json.data(), static_cast<std::streamsize>(json.size()));
   return static_cast<bool>(f);
 }

@@ -21,12 +21,19 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/counters.h"
 #include "support/types.h"
 
 namespace lz::obs {
+
+struct Event;
+#ifndef LZ_OBS_NO_TRACE
+// Always-on flight-recorder feed (flight.h); called by every emit helper.
+void flight_record(const Event& e);
+#endif
 
 enum class EventKind : u8 {
   kExcpEntry,    // exception entry: EC, from-EL, target-EL, ESR
@@ -49,6 +56,9 @@ const char* to_string(EventKind kind);
 enum class TlbScope : u8 { kAll, kVmid, kAsid, kVa, kVaAllAsid };
 // World-switch flavours (Event::b1 of kWorldSwitch).
 enum class WorldKind : u8 { kVmEntry, kVmExit, kLzEnter, kLzExit };
+
+const char* to_string(TlbScope scope);
+const char* to_string(WorldKind kind);
 
 struct Event {
   Cycles ts = 0;      // simulated cycles at emission (CycleLedger total)
@@ -75,6 +85,10 @@ class Trace {
   std::vector<Event> events() const;
 
   // --- Typed emit helpers (the hot-path API) ---------------------------------
+  // Every helper also feeds the always-on flight recorder (flight.h) before
+  // checking the armed flag, so the black box sees the last events even in
+  // runs where nobody armed a trace. The recorder is lock-free and charges
+  // nothing; LZ_OBS_NO_TRACE removes both the feed and the trace.
 #ifdef LZ_OBS_NO_TRACE
   void excp_entry(u8, u8, u8, u64, bool) {}
   void excp_return(u8, u8) {}
@@ -88,58 +102,59 @@ class Trace {
   void irq(u8) {}
 #else
   void excp_entry(u8 ec, u8 from_el, u8 target_el, u64 esr, bool stage2) {
-    if (!armed_) return;
-    push({now(), esr, stage2, EventKind::kExcpEntry, ec, from_el, target_el});
+    emit({now(), esr, stage2, EventKind::kExcpEntry, ec, from_el, target_el});
   }
   void excp_return(u8 from_el, u8 resumed_el) {
-    if (!armed_) return;
-    push({now(), 0, 0, EventKind::kExcpReturn, 0, from_el, resumed_el});
+    emit({now(), 0, 0, EventKind::kExcpReturn, 0, from_el, resumed_el});
   }
   void ttbr_switch(u16 asid, u64 ttbr) {
-    if (!armed_) return;
-    push({now(), ttbr, asid, EventKind::kTtbrSwitch, 0, 0, 0});
+    emit({now(), ttbr, asid, EventKind::kTtbrSwitch, 0, 0, 0});
   }
   void tlb_inval(TlbScope scope, u16 asid, u16 vmid) {
-    if (!armed_) return;
-    push({now(), asid, vmid, EventKind::kTlbInval, 0,
+    emit({now(), asid, vmid, EventKind::kTlbInval, 0,
           static_cast<u8>(scope), 0});
   }
   void stage2_fault(u64 ipa, u16 vmid) {
-    if (!armed_) return;
-    push({now(), ipa, vmid, EventKind::kStage2Fault, 0, 0, 0});
+    emit({now(), ipa, vmid, EventKind::kStage2Fault, 0, 0, 0});
   }
   void hvc_forward(u32 forwarded_esr, u8 forwarded_ec) {
-    if (!armed_) return;
-    push({now(), forwarded_esr, 0, EventKind::kHvcForward, forwarded_ec, 0,
+    emit({now(), forwarded_esr, 0, EventKind::kHvcForward, forwarded_ec, 0,
           0});
   }
   void world_switch(WorldKind kind, u16 vmid) {
-    if (!armed_) return;
-    push({now(), vmid, 0, EventKind::kWorldSwitch, 0,
+    emit({now(), vmid, 0, EventKind::kWorldSwitch, 0,
           static_cast<u8>(kind), 0});
   }
   void gate_switch(u16 gate, u16 asid) {
-    if (!armed_) return;
-    push({now(), gate, asid, EventKind::kGateSwitch, 0, 0, 0});
+    emit({now(), gate, asid, EventKind::kGateSwitch, 0, 0, 0});
   }
   void pan_toggle(bool on) {
-    if (!armed_) return;
-    push({now(), on, 0, EventKind::kPanToggle, 0, 0, 0});
+    emit({now(), on, 0, EventKind::kPanToggle, 0, 0, 0});
   }
   void irq(u8 target_el) {
-    if (!armed_) return;
-    push({now(), 0, 0, EventKind::kIrq, 0, 0, target_el});
+    emit({now(), 0, 0, EventKind::kIrq, 0, 0, target_el});
   }
 #endif
 
   // --- Export ----------------------------------------------------------------
   // Chrome trace_event JSON; events come out oldest-first as instant
   // events ("ph":"i") with per-kind args. Deterministic byte-for-byte.
-  std::string to_chrome_json() const;
-  bool write_chrome_json(const std::string& path) const;
+  // `extra_events` is a pre-rendered fragment spliced into the
+  // traceEvents array after the instant events (SpanTracer::chrome_fragment
+  // supplies the "ph":"X" duration events).
+  std::string to_chrome_json(std::string_view extra_events = {}) const;
+  bool write_chrome_json(const std::string& path,
+                         std::string_view extra_events = {}) const;
 
  private:
   static Cycles now() { return cycle_ledger().total(); }
+#ifndef LZ_OBS_NO_TRACE
+  void emit(const Event& e) {
+    flight_record(e);  // always-on black box, armed or not
+    if (!armed_) return;
+    push(e);
+  }
+#endif
   void push(const Event& e);
 
   // The armed flag is a relaxed atomic so the disarmed fast path stays a

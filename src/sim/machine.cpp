@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/flight.h"
 #include "obs/histogram.h"
 
 namespace lz::sim {
@@ -39,9 +40,13 @@ Machine::CoreBinding::CoreBinding(Machine& machine, unsigned core_id)
     : prev_machine_(tls_binding_.machine), prev_core_(tls_binding_.core) {
   LZ_CHECK(core_id < machine.num_cores());
   tls_binding_ = {&machine, core_id};
+  // Tell obs which simulated core this thread drives, so the flight
+  // recorder and span tracer attribute events to the right per-core ring.
+  prev_obs_core_ = obs::set_current_core(core_id);
 }
 
 Machine::CoreBinding::~CoreBinding() {
+  obs::set_current_core(prev_obs_core_);
   tls_binding_ = {prev_machine_, prev_core_};
 }
 

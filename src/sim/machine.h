@@ -62,6 +62,7 @@ class Machine {
    private:
     const Machine* prev_machine_;
     unsigned prev_core_;
+    unsigned prev_obs_core_ = 0;
   };
 
   // --- DVM broadcast TLB maintenance (TLBI ...IS semantics) -------------------

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 #include <optional>
+#include <string>
 
 #include "lightzone/api.h"
+#include "obs/span.h"
 #include "support/rng.h"
 #include "workloads/crypto/aes.h"
 
@@ -45,8 +47,17 @@ HttpdResult run_httpd(const AppConfig& config, const HttpdParams& params) {
   for (auto& b : response) b = static_cast<u8>(rng.next());
   double checksum = 0;
 
+  // Tenant identity for span/profile attribution: the worker's VMID (its
+  // LightZone context, if any) and the process ASID.
+  const u16 span_vmid = driver.lz() ? driver.lz()->ctx().vmid : 0;
+  const u16 span_asid = driver.proc().asid();
+  obs::set_domain_label(span_vmid, span_asid, "httpd-worker");
+
   const Cycles start = machine.cycles();
   for (int r = 0; r < params.requests; ++r) {
+    const obs::SpanScope request_span(obs::SpanKind::kRequest,
+                                      static_cast<u64>(r), span_vmid,
+                                      span_asid);
     // New connection: session key set-up in its domain.
     const int key_id = r % params.concurrent_keys;
     machine.charge(sim::CostKind::kDispatch, driver.domain_setup_cost());
@@ -208,6 +219,10 @@ HttpdSmpResult run_httpd_smp(const AppConfig& config,
         break;
     }
 
+    // Tenant label for span/profile attribution of this worker's domain.
+    obs::set_domain_label(lzs[w] ? lzs[w]->ctx().vmid : 0, proc.asid(),
+                          "httpd-worker" + std::to_string(w));
+
     // Install the key material (per-worker keys differ by seed).
     Rng rng(config.seed + w);
     for (int k = 0; k < params.concurrent_keys; ++k) {
@@ -249,8 +264,14 @@ HttpdSmpResult run_httpd_smp(const AppConfig& config,
         }
       };
 
+      const u16 span_vmid = lzs[w] ? lzs[w]->ctx().vmid : 0;
+      const u16 span_asid = proc.asid();
+
       const Cycles start = machine.account(core_id).total();
       for (int r = 0; r < params.requests; ++r) {
+        const obs::SpanScope request_span(obs::SpanKind::kRequest,
+                                          static_cast<u64>(r), span_vmid,
+                                          span_asid);
         const int key_id = r % params.concurrent_keys;
         machine.charge(sim::CostKind::kDispatch, setup_cost);
         machine.charge(sim::CostKind::kDispatch,
