@@ -23,6 +23,10 @@
 //                           report section
 //   --cores <N>             size of the SMP machine (0 = binary default)
 //   --iters <K>             workload scale factor (default 1)
+//   --backend <B>           isolation backend to evaluate: ttbr_pan
+//                           (default — the live LightZone module; leaves
+//                           every golden byte-identical), poe, cca,
+//                           watchpoint, or lwc (cost-model backends)
 //   --help / -h             print this flag summary and exit 0
 //   --benchmark_*           passed through to google-benchmark untouched
 //
@@ -48,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "lightzone/backend.h"
 #include "obs/counters.h"
 #include "obs/flight.h"
 #include "obs/histogram.h"
@@ -69,6 +74,8 @@ struct ObsOptions {
   u64 ts_period = 0;   // --ts-period N: time-series sampling (0 = off)
   unsigned cores = 0;  // --cores N: size of the SMP machine (0 = not given)
   u64 iters = 1;       // --iters K: workload scale factor
+  // --backend B: which IsolationBackend the bench evaluates.
+  core::BackendKind backend = core::BackendKind::kTtbrPan;
 };
 
 // The one flag summary every bench binary prints for --help; keep in sync
@@ -87,6 +94,8 @@ inline void print_bench_usage(const char* argv0, std::FILE* out) {
       "cycles (0 = off)\n"
       "  --cores <N>            SMP machine size (default: binary-specific)\n"
       "  --iters <K>            workload scale factor (default 1)\n"
+      "  --backend <B>          ttbr_pan (default) | poe | cca | watchpoint "
+      "| lwc\n"
       "  --help, -h             this text\n",
       argv0, static_cast<unsigned long long>(obs::Profiler::kDefaultPeriod));
 }
@@ -98,6 +107,7 @@ inline void print_bench_usage(const char* argv0, std::FILE* out) {
 inline ObsOptions parse_bench_flags(int* argc, char** argv) {
   ObsOptions opts;
   std::string schema_str, cores_str, period_str, ts_period_str, iters_str;
+  std::string backend_str;
   const auto die = [&](const char* what, const std::string& arg) {
     std::fprintf(stderr, "%s: %s '%s'\n", argv[0], what, arg.c_str());
     print_bench_usage(argv[0], stderr);
@@ -130,7 +140,8 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
         take("--sample-period", &period_str) ||
         take("--ts-period", &ts_period_str) ||
         take("--cores", &cores_str) ||
-        take("--iters", &iters_str)) {
+        take("--iters", &iters_str) ||
+        take("--backend", &backend_str)) {
       continue;
     }
     if (arg.rfind("--benchmark_", 0) == 0 || arg.rfind("--", 0) != 0) {
@@ -163,6 +174,11 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
   if (!iters_str.empty()) {
     opts.iters = std::strtoull(iters_str.c_str(), nullptr, 10);
     if (opts.iters == 0) opts.iters = 1;
+  }
+  if (!backend_str.empty()) {
+    const auto kind = core::backend_from_string(backend_str);
+    if (!kind) die("unknown backend", backend_str);
+    opts.backend = *kind;
   }
   return opts;
 }
@@ -293,6 +309,7 @@ class ObsSession {
 
   unsigned cores() const { return opts_.cores; }
   u64 iters() const { return opts_.iters; }
+  core::BackendKind backend() const { return opts_.backend; }
   bool v2() const { return opts_.schema == obs::ReportSchema::kV2; }
   // In-process repeats for host-timed measurements: v1 keeps the historic
   // single run (byte-identical goldens), v2 runs three and reports spread.

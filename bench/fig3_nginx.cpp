@@ -114,6 +114,61 @@ void print_fig3() {
   bench::record("memory.ttbr_table_pages", ttbr.isolation_table_pages);
 }
 
+// --backend B (B != ttbr_pan): the same Nginx model with the chosen
+// isolation backend standing in for LightZone — vanilla as the baseline
+// row, then the backend's mechanism. poe/cca run the cost-model backends
+// through AppDriver; watchpoint/lwc reuse the existing baselines, now
+// reachable from the same flag the other benches use.
+Mechanism mech_of_backend(lz::core::BackendKind kind) {
+  switch (kind) {
+    case lz::core::BackendKind::kPoe: return Mechanism::kPoe;
+    case lz::core::BackendKind::kCca: return Mechanism::kCca;
+    case lz::core::BackendKind::kWatchpoint: return Mechanism::kWatchpoint;
+    case lz::core::BackendKind::kLwc: return Mechanism::kLwc;
+    case lz::core::BackendKind::kTtbrPan: break;
+  }
+  return Mechanism::kLzTtbr;
+}
+
+void print_fig3_backend(lz::core::BackendKind kind) {
+  const Mechanism mech = mech_of_backend(kind);
+  const std::string name = lz::core::to_string(kind);
+  std::printf(
+      "Figure 3 (--backend %s): Nginx throughput (requests/s), 1 worker,\n"
+      "1 KB HTTPS file, %s vs vanilla\n\n",
+      name.c_str(), to_string(mech));
+  for (const auto& combo : kCombos) {
+    HttpdParams params = HttpdParams::defaults(*combo.plat);
+    params.requests = 1500;
+    std::printf("%s\n  %-15s", combo.label, "concurrency:");
+    for (const int c : {1, 2, 4, 8, 16, 32, 64}) std::printf(" %8d", c);
+    std::printf(" %10s\n", "loss");
+    double base_rps = 0;
+    for (const Mechanism m : {Mechanism::kNone, mech}) {
+      const AppConfig config{combo.plat, combo.placement, m, 42};
+      const auto result = run_httpd(config, params);
+      std::printf("  %-15s", to_string(m));
+      for (const int c : {1, 2, 4, 8, 16, 32, 64}) {
+        std::printf(" %8.0f", httpd_throughput_rps(result, params, config, c));
+      }
+      const double sat = httpd_throughput_rps(result, params, config, 64);
+      const std::string base =
+          "backend." + name + "." + slug_of(combo.label);
+      if (m == Mechanism::kNone) {
+        base_rps = sat;
+        bench::record(base + ".vanilla.rps_at_64", sat);
+        std::printf(" %10s\n", "(base)");
+      } else {
+        const double loss = 100.0 * (base_rps - sat) / base_rps;
+        std::printf("  %5.2f%%\n", loss);
+        bench::record(base + ".rps_at_64", sat);
+        bench::record(base + ".loss_pct", loss);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
 // --cores N: multi-worker scaling on the SMP machine — one worker process
 // pinned per core (nginx's worker-per-core deployment), all sharing one
 // kernel and physical memory. Throughput should scale near-linearly with
@@ -172,7 +227,9 @@ BENCHMARK(BM_HttpdRequest)
 
 int main(int argc, char** argv) {
   lz::bench::ObsSession obs("fig3_nginx", &argc, argv);
-  if (obs.cores() > 0) {
+  if (obs.backend() != lz::core::BackendKind::kTtbrPan) {
+    print_fig3_backend(obs.backend());
+  } else if (obs.cores() > 0) {
     print_fig3_smp(obs.cores());
   } else {
     print_fig3();

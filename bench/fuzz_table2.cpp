@@ -1,6 +1,7 @@
 // Randomized Table-2 conformance fuzz driver (ISSUE 3).
 //
 //   fuzz_table2 [--seed S] [--cores N] [--streams M] [--ops K]
+//               [--backend ttbr_pan|poe|cca|watchpoint|lwc]
 //
 // Runs M seeded streams of Table-2 calls (K ops each, processes pinned
 // round-robin over N cores) three times and applies every lz::check oracle:
@@ -71,15 +72,28 @@ int main(int argc, char** argv) {
       cfg.streams = static_cast<unsigned>(parse_u64(v));
     } else if (const char* v = next("--ops")) {
       cfg.ops_per_stream = static_cast<int>(parse_u64(v));
+    } else if (const char* v = next("--backend")) {
+      const auto kind = lz::core::backend_from_string(v);
+      if (!kind) {
+        std::fprintf(stderr,
+                     "%s: unknown backend '%s' (expected one of ttbr_pan, "
+                     "poe, cca, watchpoint, lwc)\n",
+                     argv[0], v);
+        return 2;
+      }
+      cfg.backend = *kind;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: %s [--seed S] [--cores N] [--streams M] [--ops K]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--seed S] [--cores N] [--streams M] [--ops K] "
+          "[--backend B]\n",
+          argv[0]);
       return 0;
     } else {
       std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], argv[i]);
       std::fprintf(stderr,
-                   "usage: %s [--seed S] [--cores N] [--streams M] [--ops K]\n",
+                   "usage: %s [--seed S] [--cores N] [--streams M] [--ops K] "
+                   "[--backend B]\n",
                    argv[0]);
       return 2;
     }
@@ -90,9 +104,11 @@ int main(int argc, char** argv) {
   // dump the flight recorder's per-core black box on abort.
   lz::obs::install_flight_abort_handler();
 
-  std::printf("fuzz_table2: seed=%llu cores=%u streams=%u ops/stream=%d\n",
-              static_cast<unsigned long long>(cfg.seed), cfg.cores, streams,
-              cfg.ops_per_stream);
+  std::printf(
+      "fuzz_table2: backend=%s seed=%llu cores=%u streams=%u ops/stream=%d\n",
+      lz::core::to_string(cfg.backend),
+      static_cast<unsigned long long>(cfg.seed), cfg.cores, streams,
+      cfg.ops_per_stream);
 
   const FuzzResult a = lz::check::run_table2_fuzz(cfg);
   std::printf("run A: %llu ops (%llu skipped), status hash %016llx\n",
@@ -106,7 +122,7 @@ int main(int argc, char** argv) {
   dump_divergences("B", b);
   expect(a.status_hash == b.status_hash, "replay A==B: status hash");
   expect(a.status_streams == b.status_streams, "replay A==B: status streams");
-  const auto replay_diff = lz::check::diff_counters(a.counters, b.counters);
+  const auto replay_diff = lz::check::diff_fuzz_counters(a, b);
   expect(replay_diff.empty(), "replay A==B: counters byte-identical");
   for (const auto& line : replay_diff) std::printf("    %s\n", line.c_str());
 
@@ -118,8 +134,8 @@ int main(int argc, char** argv) {
   dump_divergences("C", c);
   expect(a.status_streams == c.status_streams,
          "1-core vs N-core: status streams");
-  const auto smp_diff = lz::check::diff_counters(
-      a.counters, c.counters, lz::check::is_smp_variant_counter);
+  const auto smp_diff =
+      lz::check::diff_fuzz_counters(a, c, lz::check::is_smp_variant_counter);
   expect(smp_diff.empty(),
          "1-core vs N-core: counters modulo SMP-variant set");
   for (const auto& line : smp_diff) std::printf("    %s\n", line.c_str());

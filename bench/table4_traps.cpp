@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "baselines/backends.h"
 #include "bench_util.h"
 #include "workloads/microbench.h"
 
@@ -111,6 +113,67 @@ void print_table4() {
       static_cast<unsigned long long>(abx.lz_guest_trap_no_deferred_sysregs));
 }
 
+// --backend B (B != ttbr_pan): per-verb primitive costs of the chosen
+// cost-model backend, the analogue of Table 4's trap round-trips. The
+// first-vs-warm access pair makes the mechanism's lazy cost visible (CCA
+// pays its GPT walk exactly once per delegated granule).
+struct BackendPrimitives {
+  Cycles alloc = 0, prot = 0, gate_setup = 0, domain_switch = 0;
+  Cycles first_access = 0, warm_access = 0;
+};
+
+BackendPrimitives measure_backend_primitives(lz::core::BackendKind kind,
+                                             const arch::Platform& plat) {
+  lz::core::Env env(lz::core::Env::Options().platform(plat).backend(kind));
+  auto be = lz::baseline::make_backend(kind, env);
+  auto& m = *env.machine;
+  const auto delta = [&m](auto&& fn) {
+    const Cycles start = m.cycles();
+    fn();
+    return m.cycles() - start;
+  };
+  BackendPrimitives p;
+  int pgt = -1;
+  p.alloc = delta([&] { pgt = be->alloc().value(); });
+  const VirtAddr va = lz::core::Env::kHeapVa;
+  p.prot = delta([&] {
+    LZ_CHECK_OK(be->prot(va, lz::kPageSize, pgt,
+                         lz::core::kLzRead | lz::core::kLzWrite));
+  });
+  p.gate_setup = delta([&] {
+    LZ_CHECK_OK(be->map_gate_pgt(pgt, 1));
+    LZ_CHECK_OK(be->set_gate_entry(1, lz::core::Env::kCodeVa + 0x40));
+  });
+  p.domain_switch = delta([&] { LZ_CHECK(be->switch_to(1).is_ok()); });
+  p.first_access = delta([&] { (void)be->access(va); });
+  p.warm_access = delta([&] { (void)be->access(va); });
+  return p;
+}
+
+void print_backend_primitives(lz::core::BackendKind kind) {
+  const std::string name = lz::core::to_string(kind);
+  std::printf("Backend primitive costs (--backend %s): cycles per verb\n\n",
+              name.c_str());
+  const auto carmel = measure_backend_primitives(kind, arch::Platform::carmel());
+  const auto cortex =
+      measure_backend_primitives(kind, arch::Platform::cortex_a55());
+  const auto row = [&](const char* key, Cycles carmel_v, Cycles cortex_v) {
+    std::printf("  %-24s %10llu %10llu\n", key,
+                static_cast<unsigned long long>(carmel_v),
+                static_cast<unsigned long long>(cortex_v));
+    bench::record("backend." + name + ".carmel." + key, carmel_v);
+    bench::record("backend." + name + ".cortex." + key, cortex_v);
+  };
+  std::printf("  %-24s %10s %10s\n", "", "Carmel", "CortexA55");
+  row("alloc", carmel.alloc, cortex.alloc);
+  row("prot", carmel.prot, cortex.prot);
+  row("gate_setup", carmel.gate_setup, cortex.gate_setup);
+  row("switch", carmel.domain_switch, cortex.domain_switch);
+  row("first_access", carmel.first_access, cortex.first_access);
+  row("warm_access", carmel.warm_access, cortex.warm_access);
+  std::printf("\n");
+}
+
 void BM_MeasureTrapCosts(benchmark::State& state) {
   const auto& plat = state.range(0) == 0 ? arch::Platform::cortex_a55()
                                          : arch::Platform::carmel();
@@ -127,7 +190,11 @@ BENCHMARK(BM_MeasureTrapCosts)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   lz::bench::ObsSession obs("table4_traps", &argc, argv);
-  print_table4();
+  if (obs.backend() != lz::core::BackendKind::kTtbrPan) {
+    print_backend_primitives(obs.backend());
+  } else {
+    print_table4();
+  }
   obs.finish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -155,6 +155,58 @@ void print_table5_smp(unsigned cores) {
   print_tlb_hit_rate();
 }
 
+// --backend B (B != ttbr_pan): the same Table-5 program driven through the
+// chosen IsolationBackend's verbs instead of the live module. Watchpoint's
+// four DBGW pairs cap it at 16 domains, so its sweep stops there; POE and
+// CCA rows also record their mechanism-specific totals (key recycles and
+// shootdown pages; GPT walks and delegations) so lz_report can diff the
+// cost *structure*, not just the headline average.
+void print_backend_row(lz::core::BackendKind kind, const char* label,
+                       const char* slug, const arch::Platform& plat,
+                       Placement placement,
+                       const std::vector<int>& domain_sets) {
+  const std::string name = lz::core::to_string(kind);
+  std::printf("  %-13s %-11s", label, name.c_str());
+  for (const int domains : domain_sets) {
+    const auto r =
+        backend_switch_avg_cycles(kind, plat, placement, domains, kIters);
+    std::printf(" %8.0f", r.avg_cycles);
+    const std::string base =
+        "backend." + name + "." + slug + "." + std::to_string(domains);
+    bench::record(base, r.avg_cycles);
+    if (kind == lz::core::BackendKind::kPoe) {
+      bench::record(base + ".key_recycles", r.stats.key_recycles);
+      bench::record(base + ".shootdown_pages", r.stats.shootdown_pages);
+    } else if (kind == lz::core::BackendKind::kCca) {
+      bench::record(base + ".gpt_walks", r.stats.gpt_walks);
+      bench::record(base + ".delegations", r.stats.delegations);
+    }
+  }
+  std::printf("\n");
+}
+
+void print_table5_backend(lz::core::BackendKind kind) {
+  const std::vector<int> domain_sets =
+      kind == lz::core::BackendKind::kWatchpoint
+          ? std::vector<int>{1, 2, 3, 16}
+          : std::vector<int>{1, 2, 3, 32, 64, 128};
+  std::printf(
+      "Table 5 (--backend %s): average cycles per switch-and-access\n\n",
+      lz::core::to_string(kind));
+  std::printf("  %-13s %-11s", "", "");
+  for (const int d : domain_sets) std::printf(" %8d", d);
+  std::printf("\n");
+  print_backend_row(kind, "Carmel Host", "carmel_host",
+                    arch::Platform::carmel(), Placement::kHost, domain_sets);
+  print_backend_row(kind, "Carmel Guest", "carmel_guest",
+                    arch::Platform::carmel(), Placement::kGuest, domain_sets);
+  print_backend_row(kind, "Cortex", "cortex_host",
+                    arch::Platform::cortex_a55(), Placement::kHost,
+                    domain_sets);
+  std::printf("\n");
+  print_tlb_hit_rate();
+}
+
 // Seed-stability block (v2 reports only): the same 2-domain sweep under
 // three TLB replacement seeds. The spread is simulated, so mean/min/median
 // are deterministic — a cheap cross-check that the headline Table-5 numbers
@@ -188,7 +240,11 @@ BENCHMARK(BM_SwitchSweep)->Arg(2)->Arg(128)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   lz::bench::ObsSession obs("table5_switch", &argc, argv);
-  if (obs.cores() > 0) {
+  if (obs.backend() != lz::core::BackendKind::kTtbrPan) {
+    // Per-backend mode: the default (ttbr_pan) path below stays untouched
+    // so its goldens remain byte-identical.
+    print_table5_backend(obs.backend());
+  } else if (obs.cores() > 0) {
     print_table5_smp(obs.cores());
   } else {
     print_table5();

@@ -30,6 +30,7 @@
 #include "mem/page_table.h"
 #include "sim/assembler.h"
 #include "sim/machine.h"
+#include "workloads/microbench.h"
 
 namespace {
 
@@ -260,12 +261,60 @@ void report(const char* name, GuestRun (*run)(u64), u64 iters,
   bench::record(base + ".sim_cycles", last.cycles);
 }
 
+// --backend B (B != ttbr_pan): engine throughput of the cost-model
+// backends' switch loop — how many modelled switch-and-access ops the host
+// executes per second, plus the deterministic simulated cycle average the
+// per-backend reports gate on.
+void report_backend_switch(lz::core::BackendKind kind, u64 scale,
+                           unsigned repeats) {
+  const std::string name = lz::core::to_string(kind);
+  const int domains = kind == lz::core::BackendKind::kWatchpoint ? 16 : 32;
+  const int iters = static_cast<int>(30'000 * scale);
+  std::printf("Backend switch model (--backend %s): %d domains, Cortex-A55 "
+              "host\n\n",
+              name.c_str(), domains);
+  std::vector<double> mops_v, wall_v;
+  workload::BackendSwitchResult last;
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    const double t0 = now_s();
+    const auto r = workload::backend_switch_avg_cycles(
+        kind, arch::Platform::cortex_a55(), workload::Placement::kHost,
+        domains, iters);
+    const double wall = now_s() - t0;
+    if (rep > 0) LZ_CHECK(r.avg_cycles == last.avg_cycles);
+    last = r;
+    mops_v.push_back(wall > 0 ? iters / wall / 1e6 : 0);
+    wall_v.push_back(wall);
+  }
+  double mops_mean = 0;
+  for (const double m : mops_v) mops_mean += m;
+  mops_mean /= static_cast<double>(mops_v.size());
+  std::printf("  %-16s %10.2f host-Mops   (%.1f sim cycles/switch, %.3fs)\n",
+              name.c_str(), mops_mean, last.avg_cycles, wall_v.back());
+  const std::string base = "backend." + name;
+  bench::record_stats(base + ".host_mops", std::move(mops_v));
+  bench::record_stats(base + ".host_s", std::move(wall_v));
+  bench::record(base + ".avg_cycles", last.avg_cycles);
+  bench::record(base + ".key_recycles", last.stats.key_recycles);
+  bench::record(base + ".shootdown_pages", last.stats.shootdown_pages);
+  bench::record(base + ".gpt_walks", last.stats.gpt_walks);
+  bench::record(base + ".delegations", last.stats.delegations);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   lz::bench::ObsSession obs("throughput", &argc, argv);
   const u64 scale = obs.iters();
   const unsigned max_cores = obs.cores() > 0 ? obs.cores() : 4;
+
+  if (obs.backend() != lz::core::BackendKind::kTtbrPan) {
+    // Per-backend mode: the interpreter sections below are unaffected by
+    // the backend choice, so the default path stays byte-identical.
+    report_backend_switch(obs.backend(), scale, obs.repeats());
+    obs.finish();
+    return 0;
+  }
 
   std::printf("Host throughput (simulated MIPS), %s build\n\n",
 #ifdef NDEBUG

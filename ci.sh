@@ -100,6 +100,28 @@ build/bench/report_check "$smp_a"
 build/bench/fuzz_table2 --seed 1 --cores 4 --ops 2600
 build/bench/fuzz_table2 --seed 20260805 --cores 2 --ops 1500
 
+# Backend matrix (DESIGN.md section 14): every IsolationBackend runs the
+# Table-5 program and a fuzz smoke through the identical op generator. The
+# ttbr_pan leg is the refactor gate — routing the verbs through the
+# interface may not move a byte of the checked-in golden. The model legs
+# must emit schema-valid v2 reports and fuzz divergence-free.
+for backend in ttbr_pan poe cca watchpoint lwc; do
+  bk=/tmp/t5.backend.$backend.json
+  rm -f "$bk"
+  build/bench/table5_switch --backend "$backend" --json "$bk" \
+    --benchmark_filter=NONE >/dev/null
+  build/bench/report_check "$bk"
+  build/bench/fuzz_table2 --backend "$backend" --seed 7 --cores 2 --ops 800
+done
+cmp /tmp/t5.backend.ttbr_pan.json BENCH_table5_v2.json
+grep -q '"backend.poe.cortex_host.128.key_recycles"' /tmp/t5.backend.poe.json
+grep -q '"backend.cca.cortex_host.128.gpt_walks"' /tmp/t5.backend.cca.json
+tp_poe=/tmp/throughput.backend.poe.json
+rm -f "$tp_poe"
+build/bench/throughput --backend poe --json "$tp_poe" >/dev/null
+build/bench/report_check "$tp_poe"
+grep -q '"backend.poe.avg_cycles"' "$tp_poe"
+
 # Release (-O2) leg: the hot-path engine (L0 translation cache, decoded-page
 # cache, batched accounting) must keep *simulated* cycle totals byte-stable,
 # and with the profiler off (--sample-period 0) host throughput must stay
@@ -129,7 +151,8 @@ build/bench/lz_report BENCH_throughput.json \
 # clean under the thread sanitizer.
 cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
 cmake --build build-tsan --target smp_test obs_test obs_v3_test \
-  hotpath_test histogram_test profiler_test pmu_test fuzz_table2 throughput
+  hotpath_test histogram_test profiler_test pmu_test backend_test \
+  fuzz_table2 throughput
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
 build-tsan/tests/obs_v3_test
@@ -137,6 +160,7 @@ build-tsan/tests/hotpath_test
 build-tsan/tests/histogram_test
 build-tsan/tests/profiler_test
 build-tsan/tests/pmu_test
+build-tsan/tests/backend_test
 build-tsan/bench/fuzz_table2 --seed 3 --cores 4 --ops 400
 build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 
@@ -146,13 +170,14 @@ build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 # instruments for leaks and overruns too.
 cmake -B build-asan -G Ninja -DLZ_SANITIZE=address >/dev/null
 cmake --build build-asan --target fuzz_table2 check_test hotpath_test \
-  histogram_test profiler_test pmu_test obs_v3_test
+  histogram_test profiler_test pmu_test obs_v3_test backend_test
 build-asan/tests/check_test
 build-asan/tests/hotpath_test
 build-asan/tests/histogram_test
 build-asan/tests/profiler_test
 build-asan/tests/pmu_test
 build-asan/tests/obs_v3_test
+build-asan/tests/backend_test
 build-asan/bench/fuzz_table2 --seed 5 --cores 4 --ops 600
 
 echo "ci.sh: OK"

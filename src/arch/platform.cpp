@@ -49,6 +49,12 @@ Platform make_cortex_a55() {
   p.isb = 8;
   p.dsb = 10;
   p.pan_toggle = 4;
+  // POR_EL0 is a cheap EL0 register on a little core; GPT costs follow the
+  // same scale as the other monitor-call primitives on this SoC.
+  p.sysreg_write_por = 20;
+  p.gpt_walk = 28;          // one extra GPT fetch per missed granule check
+  p.gpt_delegate = 760;     // SMC + monitor GPT update + GPC invalidation
+  p.gpt_undelegate = 760;
   // Small in-order cluster: DVM messages resolve inside one DSU.
   p.dvm_bcast_base = 35;
   p.dvm_bcast_per_core = 20;
@@ -96,6 +102,12 @@ Platform make_carmel() {
   p.isb = 60;
   p.dsb = 48;
   p.pan_toggle = 9;
+  // Like every other system-register write on Carmel, POR_EL0 would be
+  // slow; GPT primitives scale with this SoC's trap costs.
+  p.sysreg_write_por = 140;
+  p.gpt_walk = 84;
+  p.gpt_delegate = 3200;
+  p.gpt_undelegate = 3200;
   // Carmel clusters sit behind a coherence fabric; remote snoops are slow
   // like every other cross-core operation on this SoC.
   p.dvm_bcast_base = 180;

@@ -54,6 +54,15 @@ struct Platform {
   Cycles isb = 8;
   Cycles dsb = 10;
   Cycles pan_toggle = 5;           // MSR PAN, #imm incl. implicit sync
+  Cycles sysreg_write_por = 20;    // POR_EL0 overlay-key write (FEAT_S1POE)
+
+  // RME/CCA granule-protection costs (NanoZone-flavour backend). A GPT walk
+  // is the extra granule-protection-check fetch on the first access to a
+  // granule whose GPC TLB entry was invalidated; (un)delegate are the
+  // monitor-side GPT updates behind an SMC round-trip.
+  Cycles gpt_walk = 28;
+  Cycles gpt_delegate = 760;
+  Cycles gpt_undelegate = 760;
 
   // DVM broadcast TLB shootdown (TLBI ...IS + DSB completion). The
   // initiating core pays a fixed interconnect cost plus a per-remote-core

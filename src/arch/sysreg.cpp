@@ -88,6 +88,9 @@ constexpr std::array<SysRegInfo, kNumSysRegs> kTable = {{
     {SysReg::kPmevtyper1El0, "PMEVTYPER1_EL0", {3, 3, 14, 12, 1}, 0},
     {SysReg::kPmevtyper2El0, "PMEVTYPER2_EL0", {3, 3, 14, 12, 2}, 0},
     {SysReg::kPmevtyper3El0, "PMEVTYPER3_EL0", {3, 3, 14, 12, 3}, 0},
+    // FEAT_S1POE overlay register and the RME GPT base (see sysreg.h).
+    {SysReg::kPorEl0, "POR_EL0", {3, 3, 10, 2, 4}, 0},
+    {SysReg::kGptbrEl3, "GPTBR_EL3", {3, 6, 2, 1, 4}, 2},
 }};
 
 const std::unordered_map<u16, SysReg>& reverse_map() {

@@ -81,6 +81,14 @@ enum class SysReg : u8 {
   kPmccfiltrEl0,
   kPmevcntr0El0, kPmevcntr1El0, kPmevcntr2El0, kPmevcntr3El0,
   kPmevtyper0El0, kPmevtyper1El0, kPmevtyper2El0, kPmevtyper3El0,
+  // Permission Overlay (FEAT_S1POE): per-thread overlay-key register used
+  // by the POE/MPK-flavour IsolationBackend. Sixteen 4-bit permission
+  // fields; a domain switch is a single MSR with no TLB maintenance.
+  kPorEl0,
+  // RME Granule Protection Table base (GPTBR_EL3), used by the CCA-flavour
+  // backend. The model has no EL3; the EL2 host stands in for the monitor,
+  // so min_el is 2 and writes are only ever issued from host context.
+  kGptbrEl3,
   kCount,
 };
 

@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 
+#include "baselines/backends.h"
 #include "check/shadow.h"
 #include "lightzone/api.h"
 #include "support/rng.h"
@@ -46,15 +47,21 @@ void fuzz_stream(const FuzzConfig& cfg, Env& env, Stream& st, unsigned s,
   auto& machine = *env.machine;
   auto& lz = *st.lz;
   auto& shadow = *st.shadow;
-  auto& module = lz.module();
-  auto& ctx = lz.ctx();
-  auto& core = machine.core(core_id);
+  const bool live = cfg.backend == core::BackendKind::kTtbrPan;
 
-  lz.enter_world();
-  core.pstate().el = arch::ExceptionLevel::kEl1;
-  core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
-  core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
-  core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+  if (live) {
+    // The live module executes real gate code at EL1 in the process's own
+    // translation regime; the model backends only charge the clock, so
+    // they need no world entry or register state.
+    auto& module = lz.module();
+    auto& ctx = lz.ctx();
+    auto& core = machine.core(core_id);
+    lz.enter_world();
+    core.pstate().el = arch::ExceptionLevel::kEl1;
+    core.set_sysreg(sim::SysReg::kTtbr0El1, module.domain_ttbr(ctx, 0));
+    core.set_sysreg(sim::SysReg::kTtbr1El1, ctx.ctx.ttbr1);
+    core.set_sysreg(sim::SysReg::kVbarEl1, ctx.ctx.vbar);
+  }
 
   // Stream-indexed seed: the op sequence must not depend on which core (or
   // how many cores) the stream lands on.
@@ -133,7 +140,9 @@ void fuzz_stream(const FuzzConfig& cfg, Env& env, Stream& st, unsigned s,
         const bool want_write = rng.chance(0.5);
         const bool want_exec = rng.chance(0.2);
         record("touch", shadow.touch(va, want_write, want_exec),
-               module.touch_page(ctx, va, want_write, want_exec));
+               live ? lz.module().touch_page(lz.ctx(), va, want_write,
+                                             want_exec)
+                    : lz.backend().touch(va, want_write, want_exec));
         break;
       }
       case 6: {  // gate switch
@@ -153,7 +162,7 @@ void fuzz_stream(const FuzzConfig& cfg, Env& env, Stream& st, unsigned s,
     }
   }
 
-  lz.exit_world();
+  if (live) lz.exit_world();
 }
 
 }  // namespace
@@ -173,10 +182,11 @@ FuzzResult run_table2_fuzz(const FuzzConfig& cfg) {
   for (unsigned s = 0; s < streams; ++s) {
     const unsigned core = s % cfg.cores;
     sim::Machine::CoreBinding bind(machine, core);
-    auto& proc = env.new_process();
-    ss[s].lz.emplace(LzProc::enter(*env.module, proc, true, 1));
-    ss[s].shadow.emplace(ss[s].lz->ctx().opts().max_gates,
-                         /*allow_scalable=*/true);
+    // make_backend_proc reduces to LzProc::enter for kTtbrPan, so the live
+    // path's table layout is bit-for-bit what it was before backends.
+    ss[s].lz.emplace(baseline::make_backend_proc(cfg.backend, env));
+    ss[s].shadow.emplace(ss[s].lz->backend().max_gates(),
+                         /*allow_scalable=*/true, cfg.backend);
     ss[s].shadow->add_vma(Env::kCodeVa, Env::kCodeVa + Env::kCodeLen,
                           /*write=*/false, /*exec=*/true);
     ss[s].shadow->add_vma(Env::kHeapVa, Env::kHeapVa + Env::kHeapLen,
@@ -195,6 +205,7 @@ FuzzResult run_table2_fuzz(const FuzzConfig& cfg) {
   env.kern().schedule();
 
   FuzzResult out;
+  out.backend = cfg.backend;
   out.counters = env.counters_delta();
   u64 h = 1469598103934665603ULL;  // FNV-1a offset basis
   constexpr u64 kPrime = 1099511628211ULL;
@@ -210,6 +221,19 @@ FuzzResult run_table2_fuzz(const FuzzConfig& cfg) {
   }
   out.status_hash = h;
   return out;
+}
+
+std::vector<std::string> diff_fuzz_counters(const FuzzResult& a,
+                                            const FuzzResult& b,
+                                            const IgnoreFn& ignore) {
+  if (a.backend != b.backend) {
+    return {std::string("backend mismatch: cannot compare counters from "
+                        "--backend ") +
+            core::to_string(a.backend) + " against --backend " +
+            core::to_string(b.backend) +
+            "; rerun both sides with the same backend"};
+  }
+  return diff_counters(a.counters, b.counters, ignore);
 }
 
 }  // namespace lz::check

@@ -21,9 +21,11 @@
 // ShadowTable2::gate_runnable), which would end the stream early.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "check/check.h"
+#include "lightzone/backend.h"
 #include "obs/counters.h"
 #include "support/types.h"
 
@@ -42,9 +44,15 @@ struct FuzzConfig {
   unsigned streams = 0;  // op streams (processes); 0 = one per core
   int ops_per_stream = 1000;
   const arch::Platform* platform = nullptr;  // null = Cortex-A55
+  // Which IsolationBackend the streams exercise. kTtbrPan fuzzes the live
+  // module (plus the in-build TLB oracle); the others fuzz their cost-model
+  // backend through the identical op generator, with the shadow carrying
+  // the matching backend tag.
+  core::BackendKind backend = core::BackendKind::kTtbrPan;
 };
 
 struct FuzzResult {
+  core::BackendKind backend = core::BackendKind::kTtbrPan;
   u64 total_ops = 0;  // generated ops, including skipped ones
   u64 skipped = 0;    // unrunnable-but-valid gate switches not executed
   u64 status_hash = 0;  // FNV-1a over all status streams, in stream order
@@ -54,5 +62,14 @@ struct FuzzResult {
 };
 
 FuzzResult run_table2_fuzz(const FuzzConfig& cfg);
+
+// Counter diff between two fuzz runs. Counter streams are only comparable
+// between runs of the SAME backend (mechanisms bump different counters in
+// different amounts by design), so a cross-backend comparison returns a
+// single clear "backend mismatch" line instead of pages of spurious
+// counter divergence. Same-backend runs forward to check::diff_counters.
+std::vector<std::string> diff_fuzz_counters(const FuzzResult& a,
+                                            const FuzzResult& b,
+                                            const IgnoreFn& ignore = nullptr);
 
 }  // namespace lz::check

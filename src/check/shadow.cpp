@@ -10,9 +10,11 @@ namespace {
 constexpr int kPgtAll = -1;
 }  // namespace
 
-ShadowTable2::ShadowTable2(u32 max_gates, bool allow_scalable)
+ShadowTable2::ShadowTable2(u32 max_gates, bool allow_scalable,
+                           core::BackendKind backend)
     : max_gates_(max_gates),
       allow_scalable_(allow_scalable),
+      backend_(backend),
       gates_(max_gates) {
   pgts_.push_back(1);  // lz_enter allocates pgt 0, the default domain
 }
@@ -33,7 +35,11 @@ ShadowTable2::AllocOutcome ShadowTable2::alloc() {
       break;
     }
   }
-  if (id >= (u64{1} << 16)) return {Errc::kResourceExhausted, -1};
+  // Per-backend domain cap: four DBGW pairs give the Watchpoint baseline
+  // sixteen arena slots; every other mechanism scales to the 2^16 id space.
+  const u64 cap =
+      backend_ == core::BackendKind::kWatchpoint ? 16 : (u64{1} << 16);
+  if (id >= cap) return {Errc::kResourceExhausted, -1};
   if (id == pgts_.size()) pgts_.push_back(0);
   pgts_[id] = 1;
   return {Errc::kOk, static_cast<int>(id)};

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "lightzone/backend.h"
 #include "support/status.h"
 #include "support/types.h"
 
@@ -26,7 +27,15 @@ class ShadowTable2 {
     bool write = false, exec = false;
   };
 
-  ShadowTable2(u32 max_gates, bool allow_scalable);
+  // The backend tag selects the one place validation is backend-specific:
+  // the domain cap lz_alloc exhausts at (16 for the Watchpoint baseline's
+  // four DBGW pairs, 2^16 everywhere else). It also labels fuzz results so
+  // counter comparisons across different backends are rejected instead of
+  // reported as spurious divergence (fuzz.h).
+  ShadowTable2(u32 max_gates, bool allow_scalable,
+               core::BackendKind backend = core::BackendKind::kTtbrPan);
+
+  core::BackendKind backend() const { return backend_; }
 
   void add_vma(u64 start, u64 end, bool write, bool exec);
 
@@ -76,6 +85,7 @@ class ShadowTable2 {
 
   u32 max_gates_;
   bool allow_scalable_;
+  core::BackendKind backend_;
   std::vector<char> pgts_;  // slot i = pgt id i live? (slot 0: default table)
   std::vector<Gate> gates_;
   std::vector<Region> regions_;

@@ -2,7 +2,8 @@
 
 namespace lz::core {
 
-Env::Env(const Options& opts) : placement(opts.placement_) {
+Env::Env(const Options& opts)
+    : placement(opts.placement_), backend(opts.backend_) {
   // Snapshot before construction: wiring the machine/host registers (and
   // possibly bumps) counters, and those belong to this scenario's delta.
   obs_baseline_ = obs::registry().snapshot();
@@ -51,7 +52,7 @@ LzProc LzProc::enter(LzModule& module, kernel::Process& proc,
   opts.sanitize = insn_san != 0;
   opts.san_mode = insn_san == 2 ? SanitizeMode::kPan : SanitizeMode::kTtbr;
   LzContext& ctx = module.enter(proc, opts);
-  return LzProc(module, ctx);
+  return LzProc(std::make_shared<TtbrPanBackend>(module, ctx), module, ctx);
 }
 
 namespace table2 {
@@ -73,23 +74,20 @@ int errno_of(const Status& s) {
   }
 }
 
-int lz_alloc(LzProc& p) {
-  const auto r = p.lz_alloc();
-  return r.is_ok() ? *r : errno_of(r.status());
-}
+int lz_alloc(LzProc& p) { return to_c_int(p.lz_alloc()); }
 
-int lz_free(LzProc& p, int pgt) { return errno_of(p.lz_free(pgt)); }
+int lz_free(LzProc& p, int pgt) { return to_c_int(p.lz_free(pgt)); }
 
 int lz_prot(LzProc& p, VirtAddr addr, u64 len, int pgt, u32 perm) {
-  return errno_of(p.lz_prot(addr, len, pgt, perm));
+  return to_c_int(p.lz_prot(addr, len, pgt, perm));
 }
 
 int lz_map_gate_pgt(LzProc& p, int pgt, int gate) {
-  return errno_of(p.lz_map_gate_pgt(pgt, gate));
+  return to_c_int(p.lz_map_gate_pgt(pgt, gate));
 }
 
 int lz_set_gate_entry(LzProc& p, int gate, VirtAddr entry) {
-  return errno_of(p.lz_set_gate_entry(gate, entry));
+  return to_c_int(p.lz_set_gate_entry(gate, entry));
 }
 
 }  // namespace table2

@@ -18,6 +18,7 @@
 
 #include <memory>
 
+#include "lightzone/backend.h"
 #include "lightzone/module.h"
 #include "obs/counters.h"
 
@@ -55,6 +56,13 @@ struct Env {
       mem_bytes_ = b;
       return *this;
     }
+    // Which IsolationBackend the scenario compares (--backend flag). The
+    // Env itself always loads the LightZone module; the backend selection
+    // is carried here so benches and the baseline factory agree on it.
+    Options& backend(BackendKind b) {
+      backend_ = b;
+      return *this;
+    }
 
    private:
     friend struct Env;
@@ -63,6 +71,7 @@ struct Env {
     u64 seed_ = 42;
     unsigned cores_ = 1;
     u64 mem_bytes_ = u64{4} << 30;
+    BackendKind backend_ = BackendKind::kTtbrPan;
   };
 
   explicit Env(const Options& opts);
@@ -93,6 +102,7 @@ struct Env {
   std::unique_ptr<hv::GuestVm> vm;  // only for Placement::kGuest
   std::unique_ptr<LzModule> module;
   Placement placement;
+  BackendKind backend;
 
  private:
   obs::Snapshot obs_baseline_;
@@ -101,54 +111,78 @@ struct Env {
 class LzProc {
  public:
   // lz_enter(allow_scalable, insn_san): one-way ticket into the
-  // per-process virtual environment (§4.1.1).
+  // per-process virtual environment (§4.1.1). Always yields the real
+  // LightZone mechanism (a TtbrPanBackend over the kernel module).
   static LzProc enter(LzModule& module, kernel::Process& proc,
                       bool allow_scalable, int insn_san,
                       const LzOptions* overrides = nullptr);
 
+  // An LzProc speaking any other IsolationBackend (POE, CCA, Watchpoint,
+  // lwC cost models — see baselines/backends.h). Table-2 verbs dispatch
+  // identically; the module()/ctx()/proc()/run() surface is TTBR-only.
+  explicit LzProc(std::shared_ptr<IsolationBackend> backend)
+      : backend_(std::move(backend)) {}
+
   // --- Table 2 ----------------------------------------------------------------
-  // Status-carrying forms. Error codes: kNoPgt (pgt id not live), kBadRange
-  // (unaligned/empty/overlapping range), kBadGate (gate id out of range),
-  // kNoGate (gate not fully registered), kResourceExhausted (table space).
-  Result<int> lz_alloc() { return module_->alloc_pgt(*ctx_); }
-  Status lz_free(int pgt) { return module_->free_pgt(*ctx_, pgt); }
+  // Status-carrying forms, dispatched through the selected backend. Error
+  // codes: kNoPgt (pgt id not live), kBadRange (unaligned/empty/overlapping
+  // range), kBadGate (gate id out of range), kNoGate (gate not fully
+  // registered), kResourceExhausted (table/key space).
+  Result<int> lz_alloc() { return backend_->alloc(); }
+  Status lz_free(int pgt) { return backend_->free_domain(pgt); }
   Status lz_prot(VirtAddr addr, u64 len, int pgt, u32 perm) {
-    return module_->prot(*ctx_, addr, len, pgt, perm);
+    return backend_->prot(addr, len, pgt, perm);
   }
   Status lz_map_gate_pgt(int pgt, int gate) {
-    return module_->map_gate_pgt(*ctx_, pgt, gate);
+    return backend_->map_gate_pgt(pgt, gate);
   }
   // Registers the gate's static legal entry (the return point after the
   // lz_switch_to_ttbr_gate macro; fixed before compilation, §6.2).
   Status lz_set_gate_entry(int gate, VirtAddr entry) {
-    return module_->set_gate_entry(*ctx_, gate, entry);
+    return backend_->set_gate_entry(gate, entry);
   }
 
-  // Executes the real call-gate instruction sequence; returns the cycles
-  // consumed on the calling core.
+  // Executes the domain switch (the real call-gate instruction sequence on
+  // the TTBR backend); returns the cycles consumed on the calling core.
   Result<Cycles> lz_switch_to_ttbr_gate(int gate) {
-    return module_->exec_gate_switch(*ctx_, gate);
+    return backend_->switch_to(gate);
   }
   // MSR PAN, #imm.
-  Cycles set_pan(bool pan) { return module_->exec_set_pan(*ctx_, pan); }
+  Cycles set_pan(bool pan) { return backend_->set_pan(pan); }
 
   // World management for benchmarks that drive switches directly.
-  void enter_world() { module_->enter_world(*ctx_); }
-  void exit_world() { module_->exit_world(*ctx_); }
+  void enter_world() { backend_->enter_world(); }
+  void exit_world() { backend_->exit_world(); }
 
   sim::RunResult run(u64 max_steps = 10'000'000) {
-    return module_->run(*ctx_, max_steps);
+    return module().run(ctx(), max_steps);
   }
 
-  LzContext& ctx() { return *ctx_; }
-  const LzContext& ctx() const { return *ctx_; }
-  LzModule& module() { return *module_; }
-  kernel::Process& proc() { return ctx_->proc(); }
+  IsolationBackend& backend() { return *backend_; }
+  const IsolationBackend& backend() const { return *backend_; }
+
+  // TTBR-backend-only accessors (the module/context only exist there).
+  LzContext& ctx() {
+    LZ_CHECK(ctx_ != nullptr);
+    return *ctx_;
+  }
+  const LzContext& ctx() const {
+    LZ_CHECK(ctx_ != nullptr);
+    return *ctx_;
+  }
+  LzModule& module() {
+    LZ_CHECK(module_ != nullptr);
+    return *module_;
+  }
+  kernel::Process& proc() { return ctx().proc(); }
 
  private:
-  LzProc(LzModule& module, LzContext& ctx) : module_(&module), ctx_(&ctx) {}
-  LzModule* module_;
-  LzContext* ctx_;
+  LzProc(std::shared_ptr<IsolationBackend> backend, LzModule& module,
+         LzContext& ctx)
+      : backend_(std::move(backend)), module_(&module), ctx_(&ctx) {}
+  std::shared_ptr<IsolationBackend> backend_;
+  LzModule* module_ = nullptr;  // non-null only for the TTBR+PAN backend
+  LzContext* ctx_ = nullptr;
 };
 
 // --- Table-2 C boundary ------------------------------------------------------
@@ -156,10 +190,29 @@ class LzProc {
 // a negative errno on failure (the same values the kernel module returns
 // through the forwarded-SVC path). New code should call the Status API on
 // LzProc directly; these exist for the C ABI only.
+//
+// Every shim funnels through one Status→int mapping (`errno_of` via
+// `to_c_int` below), so the translation cannot drift between verbs:
+//
+//   Errc                                  C return   errno
+//   ------------------------------------  ---------  --------
+//   kOk                                    0 / id     —
+//   kResourceExhausted                     -12        ENOMEM
+//   kPermissionDenied, kFailedPrecondition -1         EPERM
+//   kNotFound                              -2         ENOENT
+//   kNoPgt, kBadRange, kBadGate, kNoGate,
+//   kInvalidArgument, everything else      -22        EINVAL
 namespace table2 {
 
 // Errc -> -errno translation used by every shim.
 int errno_of(const Status& s);
+
+// The single Status→int helper all five verbs share: a Status maps to its
+// errno; a Result<int> additionally carries the id on success.
+inline int to_c_int(const Status& s) { return errno_of(s); }
+inline int to_c_int(const Result<int>& r) {
+  return r.is_ok() ? *r : errno_of(r.status());
+}
 
 int lz_alloc(LzProc& p);  // >= 0 pgt id, or -errno
 int lz_free(LzProc& p, int pgt);

@@ -1,0 +1,49 @@
+#include "mem/gpt.h"
+
+namespace lz::mem {
+
+bool GranuleProtectionTable::delegated(u64 granule) const {
+  return entries_.find(granule) != entries_.end();
+}
+
+int GranuleProtectionTable::owner(u64 granule) const {
+  const auto it = entries_.find(granule);
+  return it == entries_.end() ? -1 : it->second.owner;
+}
+
+bool GranuleProtectionTable::delegate(u64 granule, int owner) {
+  auto& e = entries_[granule];
+  if (e.owner == owner) return false;
+  e.owner = owner;
+  e.walked = false;  // transition invalidates the cached GPC result
+  ++delegations_;
+  return true;
+}
+
+bool GranuleProtectionTable::undelegate(u64 granule) {
+  const auto it = entries_.find(granule);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++undelegations_;
+  return true;
+}
+
+std::vector<u64> GranuleProtectionTable::owned_by(int owner) const {
+  std::vector<u64> out;
+  for (const auto& [granule, e] : entries_) {
+    if (e.owner == owner) out.push_back(granule);
+  }
+  return out;
+}
+
+bool GranuleProtectionTable::needs_walk(u64 granule) const {
+  const auto it = entries_.find(granule);
+  return it != entries_.end() && !it->second.walked;
+}
+
+void GranuleProtectionTable::mark_walked(u64 granule) {
+  const auto it = entries_.find(granule);
+  if (it != entries_.end()) it->second.walked = true;
+}
+
+}  // namespace lz::mem

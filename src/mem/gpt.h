@@ -1,0 +1,56 @@
+// Granule Protection Table bookkeeping (RME / CCA flavour).
+//
+// Tracks which 4 KiB granules have been delegated to which protection
+// domain, and which delegated granules still owe a granule-protection-check
+// (GPC) walk: delegation and undelegation invalidate the granule's cached
+// GPC result, so the first access afterwards fetches the GPT entry again.
+// This class is pure bookkeeping — the CCA-flavour IsolationBackend
+// (baselines/cca.h) charges the cycles (Platform::gpt_delegate /
+// gpt_undelegate / gpt_walk) at its call sites.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "support/types.h"
+
+namespace lz::mem {
+
+class GranuleProtectionTable {
+ public:
+  static u64 granule_of(VirtAddr va) { return va >> kPageShift; }
+
+  bool delegated(u64 granule) const;
+  // Owning domain id, or -1 when the granule is in the normal PAS.
+  int owner(u64 granule) const;
+
+  // Move a granule into `owner`'s protected PAS. Returns true when the GPT
+  // actually changed (false: already delegated to this owner). Delegation
+  // to a granule another domain owns re-delegates it — the monitor does
+  // not arbitrate domain policy, the caller's validation does.
+  bool delegate(u64 granule, int owner);
+  // Return a granule to the normal PAS. False when it was not delegated.
+  bool undelegate(u64 granule);
+
+  // Granules currently delegated to `owner`, in ascending granule order
+  // (deterministic — the undelegate sweep in lz_free iterates this).
+  std::vector<u64> owned_by(int owner) const;
+
+  // GPC-walk tracking: true while the granule's cached check is invalid.
+  bool needs_walk(u64 granule) const;
+  void mark_walked(u64 granule);
+
+  u64 delegations() const { return delegations_; }
+  u64 undelegations() const { return undelegations_; }
+
+ private:
+  struct Entry {
+    int owner = -1;
+    bool walked = false;
+  };
+  std::map<u64, Entry> entries_;  // ordered: owned_by is deterministic
+  u64 delegations_ = 0;
+  u64 undelegations_ = 0;
+};
+
+}  // namespace lz::mem

@@ -966,6 +966,7 @@ Cycles Core::sysreg_write_cost(SysReg r) const {
     case SysReg::kHcrEl2: return plat_.sysreg_write_hcr;
     case SysReg::kVttbrEl2: return plat_.sysreg_write_vttbr;
     case SysReg::kTtbr0El1: return plat_.sysreg_write_ttbr0;
+    case SysReg::kPorEl0: return plat_.sysreg_write_por;
     default:
       if (arch::is_watchpoint_reg(r)) return plat_.dbg_reg_write;
       return plat_.sysreg_write;

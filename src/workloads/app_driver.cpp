@@ -18,6 +18,8 @@ const char* to_string(Mechanism mech) {
     case Mechanism::kLzTtbr: return "LightZone-TTBR";
     case Mechanism::kWatchpoint: return "Watchpoint";
     case Mechanism::kLwc: return "lwC";
+    case Mechanism::kPoe: return "POE-keys";
+    case Mechanism::kCca: return "CCA-GPT";
   }
   return "?";
 }
@@ -99,6 +101,11 @@ AppDriver::AppDriver(const AppConfig& config) : config_(config) {
     case Mechanism::kLwc:
       lwc_ = std::make_unique<baseline::LwcIsolation>(*env_->host,
                                                       env_->vm.get());
+      break;
+    case Mechanism::kPoe:
+    case Mechanism::kCca:
+      // Deferred to setup_domains: the backend's gate table is sized to
+      // the domain count the workload asks for.
       break;
   }
 }
@@ -182,6 +189,32 @@ void AppDriver::setup_domains(VirtAddr base, u64 slot, int count) {
       populate_and_enter_el0();
       return;
     }
+    case Mechanism::kPoe:
+    case Mechanism::kCca: {
+      backend_ = baseline::make_backend(
+          config_.mech == Mechanism::kPoe ? core::BackendKind::kPoe
+                                          : core::BackendKind::kCca,
+          *env_, static_cast<u32>(std::max(count + 1, 256)));
+      backend_->add_vma(base, base + static_cast<u64>(count) * slot,
+                        /*write=*/true, /*exec=*/false);
+      // Gate 0 returns to the default domain; domain d sits behind gate
+      // d+1, mirroring the TTBR layout so switch patterns compare 1:1.
+      LZ_CHECK_OK(backend_->map_gate_pgt(0, 0));
+      LZ_CHECK_OK(backend_->set_gate_entry(0, Env::kCodeVa + 0x40));
+      for (int d = 0; d < count; ++d) {
+        const VirtAddr va = base + static_cast<u64>(d) * slot;
+        const int pgt = backend_->alloc().value();
+        LZ_CHECK(pgt >= 1);
+        LZ_CHECK_OK(backend_->prot(va, slot, pgt,
+                                   core::kLzRead | core::kLzWrite));
+        LZ_CHECK_OK(backend_->map_gate_pgt(pgt, d + 1));
+        LZ_CHECK_OK(backend_->set_gate_entry(d + 1, Env::kCodeVa + 0x40));
+        LZ_CHECK_OK(backend_->touch(va, /*want_write=*/true,
+                                    /*want_exec=*/false));
+      }
+      populate_and_enter_el0();
+      return;
+    }
   }
 }
 
@@ -222,6 +255,9 @@ Cycles AppDriver::enter_domain(int domain) {
       return wp_->switch_to(domain % protected_domains());
     case Mechanism::kLwc:
       return lwc_->switch_to(domain);
+    case Mechanism::kPoe:
+    case Mechanism::kCca:
+      return backend_->switch_to(domain + 1).value();
   }
   return 0;
 }
@@ -240,6 +276,11 @@ Cycles AppDriver::exit_domain(int domain) {
       return wp_->exit_domains();
     case Mechanism::kLwc:
       return lwc_->switch_to(0);
+    case Mechanism::kPoe:
+    case Mechanism::kCca:
+      // Returning to the default domain revokes access (POR reset / GPT
+      // base back to the shared view).
+      return backend_->switch_to(0).value();
   }
   return 0;
 }
@@ -261,6 +302,13 @@ Cycles AppDriver::domain_setup_cost() const {
     case Mechanism::kLwc:
       // lwCreate is a heavyweight fork-like call.
       return 3 * syscall_cost_ + 400 * plat.insn_base;
+    case Mechanism::kPoe:
+      // One setup call + per-page PTE overlay-index re-tags.
+      return syscall_cost_ + 16 * plat.mem_access;
+    case Mechanism::kCca:
+      // The SMC to the monitor plus the granule delegation itself
+      // dominates everything else in domain creation.
+      return syscall_cost_ + plat.gpt_delegate;
   }
   return 0;
 }
@@ -287,6 +335,11 @@ Cycles AppDriver::tlb_miss_cost(bool huge_pages) const {
     // Nested TLB pressure: the guest kernel's VM and the LightZone VM
     // compete for TLB and walk-cache capacity.
     cost *= 2;
+  }
+  if (config_.mech == Mechanism::kCca) {
+    // Every TLB fill under RME also checks the granule's protection
+    // state; a GPC-TLB miss walks the GPT.
+    cost += plat.gpt_walk;
   }
   return cost;
 }

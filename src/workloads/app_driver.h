@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 
+#include "baselines/backends.h"
 #include "baselines/lwc.h"
 #include "baselines/watchpoint.h"
 #include "lightzone/api.h"
@@ -23,6 +24,8 @@ enum class Mechanism : u8 {
   kLzTtbr,      // LightZone, scalable TTBR isolation
   kWatchpoint,  // Watchpoint baseline [23]
   kLwc,         // simulated lwC [31]
+  kPoe,         // FEAT_S1POE overlay-key cost model (PoeBackend)
+  kCca,         // CCA granule-protection cost model (CcaBackend)
 };
 
 const char* to_string(Mechanism mech);
@@ -109,6 +112,9 @@ class AppDriver {
   std::optional<core::LzProc> lz_;
   std::unique_ptr<baseline::WatchpointIsolation> wp_;
   std::unique_ptr<baseline::LwcIsolation> lwc_;
+  // Cost-model backend for kPoe / kCca (created in setup_domains, which
+  // knows the gate count the arena needs).
+  std::shared_ptr<baseline::ModelBackend> backend_;
   kernel::Process* proc_ = nullptr;
   VirtAddr base_ = 0;
   u64 slot_ = 0;

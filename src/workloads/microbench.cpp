@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "baselines/backends.h"
 #include "baselines/lwc.h"
 #include "baselines/watchpoint.h"
 #include "lightzone/api.h"
@@ -428,6 +429,53 @@ double lwc_switch_avg_cycles(const arch::Platform& platform,
     env.machine->charge(sim::CostKind::kMem, platform.mem_access);
   }
   return static_cast<double>(env.machine->cycles() - start) / iters;
+}
+
+BackendSwitchResult backend_switch_avg_cycles(core::BackendKind kind,
+                                              const arch::Platform& platform,
+                                              Placement placement, int domains,
+                                              int iters, u64 seed) {
+  BackendSwitchResult out;
+  if (kind == core::BackendKind::kTtbrPan) {
+    out.avg_cycles =
+        lz_switch_avg_cycles(platform, placement, domains, iters, seed);
+    return out;
+  }
+  Env env(Env::Options()
+              .platform(platform)
+              .placement(placement == Placement::kHost
+                             ? Env::Placement::kHost
+                             : Env::Placement::kGuest)
+              .backend(kind));
+  auto be = baseline::make_backend(kind, env);
+  LZ_CHECK(domains >= 1 && domains <= be->max_domains());
+
+  const VirtAddr arena = Env::kHeapVa;
+  const VirtAddr entry = Env::kCodeVa + 0x40;
+  for (int d = 0; d < domains; ++d) {
+    const VirtAddr va = arena + static_cast<u64>(d) * kPageSize;
+    const int pgt = d == 0 ? 0 : be->alloc().value();
+    LZ_CHECK(pgt >= 0);
+    LZ_CHECK_OK(be->prot(va, kPageSize, pgt, core::kLzRead | core::kLzWrite));
+    LZ_CHECK_OK(be->map_gate_pgt(pgt, d));
+    LZ_CHECK_OK(be->set_gate_entry(d, entry));
+    LZ_CHECK_OK(be->touch(va, /*want_write=*/true, /*want_exec=*/false));
+  }
+
+  Rng rng(seed);
+  for (int d = 0; d < domains; ++d) {  // warm every domain once
+    LZ_CHECK(be->switch_to(d).is_ok());
+    (void)be->access(arena + static_cast<u64>(d) * kPageSize);
+  }
+  const Cycles start = env.machine->cycles();
+  for (int i = 0; i < iters; ++i) {
+    const int d = static_cast<int>(rng.below(domains));
+    LZ_CHECK(be->switch_to(d).is_ok());
+    (void)be->access(arena + static_cast<u64>(d) * kPageSize);
+  }
+  out.avg_cycles = static_cast<double>(env.machine->cycles() - start) / iters;
+  out.stats = be->stats();
+  return out;
 }
 
 }  // namespace lz::workload

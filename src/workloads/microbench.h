@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "arch/platform.h"
+#include "lightzone/backend.h"
 #include "support/types.h"
 
 namespace lz::workload {
@@ -67,5 +68,24 @@ double watchpoint_switch_avg_cycles(const arch::Platform& platform,
 double lwc_switch_avg_cycles(const arch::Platform& platform,
                              Placement placement, int domains,
                              int iters = 10'000, u64 seed = 42);
+
+// The Table-5 program over any IsolationBackend: identical setup
+// (alloc/prot/map_gate_pgt/set_gate_entry/touch per domain) and the same
+// randomly-switch-and-access loop, driven through the backend verbs.
+// kTtbrPan delegates to lz_switch_avg_cycles — the live module run — so
+// the default backend's numbers stay bit-for-bit the published goldens;
+// the model backends charge their mechanism's costs (POR_EL0 writes, GPT
+// walks, watchpoint reprogramming) into the same ledger. `stats` carries
+// the mechanism-specific totals accumulated over the whole run (empty for
+// kTtbrPan).
+struct BackendSwitchResult {
+  double avg_cycles = 0;
+  core::BackendStats stats;
+};
+BackendSwitchResult backend_switch_avg_cycles(core::BackendKind kind,
+                                              const arch::Platform& platform,
+                                              Placement placement, int domains,
+                                              int iters = 10'000,
+                                              u64 seed = 42);
 
 }  // namespace lz::workload
