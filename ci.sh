@@ -100,6 +100,15 @@ build/bench/report_check "$smp_a"
 build/bench/fuzz_table2 --seed 1 --cores 4 --ops 2600
 build/bench/fuzz_table2 --seed 20260805 --cores 2 --ops 1500
 
+# Encoded-A64 stream fuzz gate (DESIGN.md section 15): >=10k seeded
+# instruction streams through the full entry/sanitizer/gate/fault path with
+# the break-before-make and TLB-vs-walk oracles armed. Each invocation runs
+# its streams twice on the requested topology (byte-identical replay) and
+# once on 1 core (same outcomes, counters modulo the SMP-variant set); any
+# oracle divergence aborts with a flight-recorder dump.
+build/bench/fuzz_a64 --seed 1 --cores 4 --streams 2000
+build/bench/fuzz_a64 --seed 20260808 --cores 2 --streams 1500
+
 # Backend matrix (DESIGN.md section 14): every IsolationBackend runs the
 # Table-5 program and a fuzz smoke through the identical op generator. The
 # ttbr_pan leg is the refactor gate — routing the verbs through the
@@ -147,12 +156,12 @@ build/bench/lz_report BENCH_throughput.json \
 
 # TSan build: the SMP scheduler, per-core TLB shootdown, obs counters, the
 # lock-free hot path (L0 generations, PhysMem radix, batched flushes), the
-# PMU/profiler/histogram instruments and the concurrent fuzz driver must be
-# clean under the thread sanitizer.
+# PMU/profiler/histogram instruments, the BBM write-protocol monitor and
+# both concurrent fuzz drivers must be clean under the thread sanitizer.
 cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
 cmake --build build-tsan --target smp_test obs_test obs_v3_test \
   hotpath_test histogram_test profiler_test pmu_test backend_test \
-  fuzz_table2 throughput
+  bbm_test fuzz_table2 fuzz_a64 throughput
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
 build-tsan/tests/obs_v3_test
@@ -161,7 +170,9 @@ build-tsan/tests/histogram_test
 build-tsan/tests/profiler_test
 build-tsan/tests/pmu_test
 build-tsan/tests/backend_test
+build-tsan/tests/bbm_test
 build-tsan/bench/fuzz_table2 --seed 3 --cores 4 --ops 400
+build-tsan/bench/fuzz_a64 --seed 3 --cores 4 --streams 200
 build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 
 # ASan build: the fuzz driver exercises free/refault paths hard (it is
@@ -169,9 +180,10 @@ build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 # memory-clean under the address sanitizer, and sweep the new observability
 # instruments for leaks and overruns too.
 cmake -B build-asan -G Ninja -DLZ_SANITIZE=address >/dev/null
-cmake --build build-asan --target fuzz_table2 check_test hotpath_test \
-  histogram_test profiler_test pmu_test obs_v3_test backend_test
+cmake --build build-asan --target fuzz_table2 fuzz_a64 check_test bbm_test \
+  hotpath_test histogram_test profiler_test pmu_test obs_v3_test backend_test
 build-asan/tests/check_test
+build-asan/tests/bbm_test
 build-asan/tests/hotpath_test
 build-asan/tests/histogram_test
 build-asan/tests/profiler_test
@@ -179,5 +191,6 @@ build-asan/tests/pmu_test
 build-asan/tests/obs_v3_test
 build-asan/tests/backend_test
 build-asan/bench/fuzz_table2 --seed 5 --cores 4 --ops 600
+build-asan/bench/fuzz_a64 --seed 5 --cores 4 --streams 200
 
 echo "ci.sh: OK"

@@ -1,0 +1,116 @@
+// Break-before-make write-protocol oracle (DESIGN.md §15).
+//
+// BbmMonitor implements mem::PteWriteObserver and replays Casemate's
+// per-location automaton over the descriptor-store / TLBI / DSB stream the
+// mem and sim layers publish:
+//
+//   kValid --(write invalid)--> kInvalidUnclean
+//     --(covering broadcast TLBI)--> kInvalidTlbied
+//     --(DSB)--> kInvalidClean --(write valid)--> kValid
+//
+// Any write of a valid descriptor over a location that is not clean — a
+// remap while a stale translation may still be cached, an in-place
+// permission tightening, an in-place output-address change — is reported
+// through check::report as a fail-stop divergence:
+//
+//   bbm.remap_unclean     valid write over a broken-but-not-invalidated loc
+//   bbm.remap_before_dsb  TLBI issued but remap raced ahead of the DSB
+//   bbm.tighten_in_place  valid->valid write removing rights (mem/pte.h
+//                         s1_tightens / s2_tightens)
+//   bbm.oa_change         valid->valid write moving the output address
+//
+// Whether a TLBI covers a broken location follows the architectural scope
+// rules (see cover() in bbm.cpp and the table in DESIGN.md §15), keyed on
+// the (VA-page, ASID, VMID, global) identity captured from the descriptor
+// that was broken.
+//
+// Per-location state is keyed by (PhysMem*, descriptor PA) so the oracle is
+// exact under SMP and across address spaces; table-free and PhysMem-
+// teardown notifications retire state before a PA can recycle. The monitor
+// charges zero simulated cycles and registers no obs counters (the lazily
+// created check.divergence counter only appears if it actually fires), so
+// golden bench reports stay byte-identical with the oracle armed.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "mem/pte_observer.h"
+#include "support/types.h"
+
+namespace lz::check {
+
+class BbmMonitor : public mem::PteWriteObserver {
+ public:
+  // Plain struct, not obs counters: the monitor must not perturb reports.
+  struct Stats {
+    u64 writes = 0;
+    u64 tlbis = 0;
+    u64 dsbs = 0;
+    u64 violations = 0;
+  };
+
+  // Process-wide singleton + registration with the mem-layer hook. install()
+  // is idempotent; uninstall() only detaches if this monitor is installed.
+  static BbmMonitor& instance();
+  static void install();
+  static void uninstall();
+  static bool installed();
+
+  Stats stats() const;
+  // Drops all per-location state and zeroes stats (test isolation).
+  void reset();
+
+  // mem::PteWriteObserver. All hooks are no-ops while check::enabled() is
+  // false, mirroring the TLB-vs-walk oracle's runtime switch.
+  void on_pte_write(const mem::PteWrite& w) override;
+  void on_tlbi(const mem::TlbiEvent& e) override;
+  void on_dsb() override;
+  void on_table_free(const mem::PhysMem* pm, PhysAddr table_pa) override;
+  void on_phys_mem_destroyed(const mem::PhysMem* pm) override;
+
+ private:
+  enum class LocState : u8 {
+    kValid,           // live descriptor
+    kInvalidUnclean,  // broken, no covering TLBI seen yet
+    kInvalidTlbied,   // covering TLBI seen, DSB still outstanding
+    kInvalidClean,    // safe to remap
+  };
+
+  struct Key {
+    const mem::PhysMem* pm = nullptr;
+    PhysAddr desc_pa = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // FNV-style mix; descriptor PAs are 8-byte aligned so fold the
+      // alignment bits out before mixing.
+      u64 h = reinterpret_cast<u64>(k.pm) * 0x9e3779b97f4a7c15ULL;
+      h ^= (k.desc_pa >> 3) * 1099511628211ULL;
+      return static_cast<std::size_t>(h ^ (h >> 29));
+    }
+  };
+
+  // Identity a TLBI must cover, captured from the descriptor that was
+  // live at this location when it was broken.
+  struct Loc {
+    LocState state = LocState::kInvalidClean;
+    bool stage2 = false;
+    bool global = false;  // stage-1 nG=0: ASID-scoped TLBIs never cover it
+    u64 vpage = 0;
+    u16 asid = 0;
+    u16 vmid = 0;
+  };
+
+  BbmMonitor() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Loc, KeyHash> locs_;
+  // Locations in kInvalidUnclean or kInvalidTlbied: lets on_tlbi/on_dsb
+  // skip the map scan entirely on the (overwhelmingly common) quiet path.
+  u64 pending_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lz::check

@@ -1,0 +1,73 @@
+// Encoded-A64 stream fuzzer (ISSUE 8 tentpole; LightEMU-style driving).
+//
+// Generates seeded streams of *encoded* A64 instruction words, writes each
+// stream into a fresh process's code page, enters the process into
+// LightZone, and executes it on the simulated core with every in-build
+// oracle armed — the break-before-make write-protocol monitor
+// (check::BbmMonitor) observing each PTE store the module performs on the
+// stream's behalf, and the TLB-vs-walk cross-check on every TLB hit.
+//
+// Streams are biased toward the surfaces the sanitizer (§6.3, Table 3) and
+// the secure gate (§6.2) care about:
+//   * sensitive system instructions — ERET, LDTR/STTR, MSR/MRS of
+//     privileged registers, TLBI, DC/IC SYS space — in "dirty" streams the
+//     static sanitizer must reject, and in unsanitized "wild" streams the
+//     runtime traps must catch;
+//   * gate-adjacent sequences — BR into gate entries, mid-gate offsets,
+//     unregistered gate ids, and wrong link registers the phase-2 check
+//     must land on BRK;
+//   * syscalls that force break-before-make table transitions — munmap,
+//     mprotect (tightening), and the Table-2 verbs via SVC.
+//
+// Determinism contract (same discipline as fuzz.h): a stream's instruction
+// words and its architectural outcome bytes depend only on (seed, stream
+// index), never on the machine topology or on physical frame placement —
+// so the same config replays byte-identically, the same streams on 1 core
+// match the N-core run, and a failing stream is reproduced exactly by
+// re-running its seed. Divergences reported by the armed oracles are
+// fail-stop (flight-recorder dump + abort) unless a capturing handler is
+// installed.
+#pragma once
+
+#include <vector>
+
+#include "check/check.h"
+#include "obs/counters.h"
+#include "support/types.h"
+
+namespace lz::arch {
+struct Platform;
+}  // namespace lz::arch
+
+namespace lz::check {
+
+struct FuzzA64Config {
+  u64 seed = 1;
+  unsigned cores = 1;    // simulated cores
+  unsigned streams = 0;  // instruction streams (processes); 0 = one per core
+  int insns_per_stream = 48;  // generator picks; each emits 1..~15 words
+  u64 max_steps = 400;        // per-stream execution budget (gate loops!)
+  const arch::Platform* platform = nullptr;  // null = Cortex-A55
+};
+
+struct FuzzA64Result {
+  u64 total_streams = 0;
+  u64 total_words = 0;         // encoded instruction words generated
+  u64 killed = 0;              // streams ending in a module/kernel kill
+  u64 sanitizer_rejects = 0;   // kills by the static sanitizer verdict
+  u64 exited = 0;              // streams reaching the exit syscall
+  // FNV-1a over all outcome streams, in stream order (0xFF separators).
+  u64 outcome_hash = 0;
+  // Per-stream architectural outcome bytes: mode, san level, stop reason,
+  // step count (lo, hi), alive flag, and a final byte folding the kill
+  // reason (killed) or the exit code (exited/running). Everything here is
+  // PA-independent by construction.
+  std::vector<std::vector<u8>> outcome_streams;
+  // The encoded words of every stream, for replay dumps on mismatch.
+  std::vector<std::vector<u32>> words;
+  obs::Snapshot counters;  // Env-scoped counter delta of the whole run
+};
+
+FuzzA64Result run_a64_fuzz(const FuzzA64Config& cfg);
+
+}  // namespace lz::check

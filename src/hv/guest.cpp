@@ -38,7 +38,13 @@ GuestVm::GuestVm(Host& host, std::string name)
   // exactly the memory the VM owns — nothing else is reachable.
   kern_ = std::make_unique<kernel::Kernel>(
       machine, "guest:" + name_, [this](PhysAddr pa) {
-        LZ_CHECK_OK(stage2_->map(pa, pa, mem::S2Attrs{}));
+        // The hook fires on *every* allocation, including frames recycled
+        // through the free list whose identity mapping is still in place —
+        // a blind map() would abort on kAlreadyExists the first time a
+        // guest process is torn down and its frames are reused.
+        if (!stage2_->lookup(pa).ok) {
+          LZ_CHECK_OK(stage2_->map(pa, pa, mem::S2Attrs{}));
+        }
       });
   // The guest's EL1&0 translations are tagged with this VM's VMID; the
   // kernel's break-before-make shootdowns must carry the same tag.

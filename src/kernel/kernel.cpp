@@ -42,7 +42,11 @@ Process::Process(Kernel& kernel, u32 pid, u16 asid)
           kernel.machine().mem(), asid,
           mem::FrameOps{[&kernel] { return kernel.alloc_frame(); },
                         [&kernel](PhysAddr pa) { kernel.free_frame(pa); },
-                        /*to_ipa=*/nullptr, /*to_pa=*/nullptr})) {}
+                        /*to_ipa=*/nullptr, /*to_pa=*/nullptr})) {
+  // The kernel's break-before-make shootdowns name (ASID, tlb_vmid); tag
+  // the table so the BBM write-protocol oracle matches that scope.
+  pgt_->set_vmid(kernel.tlb_vmid());
+}
 
 const Vma* Process::find_vma(VirtAddr va) const {
   for (const auto& vma : vmas_) {

@@ -1,9 +1,20 @@
 #include "lightzone/api.h"
 
+#ifdef LZ_CONF_CHECK
+#include "check/bbm.h"
+#endif
+
 namespace lz::core {
 
 Env::Env(const Options& opts)
     : placement(opts.placement_), backend(opts.backend_) {
+#ifdef LZ_CONF_CHECK
+  // Arm the break-before-make write-protocol oracle (DESIGN.md §15) for
+  // every scenario. It charges no simulated cycles and registers no obs
+  // counters while quiet, so golden reports stay byte-identical; any PTE
+  // store that violates the protocol is a fail-stop divergence.
+  check::BbmMonitor::install();
+#endif
   // Snapshot before construction: wiring the machine/host registers (and
   // possibly bumps) counters, and those belong to this scenario's delta.
   obs_baseline_ = obs::registry().snapshot();

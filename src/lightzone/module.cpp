@@ -1,5 +1,6 @@
 #include "lightzone/module.h"
 
+#include <optional>
 #include <span>
 
 #include "obs/counters.h"
@@ -30,6 +31,16 @@ constexpr std::size_t kDeferredAccesses = 6;
 
 LzContext* ctx_of(kernel::Process& proc) {
   return dynamic_cast<LzContext*>(proc.extension());
+}
+
+// Unmap `va` from `tbl`, tolerating only "not mapped": a page may
+// legitimately be absent from a sibling domain table, but any other unmap
+// failure means a live translation could not be retired — callers must
+// abort their transition rather than proceed with a stale alias.
+Status unmap_if_mapped(mem::Stage1Table& tbl, VirtAddr va) {
+  const Status s = tbl.unmap(va);
+  if (s.is_ok() || s.errc() == Errc::kNotFound) return Status::ok();
+  return s;
 }
 
 // LightZone-module events (`lz.module.*`).
@@ -118,7 +129,10 @@ mem::FrameOps LzContext::table_frame_ops() {
         return pa;
       },
       [cp, &kern](PhysAddr pa) {
-        (void)cp->stage2->unmap(cp->ipa_of(pa));
+        // Every table frame was stage-2-mapped at alloc, so the unmap can
+        // only fail if the tables desynchronised — fail loudly, a silent
+        // skip would leave the dead frame reachable read-only forever.
+        LZ_CHECK_OK(cp->stage2->unmap(cp->ipa_of(pa)));
         kern.free_frame(pa);
       },
       [cp](PhysAddr pa) { return cp->ipa_of(pa); },
@@ -271,6 +285,9 @@ Result<int> LzModule::alloc_pgt(LzContext& ctx) {
   const u16 asid = ctx.next_asid++;
   slot.tbl = std::make_unique<mem::Stage1Table>(machine().mem(), asid,
                                                 ctx.table_frame_ops());
+  // Tag the table with the stage-2 regime it runs under, so the BBM
+  // write-protocol oracle can match broadcast TLBI scopes against it.
+  slot.tbl->set_vmid(ctx.vmid);
   slot.in_use = true;
 
   // Copy already-resident unprotected pages so switching into this table
@@ -313,16 +330,21 @@ Status LzModule::free_pgt(LzContext& ctx, int pgt) {
       auto it = ctx.pages.find(page_index(va));
       if (it == ctx.pages.end()) continue;
       for (auto& d : ctx.pgts) {
-        if (d.in_use) (void)d.tbl->unmap(va);
+        if (d.in_use) LZ_RETURN_IF_ERROR(unmap_if_mapped(*d.tbl, va));
       }
       refault.push_back(va);
     }
     ctx.regions.erase(ctx.regions.begin() + static_cast<std::ptrdiff_t>(i));
   }
 
-  machine().tlbi_vmid_is(ctx.vmid);
+  // Releasing the table also retires each table frame's read-only stage-2
+  // mapping (table_frame_ops), so the broadcast must come *after* it: one
+  // VMID-scoped invalidation then covers the stage-1 detaches above and
+  // the stage-2 teardown alike, before any frame or fake address can be
+  // recycled by the next lz_alloc with different rights.
   ctx.pgts[pgt].tbl.reset();
   ctx.pgts[pgt].in_use = false;
+  machine().tlbi_vmid_is(ctx.vmid);
   for (const VirtAddr va : refault) {
     LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
   }
@@ -366,7 +388,7 @@ Status LzModule::prot(LzContext& ctx, VirtAddr addr, u64 len, int pgt,
     if (it == ctx.pages.end()) continue;
     it->second.is_protected = true;
     for (auto& d : ctx.pgts) {
-      if (d.in_use) (void)d.tbl->unmap(va);
+      if (d.in_use) LZ_RETURN_IF_ERROR(unmap_if_mapped(*d.tbl, va));
     }
     machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
     LZ_RETURN_IF_ERROR(fault_in_page(ctx, va, false, false));
@@ -402,6 +424,7 @@ void LzModule::build_upper_half(LzContext& ctx) {
   auto& pm = machine().mem();
   ctx.upper = std::make_unique<mem::Stage1Table>(pm, /*asid=*/0,
                                                  ctx.table_frame_ops());
+  ctx.upper->set_vmid(ctx.vmid);
 
   const mem::S1Attrs code_attrs{/*valid=*/true, /*user=*/false,
                                 /*read_only=*/true, /*uxn=*/true,
@@ -493,12 +516,33 @@ Status LzModule::map_page_in_table(LzContext& ctx, mem::Stage1Table& tbl,
                                    VirtAddr va,
                                    const LzContext::LzPage& page,
                                    const mem::S1Attrs& attrs) {
-  (void)ctx;
   const auto existing = tbl.lookup(va);
-  if (existing.ok) {
-    return tbl.protect(va, attrs);
+  if (!existing.ok) return tbl.map(va, page.ipa, attrs);
+  if (existing.attrs == attrs) return Status::ok();
+  if (mem::s1_tightens(existing.attrs, attrs)) {
+    // Removing rights (including global->nG) must break-before-make: a
+    // stale entry with the wider permissions may be cached on any core.
+    LZ_RETURN_IF_ERROR(tbl.unmap(va));
+    machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
+    return tbl.map(va, page.ipa, attrs);
   }
-  return tbl.map(va, page.ipa, attrs);
+  return tbl.protect(va, attrs);
+}
+
+Status LzModule::stage2_apply(LzContext& ctx, IntermAddr ipa, PhysAddr real,
+                              const mem::S2Attrs& s2) {
+  const auto cur = ctx.stage2->lookup(ipa);
+  if (!cur.ok) return ctx.stage2->map(ipa, real, s2);
+  if (cur.attrs == s2) return Status::ok();
+  if (mem::s2_tightens(cur.attrs, s2)) {
+    // The W^X transitions retire the stage-2 entry before re-faulting, so
+    // today this branch is defensive; keep it protocol-correct for any
+    // future caller that tightens a live entry directly.
+    LZ_RETURN_IF_ERROR(ctx.stage2->unmap(ipa));
+    machine().tlbi_vmid_is(ctx.vmid);
+    return ctx.stage2->map(ipa, real, s2);
+  }
+  return ctx.stage2->protect(ipa, s2);
 }
 
 Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
@@ -532,12 +576,17 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
   // W^X state machine with break-before-make (§6.3).
   if (want_exec && !page.exec_sanitized) {
     if (page.writable) {
-      // Break: remove every writable mapping before the sanitizer runs.
+      // Break: retire every writable mapping — the stage-1 aliases and the
+      // stage-2 write permission — before the sanitizer runs; the eager
+      // remap below re-establishes stage-2 without write. A failed unmap
+      // would leave a writable alias live across the verdict, so errors
+      // abort the exec transition instead of being discarded.
       for (auto& d : ctx.pgts) {
-        if (d.in_use) (void)d.tbl->unmap(va);
+        if (d.in_use) LZ_RETURN_IF_ERROR(unmap_if_mapped(*d.tbl, va));
       }
-      (void)ctx.stage2->protect(page.ipa,
-                                mem::S2Attrs{true, true, false, false});
+      if (ctx.stage2->lookup(page.ipa).ok) {
+        LZ_CHECK_OK(ctx.stage2->unmap(page.ipa));
+      }
       machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
       page.writable = false;
     }
@@ -549,9 +598,15 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
   }
   if (want_write && page.executable) {
     // JIT-style flip back to writable: the page loses execute rights and
-    // its sanitizer verdict.
+    // its sanitizer verdict. Same break discipline as the exec transition —
+    // in particular the stage-2 entry is retired here rather than having
+    // its execute bit stripped in place below, which would leave a stale
+    // executable translation live until the TLBI.
     for (auto& d : ctx.pgts) {
-      if (d.in_use) (void)d.tbl->unmap(va);
+      if (d.in_use) LZ_RETURN_IF_ERROR(unmap_if_mapped(*d.tbl, va));
+    }
+    if (ctx.stage2->lookup(page.ipa).ok) {
+      LZ_CHECK_OK(ctx.stage2->unmap(page.ipa));
     }
     machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
     page.executable = false;
@@ -595,29 +650,37 @@ Status LzModule::fault_in_page(LzContext& ctx, VirtAddr va, bool want_write,
     attachments.push_back({kPgtAll, a});
   }
 
+  // Coalesce to one final attribute set per table before touching any
+  // descriptor (last covering region wins, exactly the state the old
+  // apply-in-order loop converged to). Applying the intermediate states
+  // used to rewrite live PTEs once per region — and the second write
+  // tightens whenever a kPgtAll overlay precedes a domain region (e.g.
+  // dropping the global bit), which violates break-before-make.
+  std::vector<std::optional<mem::S1Attrs>> final_attrs(ctx.pgts.size());
   for (const auto& at : attachments) {
     if (at.pgt == kPgtAll) {
-      for (auto& d : ctx.pgts) {
-        if (d.in_use) LZ_RETURN_IF_ERROR(map_page_in_table(ctx, *d.tbl, va, page, at.attrs));
+      for (std::size_t i = 0; i < ctx.pgts.size(); ++i) {
+        if (ctx.pgts[i].in_use) final_attrs[i] = at.attrs;
       }
     } else {
       // free_pgt() dissolves a dead domain's regions, so an attachment can
       // only name a live table; fail loudly rather than walk a freed one.
       LZ_CHECK(ctx.pgts[at.pgt].in_use);
-      LZ_RETURN_IF_ERROR(
-          map_page_in_table(ctx, *ctx.pgts[at.pgt].tbl, va, page, at.attrs));
+      final_attrs[at.pgt] = at.attrs;
     }
+  }
+  for (std::size_t i = 0; i < ctx.pgts.size(); ++i) {
+    if (!final_attrs[i].has_value()) continue;
+    LZ_RETURN_IF_ERROR(map_page_in_table(ctx, *ctx.pgts[i].tbl, va, page,
+                                         *final_attrs[i]));
   }
 
   // Eagerly establish stage-2 during the stage-1 fault (§5.2) unless the
   // ablation disables it.
   if (ctx.opts().eager_stage2 || ctx.stage2->lookup(page.ipa).ok) {
-    const mem::S2Attrs s2{true, true, page.writable, page.executable};
-    if (ctx.stage2->lookup(page.ipa).ok) {
-      LZ_CHECK_OK(ctx.stage2->protect(page.ipa, s2));
-    } else {
-      LZ_CHECK_OK(ctx.stage2->map(page.ipa, page.real, s2));
-    }
+    LZ_CHECK_OK(stage2_apply(
+        ctx, page.ipa, page.real,
+        mem::S2Attrs{true, true, page.writable, page.executable}));
   }
   machine().tlbi_va_all_asid_is(page_index(va), ctx.vmid);
 
@@ -630,9 +693,11 @@ void LzModule::sync_unmap(LzContext& ctx, VirtAddr va) {
   auto it = ctx.pages.find(page_index(va));
   if (it == ctx.pages.end()) return;
   for (auto& d : ctx.pgts) {
-    if (d.in_use) (void)d.tbl->unmap(va);
+    if (d.in_use) LZ_CHECK_OK(unmap_if_mapped(*d.tbl, va));
   }
-  (void)ctx.stage2->unmap(it->second.ipa);
+  if (ctx.stage2->lookup(it->second.ipa).ok) {
+    LZ_CHECK_OK(ctx.stage2->unmap(it->second.ipa));
+  }
   if (ctx.opts().allow_scalable && ctx.opts().fake_phys) {
     ctx.fake.erase_real(it->second.real);
   }
@@ -819,21 +884,22 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
       // stage-2 fill.
       if (!ctx->opts().eager_stage2) {
         const u64 ipa = page_floor(info.ipa);
-        auto it = ctx->pages.find(page_index(
-            ctx->opts().fake_phys && ctx->opts().allow_scalable
-                ? ipa
-                : ipa));
-        // Find the page by IPA.
+        // Find the page by IPA and resync the stage-2 entry to the page's
+        // current rights. The entry may already exist with narrower
+        // permissions (a W^X transition widened the page since the fill):
+        // stage2_apply handles absent/stale entries alike, where a blind
+        // map() used to abort on kAlreadyExists. Only a fault on an entry
+        // that is already in sync is a real violation.
         for (auto& [vp, pg] : ctx->pages) {
-          if (page_floor(pg.ipa) == ipa) {
-            const mem::S2Attrs s2{true, true, pg.writable, pg.executable};
-            LZ_CHECK_OK(ctx->stage2->map(page_floor(pg.ipa), pg.real, s2));
-            machine().charge(CostKind::kDispatch, plat.dispatch_lz);
-            core.eret_from(ExceptionLevel::kEl2);
-            return TrapAction::kResume;
-          }
+          if (page_floor(pg.ipa) != ipa) continue;
+          const mem::S2Attrs s2{true, true, pg.writable, pg.executable};
+          const auto cur = ctx->stage2->lookup(page_floor(pg.ipa));
+          if (cur.ok && cur.attrs == s2) break;  // rights correct: escape
+          LZ_CHECK_OK(stage2_apply(*ctx, page_floor(pg.ipa), pg.real, s2));
+          machine().charge(CostKind::kDispatch, plat.dispatch_lz);
+          core.eret_from(ExceptionLevel::kEl2);
+          return TrapAction::kResume;
         }
-        (void)it;
       }
       return kill(*ctx, "stage-2 fault: access outside the process VM");
     }

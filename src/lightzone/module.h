@@ -226,6 +226,11 @@ class LzModule : public hv::TrapDelegate {
   Status map_page_in_table(LzContext& ctx, mem::Stage1Table& tbl, VirtAddr va,
                            const LzContext::LzPage& page,
                            const mem::S1Attrs& attrs);
+  // Bring the stage-2 entry for `ipa` to exactly `s2`, break-before-make:
+  // absent -> map, equal -> no-op, widening -> in-place protect, tightening
+  // -> unmap + broadcast TLBI + remap.
+  Status stage2_apply(LzContext& ctx, IntermAddr ipa, PhysAddr real,
+                      const mem::S2Attrs& s2);
   bool sanitize_page(LzContext& ctx, PhysAddr frame);
 
   // Build the upper half (stub, gates, GateTab/TTBRTab) for a new context.

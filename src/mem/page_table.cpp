@@ -1,5 +1,7 @@
 #include "mem/page_table.h"
 
+#include "mem/pte_observer.h"
+
 namespace lz::mem {
 
 VaRange classify_va(VirtAddr va) {
@@ -93,6 +95,15 @@ u64* Stage1Table::slot(PhysAddr table, unsigned index) const {
   return reinterpret_cast<u64*>(pm_.page_ptr(table)) + index;
 }
 
+void Stage1Table::write_desc(PhysAddr table, unsigned index, unsigned level,
+                             u64 in_addr, u64 new_desc) {
+  u64* d = slot(table, index);
+  const u64 old_desc = *d;
+  *d = new_desc;
+  notify_pte_write(PteWrite{/*stage2=*/false, &pm_, table + u64{index} * 8,
+                            in_addr, level, old_desc, new_desc, asid_, vmid_});
+}
+
 Status Stage1Table::walk_to_leaf(VirtAddr va, bool create,
                                  PhysAddr* leaf_table) {
   if (classify_va(va) == VaRange::kInvalid) {
@@ -104,7 +115,8 @@ Status Stage1Table::walk_to_leaf(VirtAddr va, bool create,
     if (!pte::valid(*d)) {
       if (!create) return err(Errc::kNotFound, "unmapped");
       const PhysAddr next = alloc_table_frame();
-      *d = pte::make_table(desc_addr(next));
+      write_desc(table, s1_index(va, level), level, page_floor(va),
+                 pte::make_table(desc_addr(next)));
     } else if (!pte::is_table(*d)) {
       return err(Errc::kInternal, "block descriptor in walk path");
     }
@@ -122,7 +134,8 @@ Status Stage1Table::map(VirtAddr va, u64 out_addr, const S1Attrs& attrs) {
   LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/true, &leaf));
   u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
   if (pte::valid(*d)) return err(Errc::kAlreadyExists, "page already mapped");
-  *d = pte::make_s1_page(out_addr, attrs);
+  write_desc(leaf, s1_index(va, kStage1Levels - 1), kStage1Levels - 1, va,
+             pte::make_s1_page(out_addr, attrs));
   return Status::ok();
 }
 
@@ -131,7 +144,8 @@ Status Stage1Table::unmap(VirtAddr va) {
   LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/false, &leaf));
   u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
   if (!pte::valid(*d)) return err(Errc::kNotFound, "page not mapped");
-  *d = 0;
+  write_desc(leaf, s1_index(va, kStage1Levels - 1), kStage1Levels - 1,
+             page_floor(va), 0);
   return Status::ok();
 }
 
@@ -140,7 +154,8 @@ Status Stage1Table::protect(VirtAddr va, const S1Attrs& attrs) {
   LZ_RETURN_IF_ERROR(walk_to_leaf(va, /*create=*/false, &leaf));
   u64* d = slot(leaf, s1_index(va, kStage1Levels - 1));
   if (!pte::valid(*d)) return err(Errc::kNotFound, "page not mapped");
-  *d = pte::make_s1_page(pte::addr(*d), attrs);
+  write_desc(leaf, s1_index(va, kStage1Levels - 1), kStage1Levels - 1,
+             page_floor(va), pte::make_s1_page(pte::addr(*d), attrs));
   return Status::ok();
 }
 
@@ -204,6 +219,10 @@ void Stage1Table::free_recursive(PhysAddr table, unsigned level) {
       }
     }
   }
+  // Dead-regime teardown: the frame is released with live descriptors in
+  // it, so the observer must retire its per-location state before the
+  // allocator hands the PA out again.
+  notify_table_free(&pm_, table);
   if (frame_ops_.free) {
     frame_ops_.free(table);
   } else {
@@ -218,15 +237,30 @@ Stage2Table::Stage2Table(PhysMem& pm, u16 vmid)
 
 Stage2Table::~Stage2Table() { free_recursive(root_, 0); }
 
+u64* Stage2Table::slot(PhysAddr table, unsigned index) const {
+  return reinterpret_cast<u64*>(pm_.page_ptr(table)) + index;
+}
+
+void Stage2Table::write_desc(PhysAddr table, unsigned index, unsigned level,
+                             u64 in_addr, u64 new_desc) {
+  u64* d = slot(table, index);
+  const u64 old_desc = *d;
+  *d = new_desc;
+  notify_pte_write(PteWrite{/*stage2=*/true, &pm_, table + u64{index} * 8,
+                            in_addr, level, old_desc, new_desc, /*asid=*/0,
+                            vmid_});
+}
+
 Status Stage2Table::walk_to_leaf(IntermAddr ipa, bool create,
                                  PhysAddr* leaf_table) {
   if (ipa >> kIpaBits) return err(Errc::kInvalidArgument, "IPA too large");
   PhysAddr table = root_;
   for (unsigned level = 0; level + 1 < kStage2Levels; ++level) {
-    auto* d = reinterpret_cast<u64*>(pm_.page_ptr(table)) + s2_index(ipa, level);
+    u64* d = slot(table, s2_index(ipa, level));
     if (!pte::valid(*d)) {
       if (!create) return err(Errc::kNotFound, "unmapped");
-      *d = pte::make_table(pm_.alloc_frame());
+      write_desc(table, s2_index(ipa, level), level + kStage2StartLevel,
+                 page_floor(ipa), pte::make_table(pm_.alloc_frame()));
     }
     table = pte::addr(*d);
   }
@@ -240,30 +274,30 @@ Status Stage2Table::map(IntermAddr ipa, PhysAddr pa, const S2Attrs& attrs) {
   }
   PhysAddr leaf{};
   LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/true, &leaf));
-  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
-            s2_index(ipa, kStage2Levels - 1);
+  u64* d = slot(leaf, s2_index(ipa, kStage2Levels - 1));
   if (pte::valid(*d)) return err(Errc::kAlreadyExists, "IPA already mapped");
-  *d = pte::make_s2_page(pa, attrs);
+  write_desc(leaf, s2_index(ipa, kStage2Levels - 1), kStage2LeafLevel, ipa,
+             pte::make_s2_page(pa, attrs));
   return Status::ok();
 }
 
 Status Stage2Table::unmap(IntermAddr ipa) {
   PhysAddr leaf{};
   LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/false, &leaf));
-  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
-            s2_index(ipa, kStage2Levels - 1);
+  u64* d = slot(leaf, s2_index(ipa, kStage2Levels - 1));
   if (!pte::valid(*d)) return err(Errc::kNotFound, "IPA not mapped");
-  *d = 0;
+  write_desc(leaf, s2_index(ipa, kStage2Levels - 1), kStage2LeafLevel,
+             page_floor(ipa), 0);
   return Status::ok();
 }
 
 Status Stage2Table::protect(IntermAddr ipa, const S2Attrs& attrs) {
   PhysAddr leaf{};
   LZ_RETURN_IF_ERROR(walk_to_leaf(ipa, /*create=*/false, &leaf));
-  auto* d = reinterpret_cast<u64*>(pm_.page_ptr(leaf)) +
-            s2_index(ipa, kStage2Levels - 1);
+  u64* d = slot(leaf, s2_index(ipa, kStage2Levels - 1));
   if (!pte::valid(*d)) return err(Errc::kNotFound, "IPA not mapped");
-  *d = pte::make_s2_page(pte::addr(*d), attrs);
+  write_desc(leaf, s2_index(ipa, kStage2Levels - 1), kStage2LeafLevel,
+             page_floor(ipa), pte::make_s2_page(pte::addr(*d), attrs));
   return Status::ok();
 }
 
@@ -282,7 +316,7 @@ void Stage2Table::count_frames(PhysAddr table, unsigned level,
   ++*count;
   if (level == kStage2Levels - 1) return;
   for (unsigned i = 0; i < 512; ++i) {
-    const u64 desc = *(reinterpret_cast<const u64*>(pm_.page_ptr(table)) + i);
+    const u64 desc = *slot(table, i);
     if (pte::is_table(desc)) count_frames(pte::addr(desc), level + 1, count);
   }
 }
@@ -290,10 +324,11 @@ void Stage2Table::count_frames(PhysAddr table, unsigned level,
 void Stage2Table::free_recursive(PhysAddr table, unsigned level) {
   if (level < kStage2Levels - 1) {
     for (unsigned i = 0; i < 512; ++i) {
-      const u64 desc = *(reinterpret_cast<const u64*>(pm_.page_ptr(table)) + i);
+      const u64 desc = *slot(table, i);
       if (pte::is_table(desc)) free_recursive(pte::addr(desc), level + 1);
     }
   }
+  notify_table_free(&pm_, table);
   pm_.free_frame(table);
 }
 

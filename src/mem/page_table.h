@@ -110,6 +110,11 @@ class Stage1Table {
   PhysAddr root() const { return root_; }
   u16 asid() const { return asid_; }
   void set_asid(u16 asid) { asid_ = asid; }
+  // VMID of the stage-2 regime this table runs under (0 when stage-2 is
+  // off). Only consumed by the PTE write-protocol observer, which needs it
+  // to judge whether a broadcast TLBI's (ASID, VMID) scope covers a store.
+  u16 vmid() const { return vmid_; }
+  void set_vmid(u16 vmid) { vmid_ = vmid; }
   u64 ttbr() const { return make_ttbr(root_, asid_); }
 
   // Map/unmap/change one 4 KiB page. `out_addr` is an IPA or PA depending
@@ -129,6 +134,10 @@ class Stage1Table {
 
  private:
   u64* slot(PhysAddr table, unsigned index) const;
+  // Every descriptor mutation funnels through here: it performs the store
+  // and publishes it to the installed PteWriteObserver (mem/pte_observer.h).
+  void write_desc(PhysAddr table, unsigned index, unsigned level,
+                  u64 in_addr, u64 new_desc);
   u64 desc_addr(PhysAddr pa) const {
     return frame_ops_.to_ipa ? frame_ops_.to_ipa(pa) : pa;
   }
@@ -148,6 +157,7 @@ class Stage1Table {
   FrameOps frame_ops_;
   PhysAddr root_;
   u16 asid_;
+  u16 vmid_ = 0;
 };
 
 // A stage-2 table (one VM / one confined LightZone process).
@@ -173,6 +183,11 @@ class Stage2Table {
   TableAddrMapper table_mapper() const;
 
  private:
+  // Same leaf-slot accessor shape as Stage1Table::slot — both walkers now
+  // share one provenance path into PhysMem::page_ptr.
+  u64* slot(PhysAddr table, unsigned index) const;
+  void write_desc(PhysAddr table, unsigned index, unsigned level,
+                  u64 in_addr, u64 new_desc);
   Status walk_to_leaf(IntermAddr ipa, bool create, PhysAddr* leaf_table);
   void free_recursive(PhysAddr table, unsigned level);
   void count_frames(PhysAddr table, unsigned level, u64* count) const;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "mem/pte_observer.h"
+
 namespace lz::mem {
 
 PhysMem::PhysMem(PhysAddr base, u64 size)
@@ -15,6 +17,10 @@ PhysMem::PhysMem(PhysAddr base, u64 size)
 }
 
 PhysMem::~PhysMem() {
+  // The address space is going away: any observer keying per-descriptor
+  // state on (this, pa) must drop it — a later PhysMem can reuse both the
+  // heap address and the physical addresses.
+  notify_phys_mem_destroyed(this);
   const u64 chunks = (radix_pages_ + kChunkPages - 1) / kChunkPages;
   for (u64 i = 0; i < chunks; ++i) {
     Chunk* c = root_[i].load(std::memory_order_relaxed);

@@ -38,6 +38,22 @@ struct S2Attrs {
   friend bool operator==(const S2Attrs&, const S2Attrs&) = default;
 };
 
+// Break-before-make relevance (ARM ARM D8.14): changing a live descriptor
+// in place is only architecturally safe when every change *adds* rights. A
+// transition that removes any right — including global→nG, whose stale
+// global TLB entry would keep serving every ASID — must go through
+// invalid + TLBI + DSB first. These predicates are the single definition
+// both the LightZone module and the lz::check BBM oracle use.
+constexpr bool s1_tightens(const S1Attrs& from, const S1Attrs& to) {
+  return (!from.read_only && to.read_only) || (!from.pxn && to.pxn) ||
+         (!from.uxn && to.uxn) || (from.user && !to.user) ||
+         (from.af && !to.af) || (from.global && !to.global);
+}
+constexpr bool s2_tightens(const S2Attrs& from, const S2Attrs& to) {
+  return (from.read && !to.read) || (from.write && !to.write) ||
+         (from.exec && !to.exec);
+}
+
 namespace pte {
 
 inline constexpr u64 kValid = u64{1} << 0;

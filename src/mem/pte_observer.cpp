@@ -1,0 +1,24 @@
+#include "mem/pte_observer.h"
+
+#include <atomic>
+
+namespace lz::mem {
+
+namespace {
+
+// Relaxed is enough: installation happens-before the observed table traffic
+// through the installer's own synchronisation (tests and Env construction
+// install before spawning workers), and the disabled path must stay free.
+std::atomic<PteWriteObserver*> g_observer{nullptr};
+
+}  // namespace
+
+PteWriteObserver* set_pte_write_observer(PteWriteObserver* obs) {
+  return g_observer.exchange(obs, std::memory_order_acq_rel);
+}
+
+PteWriteObserver* pte_write_observer() {
+  return g_observer.load(std::memory_order_relaxed);
+}
+
+}  // namespace lz::mem

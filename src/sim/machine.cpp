@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "mem/pte_observer.h"
 #include "obs/flight.h"
 #include "obs/histogram.h"
 
@@ -62,29 +63,49 @@ void Machine::charge_dvm_broadcast() {
   h.record(cost);
 }
 
-void Machine::tlbi_va_is(u64 vpage, u16 asid, u16 vmid) {
+void Machine::tlbi_va_is_nosync(u64 vpage, u16 asid, u16 vmid) {
   charge_dvm_broadcast();
   for (auto& unit : cores_) unit->tlb->invalidate_va(vpage, asid, vmid);
+  mem::notify_tlbi({mem::TlbiScope::kVa, vpage, asid, vmid});
+}
+
+void Machine::tlbi_va_all_asid_is_nosync(u64 vpage, u16 vmid) {
+  charge_dvm_broadcast();
+  for (auto& unit : cores_) unit->tlb->invalidate_va_all_asid(vpage, vmid);
+  mem::notify_tlbi({mem::TlbiScope::kVaAllAsid, vpage, /*asid=*/0, vmid});
+}
+
+void Machine::dsb_ish() { mem::notify_dsb(); }
+
+void Machine::tlbi_va_is(u64 vpage, u16 asid, u16 vmid) {
+  tlbi_va_is_nosync(vpage, asid, vmid);
+  dsb_ish();
 }
 
 void Machine::tlbi_va_all_asid_is(u64 vpage, u16 vmid) {
-  charge_dvm_broadcast();
-  for (auto& unit : cores_) unit->tlb->invalidate_va_all_asid(vpage, vmid);
+  tlbi_va_all_asid_is_nosync(vpage, vmid);
+  dsb_ish();
 }
 
 void Machine::tlbi_asid_is(u16 asid, u16 vmid) {
   charge_dvm_broadcast();
   for (auto& unit : cores_) unit->tlb->invalidate_asid(asid, vmid);
+  mem::notify_tlbi({mem::TlbiScope::kAsid, /*vpage=*/0, asid, vmid});
+  dsb_ish();
 }
 
 void Machine::tlbi_vmid_is(u16 vmid) {
   charge_dvm_broadcast();
   for (auto& unit : cores_) unit->tlb->invalidate_vmid(vmid);
+  mem::notify_tlbi({mem::TlbiScope::kVmid, /*vpage=*/0, /*asid=*/0, vmid});
+  dsb_ish();
 }
 
 void Machine::tlbi_all_is() {
   charge_dvm_broadcast();
   for (auto& unit : cores_) unit->tlb->invalidate_all();
+  mem::notify_tlbi({mem::TlbiScope::kAll, /*vpage=*/0, /*asid=*/0, /*vmid=*/0});
+  dsb_ish();
 }
 
 Cycles Machine::cycles() const {

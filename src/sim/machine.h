@@ -76,11 +76,21 @@ class Machine {
   // `tlbi_va_all_asid_is` is TLBI VAAE1IS (every ASID's entry for the
   // page — what the LightZone module needs when a page is mapped under
   // several domain tables at once).
+  // Every `tlbi_*_is` is the complete broadcast-and-sync pair (TLBI ...IS;
+  // DSB ISH): the shootdown is visible machine-wide on return. The `_nosync`
+  // per-VA forms expose the unsynchronised half on its own — the invalidate
+  // has been issued but not completed — for callers (and protocol tests)
+  // that place the `dsb_ish()` themselves.
   void tlbi_va_is(u64 vpage, u16 asid, u16 vmid);
   void tlbi_va_all_asid_is(u64 vpage, u16 vmid);
   void tlbi_asid_is(u16 asid, u16 vmid);
   void tlbi_vmid_is(u16 vmid);
   void tlbi_all_is();
+  void tlbi_va_is_nosync(u64 vpage, u16 asid, u16 vmid);
+  void tlbi_va_all_asid_is_nosync(u64 vpage, u16 vmid);
+  // Completes outstanding broadcast maintenance (zero simulated cycles —
+  // the sync cost is already folded into the calibrated DVM charge).
+  void dsb_ish();
 
   // Total simulated work across all cores. Safe to read concurrently
   // (relaxed atomics), but only exact once the cores are quiesced.

@@ -4,6 +4,7 @@
 // translation.
 #include <gtest/gtest.h>
 
+#include "check/bbm.h"
 #include "check/check.h"
 #include "check/fuzz.h"
 #include "check/shadow.h"
@@ -159,13 +160,22 @@ TEST(TlbOracleTest, StaleEntryAfterSkippedTlbiIsCaught) {
 
   ASSERT_TRUE(core.translate(va, sim::AccessType::kRead, false).ok);
 
+  // The remap deliberately skips the TLBI, so it is *also* a
+  // break-before-make violation. Arm the BBM monitor explicitly (rather
+  // than relying on whether an earlier test's Env installed it) so the
+  // divergence stream is the same under ctest-per-case and whole-binary
+  // (TSan/ASan) runs, and assert both oracles fire in order.
+  BbmMonitor::install();
+  BbmMonitor::instance().reset();
   LZ_CHECK_OK(tbl.unmap(va));
-  LZ_CHECK_OK(tbl.map(va, frame_b, mem::S1Attrs{}));
-  // No TLBI: the next access hits the stale entry for frame_a.
   CaptureDivergences cap;
-  const auto tr = core.translate(va, sim::AccessType::kRead, false);
+  LZ_CHECK_OK(tbl.map(va, frame_b, mem::S1Attrs{}));
   ASSERT_EQ(cap.items().size(), 1u);
-  EXPECT_EQ(cap.items()[0].kind, "tlb.out_addr");
+  EXPECT_EQ(cap.items()[0].kind, "bbm.remap_unclean");
+  // No TLBI: the next access hits the stale entry for frame_a.
+  const auto tr = core.translate(va, sim::AccessType::kRead, false);
+  ASSERT_EQ(cap.items().size(), 2u);
+  EXPECT_EQ(cap.items()[1].kind, "tlb.out_addr");
   // The simulator still *uses* the stale entry (that is the hardware
   // behaviour being checked): the translation resolves to frame_a.
   EXPECT_TRUE(tr.ok);
@@ -174,7 +184,7 @@ TEST(TlbOracleTest, StaleEntryAfterSkippedTlbiIsCaught) {
   // After the proper invalidate the oracle is quiet again.
   machine.tlb().invalidate_va(page_index(va), /*asid=*/1, /*vmid=*/0);
   ASSERT_TRUE(core.translate(va, sim::AccessType::kRead, false).ok);
-  EXPECT_EQ(cap.items().size(), 1u);
+  EXPECT_EQ(cap.items().size(), 2u);
 }
 
 // Attribute-only staleness (same output frame, different permissions) is
@@ -190,14 +200,20 @@ TEST(TlbOracleTest, StaleAttributesAreCaught) {
   core.pstate().el = arch::ExceptionLevel::kEl1;
   ASSERT_TRUE(core.translate(va, sim::AccessType::kRead, false).ok);
 
+  // Same deliberate protocol violation as above: the TLBI-less remap
+  // trips the BBM oracle first, the stale permissions trip the TLB oracle.
+  BbmMonitor::install();
+  BbmMonitor::instance().reset();
   mem::S1Attrs ro;
   ro.read_only = true;
   LZ_CHECK_OK(tbl.unmap(va));
-  LZ_CHECK_OK(tbl.map(va, frame, ro));
   CaptureDivergences cap;
-  (void)core.translate(va, sim::AccessType::kRead, false);
+  LZ_CHECK_OK(tbl.map(va, frame, ro));
   ASSERT_EQ(cap.items().size(), 1u);
-  EXPECT_EQ(cap.items()[0].kind, "tlb.attrs");
+  EXPECT_EQ(cap.items()[0].kind, "bbm.remap_unclean");
+  (void)core.translate(va, sim::AccessType::kRead, false);
+  ASSERT_EQ(cap.items().size(), 2u);
+  EXPECT_EQ(cap.items()[1].kind, "tlb.attrs");
 }
 
 // Context changes are not divergences: pointing TTBR0 at a different table
