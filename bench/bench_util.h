@@ -27,6 +27,10 @@
 //                           (default — the live LightZone module; leaves
 //                           every golden byte-identical), poe, cca,
 //                           watchpoint, or lwc (cost-model backends)
+//   --no-trace-tier         disable the superblock trace tier for this run
+//                           (pure interpreter; A/B baseline for the tier's
+//                           speedup — simulated results are identical by
+//                           contract, only host MIPS move)
 //   --help / -h             print this flag summary and exit 0
 //   --benchmark_*           passed through to google-benchmark untouched
 //
@@ -62,6 +66,7 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/cost.h"
+#include "sim/trace_cache.h"
 
 namespace lz::bench {
 
@@ -76,6 +81,7 @@ struct ObsOptions {
   u64 iters = 1;       // --iters K: workload scale factor
   // --backend B: which IsolationBackend the bench evaluates.
   core::BackendKind backend = core::BackendKind::kTtbrPan;
+  bool no_trace_tier = false;  // --no-trace-tier: interpreter-only A/B leg
 };
 
 // The one flag summary every bench binary prints for --help; keep in sync
@@ -96,6 +102,7 @@ inline void print_bench_usage(const char* argv0, std::FILE* out) {
       "  --iters <K>            workload scale factor (default 1)\n"
       "  --backend <B>          ttbr_pan (default) | poe | cca | watchpoint "
       "| lwc\n"
+      "  --no-trace-tier        interpreter only (A/B: tier speedup)\n"
       "  --help, -h             this text\n",
       argv0, static_cast<unsigned long long>(obs::Profiler::kDefaultPeriod));
 }
@@ -133,6 +140,10 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
       }
       return false;
     };
+    if (arg == "--no-trace-tier") {
+      opts.no_trace_tier = true;
+      continue;
+    }
     if (take("--json", &opts.json_path) ||
         take("--report-schema", &schema_str) ||
         take("--trace", &opts.trace_path) ||
@@ -195,6 +206,10 @@ class ObsSession {
   ObsSession(std::string bench_name, int* argc, char** argv)
       : opts_(parse_bench_flags(argc, argv)), report_(std::move(bench_name)) {
     obs::reset_all();
+    // Applies to every core constructed after this point — the bench
+    // builds its machines inside the session, so the whole run is A/B
+    // switchable from the command line (LZ_TRACE_TIER=0 works too).
+    if (opts_.no_trace_tier) sim::set_trace_tier_default(false);
     report_.set_schema(opts_.schema);
     if (!opts_.trace_path.empty()) {
       obs::trace().arm(kTraceCapacity);

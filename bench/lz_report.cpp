@@ -9,6 +9,10 @@
 //                            (wall-clock headline numbers like MIPS are
 //                            noisy downward, so pass several candidates
 //                            and let the best one speak)
+//   --result-floor KEY:VAL   the best candidate's results[KEY] must be at
+//                            least VAL, absolutely — for hard product
+//                            claims ("500+ host MIPS") that a drifting
+//                            baseline must not be able to relax
 //   --hist-max NAME:PCT      the best (lowest) candidate p99 for histogram
 //                            NAME must not exceed (1 + PCT/100) x the
 //                            baseline p99
@@ -50,6 +54,8 @@ struct Gate {
                "usage: %s <base.json> <candidate.json>... [gates]\n"
                "  --result-min KEY:PCT     best candidate results[KEY] >= "
                "(1-PCT/100) x base\n"
+               "  --result-floor KEY:VAL   best candidate results[KEY] >= "
+               "VAL (absolute)\n"
                "  --hist-max NAME:PCT      best candidate p99 of histogram "
                "NAME <= (1+PCT/100) x base\n"
                "  --require-cycles-equal   all candidate cycles.total == "
@@ -179,7 +185,7 @@ void print_diff(const Json& base, const Json& cand) {
 
 int main(int argc, char** argv) {
   std::vector<const char*> files;
-  std::vector<Gate> result_min, hist_max;
+  std::vector<Gate> result_min, result_floor, hist_max;
   bool require_cycles_equal = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -194,6 +200,9 @@ int main(int argc, char** argv) {
       usage(argv[0], 0);
     } else if (arg == "--result-min") {
       result_min.push_back(parse_gate(argv[0], gate_value("--result-min")));
+    } else if (arg == "--result-floor") {
+      result_floor.push_back(
+          parse_gate(argv[0], gate_value("--result-floor")));
     } else if (arg == "--hist-max") {
       hist_max.push_back(parse_gate(argv[0], gate_value("--hist-max")));
     } else if (arg == "--require-cycles-equal") {
@@ -275,6 +284,35 @@ int main(int argc, char** argv) {
       std::printf("lz_report: ok result %s: best %.3f vs baseline %.3f "
                   "(floor %.3f)\n",
                   g.key.c_str(), best, *want, floor);
+    }
+  }
+
+  for (const Gate& g : result_floor) {
+    // Absolute floor: the baseline value is irrelevant by design — the
+    // spec's VAL field (parsed into Gate::pct) IS the floor.
+    const double floor = g.pct;
+    double best = -HUGE_VAL;
+    bool any = false;
+    for (const Json& cand : candidates) {
+      const auto got = result_value(cand, g.key);
+      if (!got.has_value()) continue;
+      any = true;
+      if (*got > best) best = *got;
+    }
+    if (!any) {
+      std::fprintf(stderr, "lz_report: no candidate has result '%s'\n",
+                   g.key.c_str());
+      return 2;
+    }
+    if (best < floor) {
+      std::fprintf(stderr,
+                   "lz_report: FAIL result %s below absolute floor: best "
+                   "%.3f < %.3f\n",
+                   g.key.c_str(), best, floor);
+      ++failures;
+    } else {
+      std::printf("lz_report: ok result %s: best %.3f >= floor %.3f\n",
+                  g.key.c_str(), best, floor);
     }
   }
 

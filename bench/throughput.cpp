@@ -133,6 +133,26 @@ GuestRun run_straight_line(u64 iters) {
   return time_core(*w.machine, 0, iters * 32);
 }
 
+// The minimal re-entrant block: 2 ALU ops + loop control. straight_line
+// amortizes block-entry overhead over 18 instructions; this kernel is the
+// worst case for per-block dispatch cost and the best case for the trace
+// tier's block chaining, so the A/B spread between the two bounds the
+// tier's win.
+GuestRun run_tight_loop(u64 iters) {
+  Asm a;
+  const auto loop = a.new_label();
+  a.movz(1, 7);
+  a.bind(loop);
+  a.add_reg(2, 2, 1);
+  a.eor_reg(3, 2, 1);
+  a.sub_imm(0, 0, 1);
+  a.cbnz(0, loop);
+  a.svc(0);
+  Workload w = stage(a, 1, 0);
+  w.machine->core(0).set_x(0, iters);
+  return time_core(*w.machine, 0, iters * 8);
+}
+
 GuestRun run_pointer_chase(u64 iters) {
   Asm a;
   const auto loop = a.new_label();
@@ -325,8 +345,31 @@ int main(int argc, char** argv) {
   );
 
   report("straight_line", run_straight_line, 100'000 * scale, obs.repeats());
+  report("tight_loop", run_tight_loop, 400'000 * scale, obs.repeats());
   report("pointer_chase", run_pointer_chase, 400'000 * scale, obs.repeats());
   report("domain_switch", run_domain_switch, 150'000 * scale, obs.repeats());
+
+  // Trace-tier telemetry: host-only counters (obs host_snapshot — kept out
+  // of the simulated counter section by design), accumulated across every
+  // workload/repeat above. insns_per_trace is the headline density number.
+  {
+    const auto host = lz::obs::registry().host_snapshot();
+    u64 executed = 0, insns = 0;
+    for (const auto& [name, value] : host) {
+      if (name == "sim.trace.executed") executed = value;
+      if (name == "sim.trace.insns") insns = value;
+      if (name.rfind("sim.trace.", 0) == 0) {
+        bench::record("trace." + name.substr(10), value);
+      }
+    }
+    if (executed > 0) {
+      const double density =
+          static_cast<double>(insns) / static_cast<double>(executed);
+      std::printf("\nTrace tier: %.1f insns/trace (%llu trace executions)\n",
+                  density, static_cast<unsigned long long>(executed));
+      bench::record("trace.insns_per_trace", density);
+    }
+  }
 
   std::printf("\nPer-core scaling (straight_line on every core):\n");
   double mips1 = 0;

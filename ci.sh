@@ -30,22 +30,32 @@ build/bench/report_check "$report"
 
 # v1 golden: the legacy schema must reproduce the checked-in pre-v2 report
 # byte for byte — the entire PMU/profiler/histogram stack is observe-only
-# and must not move a single simulated cycle or counter.
+# and must not move a single simulated cycle or counter. The run above
+# executes with the superblock trace tier enabled (the default), so this is
+# also the tier-on golden gate; the tier-off re-run proves the tier is
+# architecturally invisible in both directions.
 v1=/tmp/t5.v1.json
 rm -f "$v1"
 build/bench/table5_switch --report-schema v1 --json "$v1" \
   --benchmark_filter=NONE >/dev/null
 cmp "$v1" BENCH_table5_v1.json
 build/bench/report_check "$v1"
+v1_off=/tmp/t5.v1.notrace.json
+rm -f "$v1_off"
+LZ_TRACE_TIER=0 build/bench/table5_switch --report-schema v1 --json "$v1_off" \
+  --benchmark_filter=NONE >/dev/null
+cmp "$v1_off" BENCH_table5_v1.json
 
 # v2 determinism: everything in the report runs on the simulated clock
 # (histogram percentiles, profile samples, hotspot tables included), so two
-# runs must serialise to identical bytes.
+# runs must serialise to identical bytes — even when the second run disables
+# the trace tier and interprets every instruction.
 v2_a=/tmp/t5.v2.a.json
 v2_b=/tmp/t5.v2.b.json
 rm -f "$v2_a" "$v2_b"
 build/bench/table5_switch --json "$v2_a" --benchmark_filter=NONE >/dev/null
-build/bench/table5_switch --json "$v2_b" --benchmark_filter=NONE >/dev/null
+LZ_TRACE_TIER=0 build/bench/table5_switch --json "$v2_b" \
+  --benchmark_filter=NONE >/dev/null
 cmp "$v2_a" "$v2_b"
 
 # Regression gates via lz_report against the checked-in v2 baseline: the
@@ -149,10 +159,14 @@ for i in 1 2 3; do
 done
 # lz_report takes the best of the three candidates against the checked-in
 # baseline: the simulated cycle totals must match exactly, the MIPS median
-# may not fall more than 10% below the baseline.
+# may not fall more than 10% below the baseline, and the trace-tier kernels
+# (straight_line, tight_loop) must clear the absolute 500 host-MIPS floor
+# the superblock tier was built to hit (DESIGN.md section 16).
 build/bench/lz_report BENCH_throughput.json \
   /tmp/throughput.1.json /tmp/throughput.2.json /tmp/throughput.3.json \
-  --require-cycles-equal --result-min straight_line.mips.median:10
+  --require-cycles-equal --result-min straight_line.mips.median:10 \
+  --result-floor straight_line.mips.median:500 \
+  --result-floor tight_loop.mips.median:500
 
 # TSan build: the SMP scheduler, per-core TLB shootdown, obs counters, the
 # lock-free hot path (L0 generations, PhysMem radix, batched flushes), the
@@ -165,14 +179,16 @@ cmake --build build-tsan --target smp_test obs_test obs_v3_test \
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
 build-tsan/tests/obs_v3_test
-build-tsan/tests/hotpath_test
+# Tier forced on explicitly: the trace dispatch path, the DVM teardown hook
+# and the generation-tag invalidation must be race-free on SMP topologies.
+LZ_TRACE_TIER=1 build-tsan/tests/hotpath_test
 build-tsan/tests/histogram_test
 build-tsan/tests/profiler_test
 build-tsan/tests/pmu_test
 build-tsan/tests/backend_test
 build-tsan/tests/bbm_test
 build-tsan/bench/fuzz_table2 --seed 3 --cores 4 --ops 400
-build-tsan/bench/fuzz_a64 --seed 3 --cores 4 --streams 200
+LZ_TRACE_TIER=1 build-tsan/bench/fuzz_a64 --seed 3 --cores 4 --streams 200
 build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 
 # ASan build: the fuzz driver exercises free/refault paths hard (it is
@@ -184,13 +200,13 @@ cmake --build build-asan --target fuzz_table2 fuzz_a64 check_test bbm_test \
   hotpath_test histogram_test profiler_test pmu_test obs_v3_test backend_test
 build-asan/tests/check_test
 build-asan/tests/bbm_test
-build-asan/tests/hotpath_test
+LZ_TRACE_TIER=1 build-asan/tests/hotpath_test
 build-asan/tests/histogram_test
 build-asan/tests/profiler_test
 build-asan/tests/pmu_test
 build-asan/tests/obs_v3_test
 build-asan/tests/backend_test
 build-asan/bench/fuzz_table2 --seed 5 --cores 4 --ops 600
-build-asan/bench/fuzz_a64 --seed 5 --cores 4 --streams 200
+LZ_TRACE_TIER=1 build-asan/bench/fuzz_a64 --seed 5 --cores 4 --streams 200
 
 echo "ci.sh: OK"

@@ -27,6 +27,30 @@ const Counter* Registry::find(std::string_view name) const {
   return it == counters_.end() ? nullptr : &it->second;
 }
 
+Counter& Registry::host_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = host_counters_.find(name);
+  if (it == host_counters_.end()) {
+    it = host_counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+const Counter* Registry::find_host(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = host_counters_.find(name);
+  return it == host_counters_.end() ? nullptr : &it->second;
+}
+
+Snapshot Registry::host_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.reserve(host_counters_.size());
+  for (const auto& [name, c] : host_counters_)
+    snap.emplace_back(name, c.value());
+  return snap;
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
@@ -52,6 +76,7 @@ Snapshot Registry::delta(const Snapshot& before, const Snapshot& after) {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, c] : host_counters_) c.reset();
 }
 
 std::size_t Registry::size() const {

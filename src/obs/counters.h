@@ -58,7 +58,17 @@ class Registry {
 
   const Counter* find(std::string_view name) const;
 
+  // Host-side counters: same registration/handle semantics, but excluded
+  // from snapshot()/host-independent reports. For values that depend on
+  // host-side caching or heuristics (e.g. `sim.trace.*`) — numbers that may
+  // legitimately differ between two byte-identical simulations.
+  Counter& host_counter(std::string_view name);
+  const Counter* find_host(std::string_view name) const;
+  // Name-sorted copy of the host-side counters only.
+  Snapshot host_snapshot() const;
+
   // Name-sorted copy of every counter (std::map iteration order).
+  // Host-side counters are deliberately absent.
   Snapshot snapshot() const;
 
   // Per-name `after - before`; names absent from `before` count from zero.
@@ -73,6 +83,7 @@ class Registry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Counter, std::less<>> host_counters_;
 };
 
 // The process-wide registry all subsystems wire into.

@@ -63,6 +63,7 @@ Core::Core(const arch::Platform& platform, mem::PhysMem& pm, mem::Tlb& tlb,
     : plat_(platform), pm_(pm), tlb_(tlb), account_(account) {
   pstate_.el = ExceptionLevel::kEl0;
   set_sysreg(SysReg::kHcrEl2, arch::hcr::kRw);
+  trace_tier_on_ = trace_tier_default();
   refresh_profiler();  // pick up a profiler armed before core construction
 }
 
@@ -628,9 +629,18 @@ RunResult Core::run(u64 max_steps) {
   const bool outer = !in_run_;
   in_run_ = true;
   if (outer) refresh_profiler();  // arm/disarm takes effect at run entry
-  for (u64 i = 0; i < max_steps; ++i) {
-    step();
-    ++result.steps;
+  for (u64 i = 0; i < max_steps;) {
+    // Trace tier first: executes a whole superblock when a valid trace is
+    // cached at pc_ (and builds one when the block has proven hot).
+    // Returns 0 — interpret one instruction — whenever anything needs the
+    // per-instruction path.
+    u64 k = trace_tier_on_ ? try_trace(max_steps - i) : 0;
+    if (k == 0) {
+      step();
+      k = 1;
+    }
+    i += k;
+    result.steps += k;
     if (stop_requested_) {
       result.reason =
           stop_unhandled_ ? StopReason::kUnhandled : StopReason::kHandlerStop;
@@ -639,6 +649,7 @@ RunResult Core::run(u64 max_steps) {
   }
   in_run_ = !outer;
   flush_pending();
+  if (outer && trace_tier_on_) trace_publish_stats();
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include "mem/phys_mem.h"
 #include "mem/tlb.h"
 #include "sim/cost.h"
+#include "sim/trace_cache.h"
 
 namespace lz::sim {
 
@@ -70,7 +71,10 @@ class Core {
        CycleAccount& account);
 
   // --- Architectural state --------------------------------------------------
-  u64 x(unsigned i) const { return i == 31 ? 0 : x_[i]; }
+  // x_[31] is permanently zero (set_x discards writes to it), so register
+  // reads — including the trace tier's pre-resolved operand loads — are a
+  // plain indexed load with no "is it XZR" branch.
+  u64 x(unsigned i) const { return x_[i]; }
   void set_x(unsigned i, u64 v) {
     if (i != 31) x_[i] = v;
   }
@@ -180,6 +184,20 @@ class Core {
   // to pin down eviction behaviour.
   u64 decode_count() const { return decode_count_; }
 
+  // --- Superblock trace tier (DESIGN.md §16) --------------------------------
+  // run() executes hot straight-line blocks through per-core traces when
+  // enabled (the process default comes from trace_tier_default()). The tier
+  // is pure host-side memoization: simulated cycles, counters, reports and
+  // replay hashes are byte-identical either way.
+  void set_trace_tier(bool on) { trace_tier_on_ = on; }
+  bool trace_tier_enabled() const { return trace_tier_on_; }
+  // Host-side statistics, same report-exclusion rationale as decode_count().
+  const TraceStats& trace_stats() const { return tstats_; }
+  // Eager drop of every cached trace, attributed to DVM/teardown. Called by
+  // the Machine's tlbi_*_is paths on the *initiating* core (remote cores'
+  // traces die lazily via the Tlb generation tag, like their L0 entries).
+  void trace_invalidate_teardown();
+
   // Event hook consulted on every committed instruction (used by tests and
   // the scheduler model); may be empty.
   std::function<void(const arch::Insn&)> on_insn;
@@ -219,6 +237,15 @@ class Core {
                    ExceptionLevel el) const;
   std::optional<mem::TlbEntry> translate_slow(VirtAddr va, u64 vpage,
                                               Translation* out, u64* gen_out);
+  // Trace tier (sim/trace_cache.cpp). try_trace() executes the trace cached
+  // at pc_ — chaining back-to-back re-entries of the same block while its
+  // tags stay valid — and returns how many instructions retired (0 = no
+  // valid trace; the caller falls back to step()).
+  u64 try_trace(u64 remaining);
+  bool build_trace(TraceCache::Slot& s);
+  u64 exec_trace(Trace& t, u64 remaining);
+  bool trace_ldst(Trace& t, const TraceOp& op, unsigned i);
+  void trace_publish_stats();
   void check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit);
   Cycles sysreg_write_cost(SysReg r) const;
   void refresh_translation_context();
@@ -229,7 +256,7 @@ class Core {
   mem::Tlb& tlb_;
   CycleAccount& account_;
 
-  std::array<u64, 31> x_{};
+  std::array<u64, 32> x_{};  // x_[31] stays zero: reads need no XZR branch
   std::array<u64, 3> sp_{};
   u64 pc_ = 0;
   arch::PState pstate_;
@@ -302,6 +329,14 @@ class Core {
   DecodedPage* cur_dpage_ = nullptr;  // last fetched page (sequential fetch)
   u64 decode_count_ = 0;
 
+  // Superblock trace tier state (DESIGN.md §16). Owned by the core's
+  // thread like the L0/decode caches; remote invalidation rides the Tlb
+  // generation tag, local teardown goes through trace_invalidate_teardown().
+  TraceCache tcache_;
+  TraceStats tstats_;
+  TraceStats tstats_pub_;  // already published to the host-only counters
+  bool trace_tier_on_ = true;  // constructor applies trace_tier_default()
+
   // Batched accounting: the per-instruction base cost, data-access cost,
   // retired-instruction count and L0 hit count accumulate in these plain
   // scalars and flush to the shared atomics/TLB at well-defined points.
@@ -313,7 +348,11 @@ class Core {
   // step() or translate(). Privileged C++ software only ever runs behind
   // one of these boundaries, so it always observes exact counters, cycle
   // totals and TlbStats; trace timestamps (ledger totals) are
-  // byte-identical to the unbatched engine.
+  // byte-identical to the unbatched engine. The trace tier pre-sums a
+  // whole block's base cycles / retired count / fetch-hit credits into the
+  // same scalars at block entry (rolling back the unexecuted remainder if
+  // a load/store faults mid-block), so every flush boundary above still
+  // observes exact values — traces never span one.
   void flush_pending();
   u64 pending_insn_ = 0;
   Cycles pending_insn_cycles_ = 0;
@@ -349,10 +388,18 @@ class Core {
   Cycles pmu_cc_base_ = 0;          // account total at last commit
 
   // --- Sampling profiler fast path (obs::profiler()) ------------------------
-  // Deterministic sampling on this core's simulated cycle total. The armed
-  // period is polled (epoch compare, two relaxed loads) at run() entry and
-  // top-level step() exit; while disarmed the per-instruction cost is one
-  // predictable branch on `prof_on_`.
+  // Deterministic sampling on this core's simulated cycle total, layered
+  // like the rest of obs v3: the profiler's per-instruction armed check in
+  // step() is one predictable branch on `prof_on_`, while the heavier
+  // instruments (flight recorder, span tracer, time-series sampler) ride
+  // the flush_pending() boundaries and CycleLedger::charge and never
+  // appear on the per-instruction path at all. The armed period is polled
+  // (epoch compare, two relaxed loads) at run() entry and top-level step()
+  // exit. The trace tier threads through the same scheme: at block
+  // dispatch a conservative cycle bound decides whether a sample could
+  // fire inside the block, and if so the block runs through the
+  // interpreter instead — samples land on identical (cycle, pc) points
+  // with the tier on or off.
   void refresh_profiler();
   void prof_take_samples(Cycles now, u64 pc);
   bool prof_on_ = false;

@@ -1,0 +1,633 @@
+// Superblock trace tier: build, dispatch and invalidation (DESIGN.md §16).
+//
+// Accounting exactness argument, in one place. A trace only dispatches
+// while its Tlb-generation tag still equals the live generation, and the
+// generation advances on *every* mutation that removes or overwrites a
+// live TLB entry (all invalidate flavours, live-evicting refills, L2->L1
+// promotions). So a gen-valid trace implies the fetch translation it was
+// built from is still resident in the micro-TLB — which means the
+// interpreter's per-instruction fetch would have been either an L0 hit or
+// an L1 lookup hit, and both are counted as `l1_hits` at zero cycle cost.
+// Pre-summing `pending_l0_hits_ += n`, `pending_insn_ += n` and
+// `pending_insn_cycles_ += t.cycles` at block entry is therefore
+// byte-identical to stepping the block, and data accesses go through the
+// very same translate()/PhysMem path the interpreter uses. The only
+// mid-block surprise is a faulting load/store; trace_ldst() rolls the
+// unexecuted remainder back before raising, leaving exactly ops [0, i]
+// counted — the interpreter, too, counts a faulting instruction as
+// retired before execute() runs.
+#include "sim/trace_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "arch/decode.h"
+#include "obs/counters.h"
+#include "sim/core.h"
+#include "support/bits.h"
+
+namespace lz::sim {
+
+using arch::ExceptionClass;
+using arch::Insn;
+using arch::Op;
+
+namespace {
+
+std::atomic<bool> g_trace_tier_default{[] {
+  const char* v = std::getenv("LZ_TRACE_TIER");
+  return !(v != nullptr && v[0] == '0' && v[1] == '\0');
+}()};
+
+constexpr bool is_terminal(TraceOpKind k) { return k >= TraceOpKind::kB; }
+
+// Lowers one decoded instruction into a trace micro-op, accumulating the
+// platform kInsn cycles (base cost plus barrier extras) into `cyc`.
+// Returns false for everything that must stay on the interpreter slow
+// path: the Table-3 sensitive set (MSR/MRS/MSR-imm/SYS), exception
+// generators, ERET, unprivileged LDTR/STTR, and unmodelled encodings.
+bool lower(const arch::Platform& plat, const Insn& insn, u64 va, TraceOp* out,
+           u32* cyc) {
+  TraceOp op;
+  u32 c = static_cast<u32>(plat.insn_base);
+  // ALU writes to register 31 are discarded by set_x(); when the op sets
+  // no flags it is a pure no-op, so lower it as one (reads of operand
+  // registers have no side effects).
+  const bool dead_rd = insn.rd == 31;
+  switch (insn.op) {
+    case Op::kNop:
+      break;
+    case Op::kIsb:
+      c += static_cast<u32>(plat.isb);
+      break;
+    case Op::kDsb:
+    case Op::kDmb:
+      c += static_cast<u32>(plat.dsb);
+      break;
+
+    case Op::kMovz:
+      if (!dead_rd) {
+        op.kind = TraceOpKind::kMovPre;
+        op.rd = insn.rd;
+        op.imm = insn.imm << (insn.hw * 16);
+      }
+      break;
+    case Op::kMovn:
+      if (!dead_rd) {
+        op.kind = TraceOpKind::kMovPre;
+        op.rd = insn.rd;
+        op.imm = ~(insn.imm << (insn.hw * 16));
+      }
+      break;
+    case Op::kMovk:
+      if (!dead_rd) {
+        const unsigned sh = insn.hw * 16;
+        op.kind = TraceOpKind::kMovk;
+        op.rd = insn.rd;
+        op.imm = ~(u64{0xffff} << sh);
+        op.aux = insn.imm << sh;
+      }
+      break;
+
+    case Op::kAddImm:
+    case Op::kSubImm:
+      if (!dead_rd) {
+        op.kind = insn.op == Op::kAddImm ? TraceOpKind::kAddImm
+                                         : TraceOpKind::kSubImm;
+        op.rd = insn.rd;
+        op.rn = insn.rn;
+        op.imm = insn.imm;
+      }
+      break;
+    case Op::kSubsImm:
+      op.kind = TraceOpKind::kSubsImm;
+      op.rd = insn.rd;
+      op.rn = insn.rn;
+      op.imm = insn.imm;
+      break;
+    case Op::kAddReg:
+    case Op::kSubReg:
+    case Op::kAndReg:
+    case Op::kOrrReg:
+    case Op::kEorReg:
+      if (!dead_rd) {
+        switch (insn.op) {
+          case Op::kAddReg: op.kind = TraceOpKind::kAddReg; break;
+          case Op::kSubReg: op.kind = TraceOpKind::kSubReg; break;
+          case Op::kAndReg: op.kind = TraceOpKind::kAndReg; break;
+          case Op::kOrrReg: op.kind = TraceOpKind::kOrrReg; break;
+          default: op.kind = TraceOpKind::kEorReg; break;
+        }
+        op.rd = insn.rd;
+        op.rn = insn.rn;
+        op.rm = insn.rm;
+      }
+      break;
+    case Op::kSubsReg:
+    case Op::kAndsReg:
+      op.kind = insn.op == Op::kSubsReg ? TraceOpKind::kSubsReg
+                                        : TraceOpKind::kAndsReg;
+      op.rd = insn.rd;
+      op.rn = insn.rn;
+      op.rm = insn.rm;
+      break;
+    case Op::kLslImm:
+      if (!dead_rd) {
+        op.kind = TraceOpKind::kLslImm;
+        op.rd = insn.rd;
+        op.rn = insn.rn;
+        op.shift = insn.shift;
+      }
+      break;
+
+    case Op::kB:
+      op.kind = TraceOpKind::kB;
+      op.aux = va + static_cast<u64>(insn.offset);
+      break;
+    case Op::kBl:
+      op.kind = TraceOpKind::kBl;
+      op.imm = va + 4;  // link value
+      op.aux = va + static_cast<u64>(insn.offset);
+      break;
+    case Op::kBCond:
+      op.kind = TraceOpKind::kBCond;
+      op.cond = insn.cond;
+      op.aux = va + static_cast<u64>(insn.offset);
+      op.imm = va + 4;  // fallthrough
+      break;
+    case Op::kCbz:
+    case Op::kCbnz:
+      op.kind = insn.op == Op::kCbz ? TraceOpKind::kCbz : TraceOpKind::kCbnz;
+      op.rm = insn.rt;
+      op.aux = va + static_cast<u64>(insn.offset);
+      op.imm = va + 4;
+      break;
+    case Op::kBr:
+      op.kind = TraceOpKind::kBr;
+      op.rn = insn.rn;
+      break;
+    case Op::kBlr:
+      op.kind = TraceOpKind::kBlr;
+      op.rn = insn.rn;
+      op.imm = va + 4;
+      break;
+    case Op::kRet:
+      op.kind = TraceOpKind::kRet;
+      op.rn = insn.rn;
+      break;
+
+    case Op::kLdrImm:
+    case Op::kStrImm:
+    case Op::kLdrReg:
+    case Op::kStrReg:
+      op.kind = TraceOpKind::kLdSt;
+      op.rd = insn.rt;  // data register
+      op.rn = insn.rn;
+      op.size = insn.size;
+      if (insn.is_store()) op.flags |= kTrStore;
+      if (insn.sign_ext) op.flags |= kTrSignExt;
+      if (insn.op == Op::kLdrReg || insn.op == Op::kStrReg) {
+        op.flags |= kTrRegOff;
+        op.rm = insn.rm;
+        op.shift = insn.shift;
+      } else {
+        op.imm = static_cast<u64>(insn.offset);
+      }
+      break;
+
+    default:
+      return false;  // sensitive / exception-generating / unmodelled
+  }
+  *cyc += c - static_cast<u32>(plat.insn_base);
+  *cyc += static_cast<u32>(plat.insn_base);
+  op.cyc = *cyc;
+  *out = op;
+  return true;
+}
+
+// Conservative upper bound on the cycles a block could add if stepped by
+// the interpreter: the pre-summed kInsn cycles plus, per load/store, the
+// data access and a maximal two-stage walk. Used only to decide whether a
+// profiler sample could fire inside the block — if even this bound cannot
+// reach the next sample point, skipping the per-instruction checks is
+// exact, and otherwise the block falls back to the interpreter.
+Cycles trace_cycle_bound(const arch::Platform& plat, const Trace& t) {
+  return Cycles{t.cycles} +
+         Cycles{t.ldst_n} *
+             (plat.mem_access + plat.tlb_l2_hit + 64 * plat.tlb_walk_per_level);
+}
+
+}  // namespace
+
+bool trace_tier_default() {
+  return g_trace_tier_default.load(std::memory_order_relaxed);
+}
+
+void set_trace_tier_default(bool on) {
+  g_trace_tier_default.store(on, std::memory_order_relaxed);
+}
+
+unsigned TraceCache::invalidate_page(PhysAddr ppage) {
+  unsigned dropped = 0;
+  for (auto& s : slots_) {
+    if (s.trace && s.trace->valid && s.trace->ppage == ppage) {
+      s.trace->valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+unsigned TraceCache::invalidate_all() {
+  unsigned dropped = 0;
+  for (auto& s : slots_) {
+    if (s.trace && s.trace->valid) {
+      s.trace->valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void Core::trace_invalidate_teardown() {
+  tstats_.invalidated_teardown += tcache_.invalidate_all();
+}
+
+// Builds a trace starting at pc_ from the L0 fetch slot's memoized
+// translation — a valid slot hands over the physical page and the
+// generation/epoch tags with zero simulated side effects. If the slot is
+// cold the build is skipped; step() will fetch (and install it) first.
+bool Core::build_trace(TraceCache::Slot& s) {
+  const u64 vpage = page_index(pc_);
+  const L0Entry& l0 = l0_fetch_[vpage & (kL0FetchSlots - 1)];
+  if (!(l0.valid && l0.vpage == vpage && l0.tlb_gen == tlb_.generation() &&
+        l0.ctx_epoch == ctx_epoch_ && l0.el == pstate_.el &&
+        l0.pan == pstate_.pan)) {
+    return false;
+  }
+  if (!s.trace) s.trace = std::make_unique<Trace>();
+  Trace& t = *s.trace;
+  t.valid = false;
+  const PhysAddr ppage = l0.pa_page;
+  const u8* host = pm_.page_ptr(ppage);
+  const u32 start_off = static_cast<u32>(page_offset(pc_));
+  // Decode from a private copy of each word (not through the decoded-page
+  // cache): ops[] and words[] must come from the same read even if another
+  // core races a code write, and decode_count() keeps meaning exactly
+  // "decoded-page cache misses".
+  unsigned n = 0;
+  u16 ldst_n = 0;
+  u32 cyc = 0;
+  while (n < Trace::kMaxOps) {
+    const u64 off = start_off + u64{n} * 4;
+    if (off + 4 > kPageSize) break;  // traces never cross their code page
+    u32 word;
+    std::memcpy(&word, host + off, 4);
+    TraceOp op;
+    if (!lower(plat_, arch::decode(word), pc_ + u64{n} * 4, &op, &cyc)) break;
+    t.words[n] = word;
+    if (op.kind == TraceOpKind::kLdSt) ++ldst_n;
+    t.ops[n] = op;
+    ++n;
+    if (is_terminal(op.kind)) break;
+  }
+  if (n < 2) return false;  // a one-op trace costs more than it saves
+  t.ops[n] = TraceOp{};
+  t.ops[n].kind = TraceOpKind::kEnd;  // dispatch sentinel (fall-off traces)
+  t.start_va = pc_;
+  t.tlb_gen = l0.tlb_gen;  // == tlb_.generation(), checked above
+  t.ctx_epoch = ctx_epoch_;
+  t.el = pstate_.el;
+  t.pan = pstate_.pan;
+  t.n = static_cast<u16>(n);
+  t.ldst_n = ldst_n;
+  t.start_off = start_off;
+  t.cycles = cyc;
+  t.ppage = ppage;
+  t.host = host;
+  t.valid = true;
+  ++tstats_.built;
+  return true;
+}
+
+u64 Core::try_trace(u64 remaining) {
+  // Conditions the interpreter checks per instruction that a block cannot:
+  // the on_insn hook and armed watchpoints want per-insn work, a deliverable
+  // IRQ must be taken before the next instruction. (Nothing can assert the
+  // IRQ line mid-block: inject_irq() is only called between run() steps or
+  // from the on_insn hook, which disables the tier.)
+  if (on_insn || watchpoints_armed_) return 0;
+  if (irq_pending_ && !pstate_.irq_masked) return 0;
+  TraceCache::Slot& s = tcache_.slot(pc_);
+  Trace* t = s.trace.get();
+  if (t != nullptr && t->valid && t->start_va == pc_) {
+    if (t->tlb_gen != tlb_.generation() || t->ctx_epoch != ctx_epoch_ ||
+        t->el != pstate_.el || t->pan != pstate_.pan) {
+      // The translation may have changed under the trace (TLBI, remote DVM
+      // shootdown, TTBR/ASID rewrite, EL/PAN change): discard, then fall
+      // through to the rebuild path under the live context.
+      t->valid = false;
+      ++tstats_.invalidated_gen;
+      s.defer = s.defer != 0 ? static_cast<u16>(std::min(s.defer * 2, 256))
+                             : u16{2};
+    } else if (std::memcmp(t->words.data(), t->host + t->start_off,
+                           std::size_t{t->n} * 4) != 0) {
+      // Self-modifying code: the live words no longer match what the trace
+      // was lowered from. The interpreter re-reads and re-decodes.
+      t->valid = false;
+      ++tstats_.invalidated_smc;
+      s.defer = s.defer != 0 ? static_cast<u16>(std::min(s.defer * 2, 256))
+                             : u16{2};
+    } else {
+      if (s.defer != 0) s.defer = 0;  // stable again: rebuild eagerly next
+      if (u64{t->n} > remaining) return 0;  // near max_steps: step exactly
+      if (prof_on_) {
+        const Cycles now = account_.total() + pending_insn_cycles_ +
+                           pending_mem_cycles_;
+        if (now + trace_cycle_bound(plat_, *t) >= prof_next_) return 0;
+      }
+      return exec_trace(*t, remaining);
+    }
+  }
+  if (s.hot_va != pc_) {
+    s.hot_va = pc_;  // first visit: mark; build on the second
+    return 0;
+  }
+  if (s.defer != 0) {
+    --s.defer;  // invalidation backoff: let the interpreter run this block
+    return 0;
+  }
+  if (!build_trace(s)) return 0;
+  t = s.trace.get();
+  if (u64{t->n} > remaining) return 0;
+  if (prof_on_) {
+    const Cycles now =
+        account_.total() + pending_insn_cycles_ + pending_mem_cycles_;
+    if (now + trace_cycle_bound(plat_, *t) >= prof_next_) return 0;
+  }
+  return exec_trace(*t, remaining);
+}
+
+u64 Core::exec_trace(Trace& t, u64 remaining) {
+  // Pre-sum the whole block's accounting: base cycles, retired count, and
+  // one micro-TLB fetch-hit credit per instruction (see the exactness
+  // argument at the top of this file). A mid-block load/store fault rolls
+  // the unexecuted remainder back in trace_ldst().
+  //
+  // Block chaining: a terminal branch that lands back on this trace's own
+  // start re-enters the op loop directly — no slot lookup, no live-word
+  // memcmp — as long as the tags that could have moved *inside* the block
+  // still hold: the Tlb generation (a chained load/store can evict live
+  // entries) and t.valid (a store into the own code page clears it, but
+  // that path also exits). Nothing else can change mid-block: EL/PAN and
+  // the context epoch only move through exec_system or exceptions (both
+  // excluded/exiting), IRQ injection needs C++ to run, and cross-core
+  // writes to the code page are caught by the entry memcmp of whichever
+  // block dispatches next — the own-page store check covers this block.
+  // Threaded-code dispatch (GNU labels-as-values): each handler ends in its
+  // own indirect jump to the next op's handler, so the branch predictor
+  // learns per-handler successor patterns instead of sharing one switch
+  // site. A kEnd sentinel after the last op of fall-off traces removes the
+  // per-op bounds check; terminal branch kinds jump straight to `done`.
+  nested_faults_ = 0;  // the block's (memoized) fetches all succeed
+  static const void* const kJump[] = {
+      &&h_nop,    &&h_movpre, &&h_movk,   &&h_addimm,  &&h_subimm,
+      &&h_subsimm, &&h_addreg, &&h_subreg, &&h_subsreg, &&h_andreg,
+      &&h_orrreg, &&h_eorreg, &&h_andsreg, &&h_lslimm,  &&h_ldst,
+      &&h_b,      &&h_bl,     &&h_bcond,  &&h_cbz,     &&h_cbnz,
+      &&h_br,     &&h_blr,    &&h_ret,    &&h_end};
+  static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                static_cast<std::size_t>(TraceOpKind::kEnd) + 1);
+#define LZ_TR_NEXT() \
+  do {               \
+    ++op;            \
+    goto* kJump[static_cast<unsigned>(op->kind)]; \
+  } while (0)
+  const TraceOp* const ops = t.ops.data();
+  const unsigned n = t.n;
+  u64* const xr = x_.data();
+  const u64 start_va = t.start_va;
+  const u64 fallthrough_pc = start_va + u64{n} * 4;
+  // No load/store means nothing inside the block can move the Tlb
+  // generation or clear t.valid, so the chain recheck is register-only.
+  const bool pure_alu = t.ldst_n == 0;
+  const u64 chain_limit = remaining - n;  // entry guarantees n <= remaining
+  u64 retired = 0;    // completed prior iterations (chaining)
+  u64 iters = 0;      // block executions, published to tstats_ on exit
+  // Iterations whose accounting pre-sums are not yet materialized into the
+  // pending_* scalars. Deferral is exact because no flush boundary can be
+  // crossed while it is nonzero: the only C++ entry points inside a block
+  // are in trace_ldst, and h_ldst materializes first.
+  u64 lazy_iters = 0;
+  const auto materialize = [&] {
+    if (lazy_iters == 0) return;
+    pending_insn_ += lazy_iters * n;
+    pending_insn_cycles_ += lazy_iters * u64{t.cycles};
+    pending_l0_hits_ += lazy_iters * n;
+    lazy_iters = 0;
+  };
+  const TraceOp* op;
+  u64 next_pc;
+
+enter_block:
+  ++iters;
+  ++lazy_iters;
+  next_pc = fallthrough_pc;  // fall-off-the-end default
+  op = ops;
+  goto* kJump[static_cast<unsigned>(op->kind)];
+
+h_nop:
+  LZ_TR_NEXT();
+h_movpre:
+  xr[op->rd] = op->imm;
+  LZ_TR_NEXT();
+h_movk:
+  xr[op->rd] = (xr[op->rd] & op->imm) | op->aux;
+  LZ_TR_NEXT();
+h_addimm:
+  xr[op->rd] = reg_or_sp(op->rn) + op->imm;
+  LZ_TR_NEXT();
+h_subimm:
+  xr[op->rd] = reg_or_sp(op->rn) - op->imm;
+  LZ_TR_NEXT();
+h_subsimm: {
+  const u64 a = xr[op->rn], b = op->imm, r = a - b;
+  set_flags_sub(a, b, r);
+  set_x(op->rd, r);
+  LZ_TR_NEXT();
+}
+h_addreg:
+  xr[op->rd] = xr[op->rn] + xr[op->rm];
+  LZ_TR_NEXT();
+h_subreg:
+  xr[op->rd] = xr[op->rn] - xr[op->rm];
+  LZ_TR_NEXT();
+h_subsreg: {
+  const u64 a = xr[op->rn], b = xr[op->rm], r = a - b;
+  set_flags_sub(a, b, r);
+  set_x(op->rd, r);
+  LZ_TR_NEXT();
+}
+h_andreg:
+  xr[op->rd] = xr[op->rn] & xr[op->rm];
+  LZ_TR_NEXT();
+h_orrreg:
+  xr[op->rd] = xr[op->rn] | xr[op->rm];
+  LZ_TR_NEXT();
+h_eorreg:
+  xr[op->rd] = xr[op->rn] ^ xr[op->rm];
+  LZ_TR_NEXT();
+h_andsreg: {
+  const u64 r = xr[op->rn] & xr[op->rm];
+  pstate_.n = r >> 63;
+  pstate_.z = r == 0;
+  pstate_.c = pstate_.v = false;
+  set_x(op->rd, r);
+  LZ_TR_NEXT();
+}
+h_lslimm:
+  xr[op->rd] = xr[op->rn] << op->shift;
+  LZ_TR_NEXT();
+h_ldst:
+  materialize();  // trace_ldst's fault path flushes and rolls back pendings
+  if (!trace_ldst(t, *op, static_cast<unsigned>(op - ops))) {
+    const u64 done = retired + static_cast<u64>(op - ops) + 1;
+    tstats_.executed += iters;
+    tstats_.insns += done;
+    return done;
+  }
+  LZ_TR_NEXT();
+h_b:
+  next_pc = op->aux;
+  goto h_end;
+h_bl:
+  xr[arch::kLrIndex] = op->imm;
+  next_pc = op->aux;
+  goto h_end;
+h_bcond:
+  next_pc = cond_holds(op->cond) ? op->aux : op->imm;
+  goto h_end;
+h_cbz:
+  next_pc = xr[op->rm] == 0 ? op->aux : op->imm;
+  goto h_end;
+h_cbnz:
+  next_pc = xr[op->rm] != 0 ? op->aux : op->imm;
+  goto h_end;
+h_blr:
+  // Link before reading the target: BLR x30 jumps to the new link value,
+  // matching execute().
+  xr[arch::kLrIndex] = op->imm;
+  next_pc = xr[op->rn];
+  goto h_end;
+h_br:
+h_ret:
+  next_pc = xr[op->rn];
+  goto h_end;
+h_end:
+  retired += n;
+  pc_ = next_pc;
+  if (next_pc == start_va && retired <= chain_limit &&
+      (pure_alu || (t.valid && t.tlb_gen == tlb_.generation()))) {
+    if (!prof_on_) goto enter_block;
+    materialize();
+    const Cycles now =
+        account_.total() + pending_insn_cycles_ + pending_mem_cycles_;
+    if (now + trace_cycle_bound(plat_, t) < prof_next_) goto enter_block;
+  }
+  materialize();
+  tstats_.executed += iters;
+  tstats_.insns += retired;
+  return retired;
+#undef LZ_TR_NEXT
+}
+
+bool Core::trace_ldst(Trace& t, const TraceOp& op, unsigned i) {
+  const u64 insn_pc = t.start_va + u64{i} * 4;
+  u64 va = reg_or_sp(op.rn);
+  if (op.flags & kTrRegOff) {
+    va += x(op.rm) << op.shift;
+  } else {
+    va += op.imm;
+  }
+  const bool store = (op.flags & kTrStore) != 0;
+  const auto type = store ? AccessType::kWrite : AccessType::kRead;
+  const auto tr = translate(va, type, false);
+  if (!tr.ok) {
+    // Roll the pre-sums back to "ops [0, i] retired". The faulting
+    // instruction itself stays counted, exactly as the interpreter counts
+    // an instruction before execute() runs; op.cyc is the cycle pre-sum
+    // through this op, so barrier extras on either side stay exact.
+    const u64 rest = u64{t.n} - i - 1;
+    pending_insn_ -= rest;
+    pending_l0_hits_ -= rest;
+    pending_insn_cycles_ -= t.cycles - op.cyc;
+    pc_ = insn_pc + 4;
+    pending_elr_ = insn_pc;
+    const bool lower_el =
+        pstate_.el == ExceptionLevel::kEl0 || tr.stage2_fault;
+    const auto ec = lower_el ? ExceptionClass::kDataAbortLowerEl
+                             : ExceptionClass::kDataAbortSameEl;
+    const auto fs = tr.permission ? arch::permission_fault(tr.fault_level)
+                                  : arch::translation_fault(tr.fault_level);
+    raise_sync(ec, arch::make_abort_iss(fs, store), va, tr.fault_ipa,
+               tr.stage2_fault);
+    return false;
+  }
+  pending_mem_cycles_ += plat_.mem_access;
+  if (!store) {
+    u64 v = pm_.read(tr.pa, op.size);
+    if (op.flags & kTrSignExt) {
+      v = static_cast<u64>(sign_extend(v, op.size * 8));
+    }
+    set_x(op.rd, v);
+    return true;
+  }
+  pm_.write(tr.pa, op.size, x(op.rd));
+  if (page_floor(tr.pa) == t.ppage) {
+    // Store into the trace's own code page. This op is complete, but the
+    // words after it may be stale now: roll the remainder back and hand
+    // the rest of the block to the interpreter, which re-reads live words.
+    const u64 rest = u64{t.n} - i - 1;
+    pending_insn_ -= rest;
+    pending_l0_hits_ -= rest;
+    pending_insn_cycles_ -= t.cycles - op.cyc;
+    pc_ = insn_pc + 4;
+    t.valid = false;
+    ++tstats_.invalidated_smc;
+    TraceCache::Slot& s = tcache_.slot(t.start_va);
+    s.defer = s.defer != 0 ? static_cast<u16>(std::min(s.defer * 2, 256))
+                           : u16{2};
+    return false;
+  }
+  return true;
+}
+
+void Core::trace_publish_stats() {
+  // Host-only counters (excluded from report/replay snapshots): the values
+  // depend on per-core cache state, same rationale as decode_count().
+  struct Counters {
+    obs::Counter& built = obs::registry().host_counter("sim.trace.built");
+    obs::Counter& executed =
+        obs::registry().host_counter("sim.trace.executed");
+    obs::Counter& insns = obs::registry().host_counter("sim.trace.insns");
+    obs::Counter& smc =
+        obs::registry().host_counter("sim.trace.invalidated_smc");
+    obs::Counter& gen =
+        obs::registry().host_counter("sim.trace.invalidated_gen");
+    obs::Counter& teardown =
+        obs::registry().host_counter("sim.trace.invalidated_teardown");
+  };
+  static Counters c;
+  c.built.add(tstats_.built - tstats_pub_.built);
+  c.executed.add(tstats_.executed - tstats_pub_.executed);
+  c.insns.add(tstats_.insns - tstats_pub_.insns);
+  c.smc.add(tstats_.invalidated_smc - tstats_pub_.invalidated_smc);
+  c.gen.add(tstats_.invalidated_gen - tstats_pub_.invalidated_gen);
+  c.teardown.add(tstats_.invalidated_teardown -
+                 tstats_pub_.invalidated_teardown);
+  tstats_pub_ = tstats_;
+}
+
+}  // namespace lz::sim

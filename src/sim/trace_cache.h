@@ -1,0 +1,142 @@
+// Superblock translation tier (DESIGN.md §16): straight-line runs of
+// decoded instructions within one physical code page, chained into a
+// "trace" and executed as a unit by threaded-code dispatch in the core.
+//
+// A trace is pure host-side memoization layered *on top of* the PR-4
+// decoded-page cache: it carries the Tlb generation, context epoch and
+// EL/PAN it was built under (the exact validity predicate of an L0 fetch
+// slot), the identity of its physical page, and a copy of the encoded
+// words it was decoded from. At dispatch the live words are re-compared
+// (self-modifying code), the tags are re-checked (TLBI/DVM/context
+// switch), and any mismatch discards the trace — the same machinery that
+// keeps the decode cache honest, so the tier is architecturally invisible.
+//
+// Trace formation stops at branches (the branch itself terminates the
+// trace), at every exec_system-class instruction (MSR/MRS/MSR-imm/SYS —
+// the Table-3 sensitive set must take the interpreter slow path so the
+// sanitizer and secure-gate semantics are untouched), at exception
+// generators (SVC/HVC/SMC/BRK/ERET), at unprivileged LDTR/STTR, at the
+// page boundary, and at kMaxOps.
+//
+// Everything here is owned by the core's thread; cross-core invalidation
+// (remote DVM shootdowns) rides the Tlb generation tag exactly like the
+// L0 cache, so no lock and no atomics appear on the dispatch path.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "arch/exception.h"
+#include "arch/insn.h"
+#include "support/types.h"
+
+namespace lz::sim {
+
+// Process-wide default for new cores (overridable per core afterwards).
+// Initialized once from the LZ_TRACE_TIER environment variable: unset or
+// anything but "0" enables the tier.
+bool trace_tier_default();
+void set_trace_tier_default(bool on);
+
+// Pre-lowered micro-op: operands resolved, immediates precomputed, so the
+// dispatch switch does the minimum work per retired instruction.
+enum class TraceOpKind : u8 {
+  kNop,      // NOP and ISB/DSB/DMB (barrier cycles folded into the presum)
+  kMovPre,   // MOVZ/MOVN with the shifted value precomputed in imm
+  kMovk,     // imm = keep-mask, aux = shifted insert
+  kAddImm, kSubImm, kSubsImm,
+  kAddReg, kSubReg, kSubsReg,
+  kAndReg, kOrrReg, kEorReg, kAndsReg,
+  kLslImm,
+  kLdSt,     // imm/reg-offset load/store (flags below select the variant)
+  // Terminal kinds: a trace always ends at its branch (if any).
+  kB, kBl, kBCond, kCbz, kCbnz, kBr, kBlr, kRet,
+  // Dispatch sentinel appended after the last op of a fall-off-the-end
+  // trace, so the threaded-code loop needs no per-op bounds check. Never
+  // produced by lowering.
+  kEnd,
+};
+
+inline constexpr u8 kTrStore = 1;    // kLdSt: store (vs load)
+inline constexpr u8 kTrRegOff = 2;   // kLdSt: register offset (vs immediate)
+inline constexpr u8 kTrSignExt = 4;  // kLdSt: sign-extending load
+
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kNop;
+  u8 rd = 0;           // destination / ld-st data register
+  u8 rn = 0;           // base / source register
+  u8 rm = 0;           // second source / offset register / cbz-cbnz test reg
+  u8 size = 8;         // ld/st access bytes
+  u8 shift = 0;        // register-offset LSL amount / LSL #imm
+  u8 flags = 0;        // kTr* bits
+  arch::Cond cond = arch::Cond::kAl;
+  u32 cyc = 0;         // platform kInsn cycles through this op (fault rollback)
+  u64 imm = 0;         // precomputed immediate / byte offset / fallthrough VA
+  u64 aux = 0;         // branch target VA / movk insert / link value
+};
+
+struct Trace {
+  // Validity tags: the L0Entry predicate (see core.h) plus page identity.
+  u64 start_va = 0;
+  u64 tlb_gen = 0;
+  u64 ctx_epoch = 0;
+  arch::ExceptionLevel el = arch::ExceptionLevel::kEl0;
+  bool pan = false;
+  bool valid = false;
+  u16 n = 0;             // retired instructions when the trace runs to the end
+  u16 ldst_n = 0;        // loads/stores in the trace (profiler margin bound)
+  u32 start_off = 0;     // byte offset of start_va's word within the page
+  u32 cycles = 0;        // presummed kInsn cycles for the whole trace
+  PhysAddr ppage = 0;
+  const u8* host = nullptr;  // live page bytes (self-modifying-code recheck)
+
+  static constexpr unsigned kMaxOps = 64;
+  std::array<u32, kMaxOps> words{};  // encodings the ops were lowered from
+  std::array<TraceOp, kMaxOps + 1> ops{};  // +1: kEnd dispatch sentinel
+};
+
+// Host-side per-core statistics, published to the obs registry's host-only
+// counters (`sim.trace.*`) at run() exit. Like Core::decode_count(), these
+// depend on per-core cache state and are deliberately kept out of the
+// replay-compared counter snapshots.
+struct TraceStats {
+  u64 built = 0;
+  u64 executed = 0;
+  u64 insns = 0;      // instructions retired through traces
+  u64 invalidated_smc = 0;       // live-word mismatch / store into own page
+  u64 invalidated_gen = 0;       // Tlb generation / context-epoch tag miss
+  u64 invalidated_teardown = 0;  // eager drop from Machine DVM/teardown paths
+};
+
+// Direct-mapped trace store, keyed by start VA. Slots allocate lazily (a
+// core that never runs hot code pays an array of null pointers); a Trace,
+// once allocated, is reused in place by rebuilds, so a dispatch loop never
+// sees its storage move.
+class TraceCache {
+ public:
+  static constexpr unsigned kSlots = 1024;  // power of two
+
+  struct Slot {
+    u64 hot_va = ~u64{0};  // build-on-second-visit marker
+    // Rebuild backoff: how many dispatch opportunities to skip before
+    // rebuilding. Doubles (to a cap) each time this slot's trace is
+    // invalidated, and resets on a dispatch that survives validation —
+    // so a block whose context churns every iteration (e.g. a domain-switch
+    // loop rewriting TTBR0) stops paying build cost, while a one-off
+    // TLBI/SMC patch only delays the rebuild by a couple of blocks.
+    u16 defer = 0;
+    std::unique_ptr<Trace> trace;
+  };
+
+  Slot& slot(u64 va) { return slots_[(va >> 2) & (kSlots - 1)]; }
+
+  // Drops every valid trace built over `ppage`; returns how many died.
+  unsigned invalidate_page(PhysAddr ppage);
+  // Drops every valid trace; returns how many died.
+  unsigned invalidate_all();
+
+ private:
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace lz::sim

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/bbm.h"
 #include "mem/phys_mem.h"
 #include "mem/tlb.h"
 #include "obs/counters.h"
@@ -292,11 +293,13 @@ TEST_F(HotPathTest, CachedAsidVmidFollowSysregWrites) {
 
 class DecodeCacheTest : public HotPathTest {
  protected:
-  void InstallCode(Asm& a) {
+  explicit DecodeCacheTest(unsigned cores = 1) : HotPathTest(cores) {}
+
+  void InstallCode(Asm& a, S1Attrs attrs = CodeAttrs()) {
     tbl = std::make_unique<mem::Stage1Table>(machine.mem(), /*asid=*/1);
     code_pa = machine.mem().alloc_frame();
     a.install(machine.mem(), code_pa);
-    LZ_CHECK_OK(tbl->map(kCodeVa, code_pa, CodeAttrs()));
+    LZ_CHECK_OK(tbl->map(kCodeVa, code_pa, attrs));
     UseTable(*tbl);
     machine.core(0).set_pc(kCodeVa);
     machine.core(0).set_handler(ExceptionLevel::kEl1, [](const TrapInfo&) {
@@ -566,6 +569,197 @@ TEST(PhysMemRadixTest, ConcurrentFirstTouchReads) {
   }
   for (auto& w : workers) w.join();
   for (unsigned t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]);
+}
+
+// --- Superblock trace tier ---------------------------------------------------
+// The trace tier (DESIGN.md §16) memoizes straight-line runs of decoded
+// instructions and replays them with threaded-code dispatch. It must be as
+// architecturally invisible as the L0/decode caches it sits on: these tests
+// drive every invalidation source (own-page store mid-trace, bare
+// translation-context switch, remote DVM broadcast, break-before-make remap)
+// and check both the architectural results and the sim.trace.* accounting.
+// Note the anti-churn backoff: after an invalidation the slot skips a couple
+// of dispatch opportunities before rebuilding, so loops here run enough
+// iterations to see the rebuild.
+
+class TraceTierTest : public DecodeCacheTest {
+ protected:
+  explicit TraceTierTest(unsigned cores = 1) : DecodeCacheTest(cores) {
+    for (unsigned c = 0; c < cores; ++c) machine.core(c).set_trace_tier(true);
+  }
+
+  const TraceStats& Stats() { return machine.core(0).trace_stats(); }
+
+  // Writable + executable mapping for self-modifying-code tests.
+  static S1Attrs RwxAttrs() {
+    S1Attrs a;
+    a.user = false;
+    a.read_only = false;
+    a.pxn = false;
+    return a;
+  }
+};
+
+// A store inside a trace that lands on the trace's own code page must kill
+// the trace on the spot: the store itself completes, the words after it are
+// re-read by the interpreter, and the invalidation is counted as SMC.
+TEST_F(TraceTierTest, OwnPageStoreKillsTraceMidFlight) {
+  constexpr u64 kIters = 60;
+  constexpr u64 kScratchOff = 0x800;  // word on the code page, past the code
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.mov_imm64(3, kCodeVa + kScratchOff);
+  a.movz(4, 0xbeef);
+  a.bind(loop);
+  a.str(4, 3);          // store into the trace's own page, mid-trace
+  a.add_imm(2, 2, 1);   // iteration counter: proves every op still retires
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a, RwxAttrs());
+
+  auto& core = machine.core(0);
+  const auto r = core.run(10'000);
+  EXPECT_EQ(r.reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), kIters);
+  EXPECT_EQ(machine.mem().read(code_pa + kScratchOff, 8), 0xbeefu);
+  EXPECT_GE(Stats().built, 1u);
+  EXPECT_GE(Stats().invalidated_smc, 1u);
+}
+
+// A bare TTBR0 rewrite (LightZone's §4.1.2 domain switch) bumps the
+// translation-context epoch: the trace built under the old epoch must miss
+// its tags on the next dispatch and be rebuilt, with results unchanged.
+TEST_F(TraceTierTest, BareTtbr0RewriteInvalidatesByEpoch) {
+  constexpr u64 kIters = 200;
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), kIters);
+  EXPECT_GE(Stats().built, 1u);
+  EXPECT_GE(Stats().executed, 1u);
+  const u64 gen0 = Stats().invalidated_gen;
+  const u64 built0 = Stats().built;
+
+  // Same root, same ASID — but any TTBR0 write opens a new context epoch.
+  core.set_sysreg(SysReg::kTtbr0El1, tbl->ttbr());
+  core.set_pc(kCodeVa);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), 2 * kIters);
+  EXPECT_GE(Stats().invalidated_gen, gen0 + 1);  // old trace died by tag
+  EXPECT_GE(Stats().built, built0 + 1);          // and was rebuilt
+}
+
+// A TLBI issued by the core that owns the traces drops them eagerly via the
+// Machine teardown hook (counted separately from dispatch-time tag misses).
+TEST_F(TraceTierTest, LocalTlbiTearsDownTraces) {
+  constexpr u64 kIters = 100;
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_GE(Stats().built, 1u);
+
+  machine.tlbi_va_is(page_index(kCodeVa), /*asid=*/1, /*vmid=*/0);
+  EXPECT_GE(Stats().invalidated_teardown, 1u);
+
+  core.set_pc(kCodeVa);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), 2 * kIters);
+}
+
+class TraceTierRemoteTest : public TraceTierTest {
+ protected:
+  TraceTierRemoteTest() : TraceTierTest(2) {}
+};
+
+// A DVM shootdown broadcast from another core must invalidate this core's
+// traces without touching them cross-thread: the initiating core only drops
+// its own, and the victim's trace dies at dispatch by its generation tag.
+TEST_F(TraceTierRemoteTest, RemoteDvmShootdownInvalidatesByGeneration) {
+  constexpr u64 kIters = 150;
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_GE(Stats().built, 1u);
+  const u64 gen0 = Stats().invalidated_gen;
+  const u64 teardown0 = Stats().invalidated_teardown;
+
+  std::thread([&] {
+    Machine::CoreBinding bind(machine, 1);
+    machine.tlbi_va_is(page_index(kCodeVa), /*asid=*/1, /*vmid=*/0);
+  }).join();
+
+  // The broadcast must not have reached into core 0's trace store directly —
+  // only core 0 retires its own traces, at its next dispatch.
+  EXPECT_EQ(Stats().invalidated_teardown, teardown0);
+
+  core.set_pc(kCodeVa);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), 2 * kIters);
+  EXPECT_GE(Stats().invalidated_gen, gen0 + 1);
+}
+
+// A clean break-before-make remap of the code page (unmap, scoped TLBI,
+// remap) keeps the BBM monitor quiet and merely rebuilds the trace.
+TEST_F(TraceTierTest, CleanBbmRemapRebuildsQuietly) {
+  check::BbmMonitor::install();
+  check::BbmMonitor::instance().reset();
+  constexpr u64 kIters = 120;
+  Asm a;
+  auto loop = a.new_label();
+  a.movz(1, kIters);
+  a.bind(loop);
+  a.add_imm(2, 2, 1);
+  a.sub_imm(1, 1, 1);
+  a.cbnz(1, loop);
+  a.svc(0);
+  InstallCode(a);
+
+  auto& core = machine.core(0);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_GE(Stats().built, 1u);
+  const u64 built0 = Stats().built;
+
+  // Break-before-make: unmap, TLBI scoped to the right ASID (tlbi_va_is
+  // completes with a DSB), then map the same frame back.
+  LZ_CHECK_OK(tbl->unmap(kCodeVa));
+  machine.tlbi_va_is(page_index(kCodeVa), /*asid=*/1, /*vmid=*/0);
+  LZ_CHECK_OK(tbl->map(kCodeVa, code_pa, CodeAttrs()));
+  EXPECT_EQ(check::BbmMonitor::instance().stats().violations, 0u);
+
+  core.set_pc(kCodeVa);
+  EXPECT_EQ(core.run(10'000).reason, StopReason::kHandlerStop);
+  EXPECT_EQ(core.x(2), 2 * kIters);
+  EXPECT_GE(Stats().built, built0 + 1);  // rebuilt over the remapped page
+  check::BbmMonitor::instance().reset();
 }
 
 }  // namespace
