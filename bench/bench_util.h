@@ -31,6 +31,15 @@
 //                           (pure interpreter; A/B baseline for the tier's
 //                           speedup — simulated results are identical by
 //                           contract, only host MIPS move)
+//   --metrics-out <path>    arm the labeled metrics plane and write the
+//                           Prometheus-style text exposition snapshot at
+//                           finish(); with --ts-period the exposition pump
+//                           also rewrites the file at every sample so a
+//                           running bench can be scraped live
+//   --self-profile          arm host-side self-profiling (`host.self.*`
+//                           TSC tick attribution per engine tier) and
+//                           include it in the exposition — wall-clock, so
+//                           never part of byte-identity gates
 //   --help / -h             print this flag summary and exit 0
 //   --benchmark_*           passed through to google-benchmark untouched
 //
@@ -58,8 +67,10 @@
 
 #include "lightzone/backend.h"
 #include "obs/counters.h"
+#include "obs/expose.h"
 #include "obs/flight.h"
 #include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/span.h"
@@ -82,6 +93,9 @@ struct ObsOptions {
   // --backend B: which IsolationBackend the bench evaluates.
   core::BackendKind backend = core::BackendKind::kTtbrPan;
   bool no_trace_tier = false;  // --no-trace-tier: interpreter-only A/B leg
+  // --metrics-out F: arm the metrics plane, write the exposition to F.
+  std::string metrics_path;
+  bool self_profile = false;  // --self-profile: host.self.* tick brackets
 };
 
 // The one flag summary every bench binary prints for --help; keep in sync
@@ -103,6 +117,9 @@ inline void print_bench_usage(const char* argv0, std::FILE* out) {
       "  --backend <B>          ttbr_pan (default) | poe | cca | watchpoint "
       "| lwc\n"
       "  --no-trace-tier        interpreter only (A/B: tier speedup)\n"
+      "  --metrics-out <path>   arm the metrics plane; write Prometheus-style\n"
+      "                         exposition (live-updated under --ts-period)\n"
+      "  --self-profile         host.self.* wall-clock tier attribution\n"
       "  --help, -h             this text\n",
       argv0, static_cast<unsigned long long>(obs::Profiler::kDefaultPeriod));
 }
@@ -144,7 +161,12 @@ inline ObsOptions parse_bench_flags(int* argc, char** argv) {
       opts.no_trace_tier = true;
       continue;
     }
+    if (arg == "--self-profile") {
+      opts.self_profile = true;
+      continue;
+    }
     if (take("--json", &opts.json_path) ||
+        take("--metrics-out", &opts.metrics_path) ||
         take("--report-schema", &schema_str) ||
         take("--trace", &opts.trace_path) ||
         take("--profile", &opts.profile_path) ||
@@ -216,6 +238,17 @@ class ObsSession {
       obs::spans().arm(kTraceCapacity);
     }
     if (opts_.ts_period > 0) obs::timeseries().arm(opts_.ts_period);
+    if (!opts_.metrics_path.empty()) {
+      obs::metrics().enable();
+      // Live scrape file: every time-series sample also rewrites the
+      // exposition snapshot, so `watch cat FILE` observes the run.
+      if (opts_.ts_period > 0) {
+        obs::exposition_pump().arm(opts_.metrics_path,
+                                   {/*include_host=*/true,
+                                    /*include_self=*/opts_.self_profile});
+      }
+    }
+    if (opts_.self_profile) obs::selfprof().enable();
     const bool want_profile =
         !opts_.profile_path.empty() ||
         (opts_.schema == obs::ReportSchema::kV2 && !opts_.json_path.empty());
@@ -283,6 +316,18 @@ class ObsSession {
                      opts_.profile_path.c_str());
       }
     }
+    if (!opts_.metrics_path.empty()) {
+      obs::exposition_pump().disarm();
+      if (obs::write_exposition(opts_.metrics_path,
+                                {/*include_host=*/true,
+                                 /*include_self=*/opts_.self_profile})) {
+        std::printf("obs: wrote metrics exposition to %s\n",
+                    opts_.metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "obs: failed to write metrics exposition to %s\n",
+                     opts_.metrics_path.c_str());
+      }
+    }
     if (opts_.json_path.empty()) {
       obs::profiler().disarm();
       return;
@@ -310,6 +355,12 @@ class ObsSession {
         obs::timeseries().disarm();
       }
       if (spans_armed) report_.set_spans(obs::spans());
+      // Host-counter section ("host"): `sim.trace.*` and friends in every
+      // v2 report, not just bench/throughput's results. Emitted only when
+      // the engine registered host counters (Report skips empty sections),
+      // and values depend on host-side caching — lz_report's
+      // --require-sim-identical strips this member before comparing.
+      report_.add_host_counters(obs::registry().host_snapshot());
     }
     obs::profiler().disarm();
     if (report_.write(opts_.json_path)) {

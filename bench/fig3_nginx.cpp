@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "workloads/httpd.h"
 
 namespace {
@@ -70,6 +71,17 @@ void print_fig3() {
       bench::record(slug_of(combo.label) + "." + to_string(kMechs[m]) +
                         ".rps_at_64",
                     sat);
+      // Per-tenant rps sample for the metrics plane: the single-worker
+      // sweep contributes one saturation-rps sample per combo/mechanism to
+      // the "httpd-worker" tenant's distribution.
+      if (obs::metrics().enabled()) {
+        obs::LabelSet labels;
+        labels.set(obs::LabelKey::kTenant, "httpd-worker");
+        obs::metrics()
+            .histogram_family("httpd.rps")
+            .with(labels)
+            .record(static_cast<u64>(sat));
+      }
       if (m == 0) {
         base_rps = sat;
         std::printf(" %10s\n", "(base)");

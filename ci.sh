@@ -46,17 +46,21 @@ LZ_TRACE_TIER=0 build/bench/table5_switch --report-schema v1 --json "$v1_off" \
   --benchmark_filter=NONE >/dev/null
 cmp "$v1_off" BENCH_table5_v1.json
 
-# v2 determinism: everything in the report runs on the simulated clock
-# (histogram percentiles, profile samples, hotspot tables included), so two
-# runs must serialise to identical bytes — even when the second run disables
-# the trace tier and interprets every instruction.
+# v2 determinism: everything in the simulated sections runs on the
+# simulated clock (histogram percentiles, profile samples, hotspot tables
+# included), so a tier-on and a tier-off run must agree on every
+# simulation-derived byte. The optional "host" section (sim.trace.*) is the
+# one legitimate difference between the two engines, so the gate is
+# lz_report --require-sim-identical (strip "host", compare dumps) rather
+# than a raw cmp.
 v2_a=/tmp/t5.v2.a.json
 v2_b=/tmp/t5.v2.b.json
 rm -f "$v2_a" "$v2_b"
 build/bench/table5_switch --json "$v2_a" --benchmark_filter=NONE >/dev/null
 LZ_TRACE_TIER=0 build/bench/table5_switch --json "$v2_b" \
   --benchmark_filter=NONE >/dev/null
-cmp "$v2_a" "$v2_b"
+build/bench/lz_report "$v2_a" "$v2_b" \
+  --require-cycles-equal --require-sim-identical >/dev/null
 
 # Regression gates via lz_report against the checked-in v2 baseline: the
 # simulated cycle total must match exactly (observe-only contract) and the
@@ -91,6 +95,88 @@ grep -q '"timeseries":{' "$fig3_json"
 grep -q '"snapshots":\[{' "$fig3_json"
 grep -q '"spans":{' "$fig3_json"
 build/bench/report_check "$fig3_json"
+
+# Trace tier on vs off across a real workload: fig3's httpd run registers
+# the sim.trace.* host counters with the tier on and none with it off, so
+# the "host" sections legitimately differ while every simulated section
+# must stay byte-identical — exactly what --require-sim-identical gates.
+# (No --ts-period here: SMP sample timestamps are host-scheduling
+# dependent, see EXPERIMENTS.md.)
+fig3_on=/tmp/fig3.obs.trace_on.json
+fig3_off=/tmp/fig3.obs.notrace.json
+rm -f "$fig3_on" "$fig3_off"
+build/bench/fig3_nginx --cores 4 --json "$fig3_on" \
+  --benchmark_filter=NONE >/dev/null
+LZ_TRACE_TIER=0 build/bench/fig3_nginx --cores 4 --json "$fig3_off" \
+  --benchmark_filter=NONE >/dev/null
+grep -q '"host":{"sim.trace.' "$fig3_on"
+if grep -q '"host":' "$fig3_off"; then
+  echo "ci.sh: tier-off run unexpectedly registered host counters" >&2
+  exit 1
+fi
+build/bench/lz_report "$fig3_on" "$fig3_off" \
+  --require-cycles-equal --require-sim-identical >/dev/null
+
+# Metrics-plane smoke: the per-tenant exposition must carry the per-worker
+# rps and request-latency summaries plus the per-tenant/domain switch-cycle
+# families, and two same-seed runs must render byte-identical snapshots
+# (every series value is derived from simulated work only).
+expo_a=/tmp/fig3.metrics.a.prom
+expo_b=/tmp/fig3.metrics.b.prom
+rm -f "$expo_a" "$expo_b"
+build/bench/fig3_nginx --cores 4 --metrics-out "$expo_a" \
+  --benchmark_filter=NONE >/dev/null
+build/bench/fig3_nginx --cores 4 --metrics-out "$expo_b" \
+  --benchmark_filter=NONE >/dev/null
+cmp "$expo_a" "$expo_b"
+grep -q '^httpd_rps{tenant="httpd-worker0",quantile="0.99"}' "$expo_a"
+grep -q '^httpd_requests{tenant="httpd-worker3"}' "$expo_a"
+grep -q '^httpd_request_cycles{tenant="httpd-worker0",quantile="0.5"}' "$expo_a"
+grep -q '^lz_tenant_gate_switch_cycles{tenant=' "$expo_a"
+grep -q '^lz_tenant_world_switch_cycles{tenant=' "$expo_a"
+
+# Overhead self-audit, part 1: arming the metrics plane (and the final
+# exposition write) may not move a simulated cycle or counter — the armed
+# table5 run must be sim-identical to the flagless baseline.
+t5_metrics=/tmp/t5.metrics.json
+t5_expo=/tmp/t5.metrics.prom
+rm -f "$t5_metrics" "$t5_expo"
+build/bench/table5_switch --json "$t5_metrics" --metrics-out "$t5_expo" \
+  --benchmark_filter=NONE >/dev/null
+test -s "$t5_expo"
+grep -q '^lz_tenant_gate_switch_cycles{tenant=' "$t5_expo"
+build/bench/lz_report "$v2_a" "$t5_metrics" \
+  --require-cycles-equal --require-sim-identical >/dev/null
+
+# Overhead self-audit, part 2: with --self-profile the obs stack attributes
+# its own host wall-clock (sampling, rendering, dump pump) to
+# host.self.obs. On the engine-heavy throughput bench with the pump firing
+# every 10M simulated cycles, the obs stack must stay below 25% of the
+# engine's own run-tier time — the metrics plane may observe the engine,
+# not crowd it out.
+audit_expo=/tmp/throughput.audit.prom
+rm -f "$audit_expo"
+build/bench/throughput --iters 1 --metrics-out "$audit_expo" \
+  --self-profile --ts-period 10000000 >/dev/null
+awk '/^host_self_run_ticks/ { run = $2 }
+     /^host_self_obs_ticks/ { obs = $2 }
+     END {
+       if (run == 0 || obs == 0) { print "self-audit: no ticks"; exit 1 }
+       ratio = obs / run
+       printf "self-audit: host.self.obs / host.self.run = %.4f\n", ratio
+       exit ratio < 0.25 ? 0 : 1
+     }' "$audit_expo"
+
+# Trend gate: the checked-in bench history must accept a fresh table5 run
+# (cycles.total is simulated, so the drift from the recorded median is
+# exactly zero) and append it — run against a scratch copy so the tree
+# stays clean.
+trend_hist=/tmp/history.jsonl
+cp bench/history/history.jsonl "$trend_hist"
+build/bench/lz_report --trend "$v2_a" --history "$trend_hist" \
+  --trend-max-drift 0.5 >/dev/null
+test "$(wc -l < "$trend_hist")" -eq \
+  "$(( $(wc -l < bench/history/history.jsonl) + 1 ))"
 
 # SMP determinism smoke: the 4-core Table 5 run (per-core TLB hit rates,
 # concurrent scheduler threads) must be byte-identical across two runs.
@@ -174,11 +260,12 @@ build/bench/lz_report BENCH_throughput.json \
 # both concurrent fuzz drivers must be clean under the thread sanitizer.
 cmake -B build-tsan -G Ninja -DLZ_SANITIZE=thread >/dev/null
 cmake --build build-tsan --target smp_test obs_test obs_v3_test \
-  hotpath_test histogram_test profiler_test pmu_test backend_test \
-  bbm_test fuzz_table2 fuzz_a64 throughput
+  metrics_test hotpath_test histogram_test profiler_test pmu_test \
+  backend_test bbm_test fuzz_table2 fuzz_a64 throughput
 build-tsan/tests/smp_test
 build-tsan/tests/obs_test
 build-tsan/tests/obs_v3_test
+build-tsan/tests/metrics_test
 # Tier forced on explicitly: the trace dispatch path, the DVM teardown hook
 # and the generation-tag invalidation must be race-free on SMP topologies.
 LZ_TRACE_TIER=1 build-tsan/tests/hotpath_test
@@ -197,8 +284,10 @@ build-tsan/bench/throughput --iters 1 --cores 2 >/dev/null
 # instruments for leaks and overruns too.
 cmake -B build-asan -G Ninja -DLZ_SANITIZE=address >/dev/null
 cmake --build build-asan --target fuzz_table2 fuzz_a64 check_test bbm_test \
-  hotpath_test histogram_test profiler_test pmu_test obs_v3_test backend_test
+  hotpath_test histogram_test profiler_test pmu_test obs_v3_test \
+  backend_test metrics_test
 build-asan/tests/check_test
+build-asan/tests/metrics_test
 build-asan/tests/bbm_test
 LZ_TRACE_TIER=1 build-asan/tests/hotpath_test
 build-asan/tests/histogram_test

@@ -5,6 +5,7 @@
 
 #include "obs/counters.h"
 #include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -82,6 +83,43 @@ struct LzHists {
 LzHists& lz_hists() {
   static LzHists h;
   return h;
+}
+
+// Labeled switch-latency families (metrics plane, DESIGN.md §17): the same
+// deltas the flat histograms record, keyed per tenant (the registered
+// domain label, falling back to "vmid<v>") and — for gate switches — per
+// domain (the target ASID). Everything below is guarded by
+// metrics().enabled(), so the flagless path pays one relaxed load and the
+// per-tenant families never even register.
+struct LzMetricFamilies {
+  obs::HistogramFamily& gate =
+      obs::metrics().histogram_family("lz.tenant.gate_switch_cycles");
+  obs::HistogramFamily& pan =
+      obs::metrics().histogram_family("lz.tenant.pan_switch_cycles");
+  obs::HistogramFamily& world =
+      obs::metrics().histogram_family("lz.tenant.world_switch_cycles");
+  obs::HistogramFamily& hvc =
+      obs::metrics().histogram_family("lz.tenant.hvc_forward_cycles");
+};
+
+LzMetricFamilies& lz_metric_families() {
+  static LzMetricFamilies f;
+  return f;
+}
+
+std::string tenant_label(u16 vmid, u16 asid) {
+  std::string label = obs::domain_label(vmid, asid);
+  if (label.empty() && asid != 0) label = obs::domain_label(vmid, 0);
+  if (label.empty()) label = "vmid" + std::to_string(vmid);
+  return label;
+}
+
+void record_tenant_switch(obs::HistogramFamily& family, u16 vmid, u16 asid,
+                          bool with_domain, Cycles delta) {
+  obs::LabelSet labels;
+  labels.set(obs::LabelKey::kTenant, tenant_label(vmid, asid));
+  if (with_domain) labels.set(obs::LabelKey::kDomain, u64{asid});
+  family.with(labels).record(delta);
 }
 
 }  // namespace
@@ -733,7 +771,11 @@ void LzModule::enter_world(LzContext& ctx) {
   core.set_handler(ExceptionLevel::kEl1, nullptr);  // stub owns EL1 vectors
   host_.push_delegate(this);
   w.active = &ctx;
-  lz_hists().world_switch.record(machine().account().total() - start);
+  const Cycles enter_delta = machine().account().total() - start;
+  lz_hists().world_switch.record(enter_delta);
+  if (obs::metrics().enabled())
+    record_tenant_switch(lz_metric_families().world, ctx.vmid, 0,
+                         /*with_domain=*/false, enter_delta);
 }
 
 void LzModule::exit_world(LzContext& ctx) {
@@ -747,7 +789,11 @@ void LzModule::exit_world(LzContext& ctx) {
   lz_counters().world_exit.add();
   obs::trace().world_switch(obs::WorldKind::kLzExit, ctx.vmid);
   w.active = nullptr;
-  lz_hists().world_switch.record(machine().account().total() - start);
+  const Cycles exit_delta = machine().account().total() - start;
+  lz_hists().world_switch.record(exit_delta);
+  if (obs::metrics().enabled())
+    record_tenant_switch(lz_metric_families().world, ctx.vmid, 0,
+                         /*with_domain=*/false, exit_delta);
 }
 
 sim::RunResult LzModule::run(LzContext& ctx, u64 max_steps) {
@@ -811,6 +857,9 @@ Result<Cycles> LzModule::exec_gate_switch(LzContext& ctx, int gate) {
   }
   const Cycles delta = machine().account().total() - start;
   lz_hists().gate_switch.record(delta);
+  if (obs::metrics().enabled())
+    record_tenant_switch(lz_metric_families().gate, ctx.vmid, asid,
+                         /*with_domain=*/true, delta);
   return delta;
 }
 
@@ -826,6 +875,9 @@ Cycles LzModule::exec_set_pan(LzContext& ctx, bool pan) {
   obs::trace().pan_toggle(pan);
   const Cycles delta = machine().account().total() - start;
   lz_hists().pan_switch.record(delta);
+  if (obs::metrics().enabled())
+    record_tenant_switch(lz_metric_families().pan, ctx.vmid, 0,
+                         /*with_domain=*/false, delta);
   return delta;
 }
 
@@ -870,7 +922,11 @@ sim::TrapAction LzModule::on_el2_trap(const TrapInfo& info) {
       }
       const auto action = handle_forwarded(*ctx);
       if (nested() && action == TrapAction::kResume) charge_nested_exit(*ctx);
-      lz_hists().hvc_forward.record(machine().account().total() - fwd_start);
+      const Cycles fwd_delta = machine().account().total() - fwd_start;
+      lz_hists().hvc_forward.record(fwd_delta);
+      if (obs::metrics().enabled())
+        record_tenant_switch(lz_metric_families().hvc, ctx->vmid, 0,
+                             /*with_domain=*/false, fwd_delta);
       return action;
     }
     case ExceptionClass::kDataAbortLowerEl:

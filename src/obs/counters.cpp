@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/expose.h"
 #include "obs/flight.h"
 #include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
@@ -104,6 +106,9 @@ void reset_all() {
   timeseries().reset();
   flight().clear();
   clear_domain_labels();
+  metrics().reset();
+  selfprof().reset();
+  exposition_pump().reset();
 }
 
 }  // namespace lz::obs

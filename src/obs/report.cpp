@@ -368,6 +368,11 @@ void Report::add_counters(const Snapshot& snapshot) {
   counters_.insert(counters_.end(), snapshot.begin(), snapshot.end());
 }
 
+void Report::add_host_counters(const Snapshot& snapshot) {
+  host_counters_.insert(host_counters_.end(), snapshot.begin(),
+                        snapshot.end());
+}
+
 void Report::add_histograms(std::vector<HistogramStats> stats) {
   histograms_.insert(histograms_.end(),
                      std::make_move_iterator(stats.begin()),
@@ -518,6 +523,15 @@ Json Report::to_json() const {
     section.set("by_kind", std::move(by_kind));
     doc.set("spans", std::move(section));
   }
+
+  // Host-counter section last: its values are outside the simulated-clock
+  // determinism contract (see add_host_counters), so tooling that compares
+  // simulated work across configs strips exactly this one member.
+  if (!host_counters_.empty()) {
+    Json host = Json::object();
+    for (const auto& [k, v] : host_counters_) host.set(k, Json::number(v));
+    doc.set("host", std::move(host));
+  }
   return doc;
 }
 
@@ -621,6 +635,12 @@ bool validate_v3_sections(const Json& doc) {
         !all_members_are_numbers(*by_kind)) {
       return false;
     }
+  }
+  // "host" (v4): optional flat map of host-counter values.
+  const Json* host = doc.find("host");
+  if (host != nullptr &&
+      (!host->is_object() || !all_members_are_numbers(*host))) {
+    return false;
   }
   return true;
 }

@@ -146,6 +146,17 @@ class Report {
   // Counter snapshot section (typically registry().snapshot()).
   void add_counters(const Snapshot& snapshot);
 
+  // Host-counter section ("host", v2 only, typically
+  // registry().host_snapshot()). Host counters are run-to-run deterministic
+  // for a fixed configuration but may legitimately differ between configs
+  // that execute identical simulated work (e.g. `sim.trace.*` with the
+  // trace tier on vs off), so they live outside "counters" and lz_report's
+  // --require-sim-identical strips them before comparing documents. The
+  // section is emitted only when the snapshot is non-empty, so reports
+  // from engines that registered no host counters stay byte-identical to
+  // pre-v4 output.
+  void add_host_counters(const Snapshot& snapshot);
+
   // v2-only sections; ignored when the report is serialised as v1.
   void add_histograms(std::vector<HistogramStats> stats);
   void set_profile(const Profiler& profiler);
@@ -203,6 +214,7 @@ class Report {
   u64 cycles_total_ = 0;
   std::vector<std::pair<std::string, u64>> cycles_by_kind_;
   Snapshot counters_;
+  Snapshot host_counters_;
   std::vector<HistogramStats> histograms_;
   std::optional<ProfileSection> profile_;
   std::optional<TimeSeriesSection> timeseries_;

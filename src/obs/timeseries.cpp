@@ -1,6 +1,8 @@
 #include "obs/timeseries.h"
 
 #include "obs/counters.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
 
 namespace lz::obs {
 
@@ -52,17 +54,23 @@ void TimeSeries::sample_now() {
 }
 
 void TimeSeries::take_sample(u64 total) {
+  SelfProfScope prof(SelfTier::kObs);
   // Snapshot outside the ring mutex so it stays a leaf lock.
   TimeSeriesSample sample;
   sample.ts = total;
   sample.counters = registry().snapshot();
   sample.histograms = histograms().snapshot();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.empty()) return;
-  if (count_ == capacity_) dropped_.fetch_add(1, std::memory_order_relaxed);
-  ring_[head_] = std::move(sample);
-  head_ = (head_ + 1) % capacity_;
-  if (count_ < capacity_) ++count_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.empty()) return;
+    if (count_ == capacity_) dropped_.fetch_add(1, std::memory_order_relaxed);
+    ring_[head_] = std::move(sample);
+    head_ = (head_ + 1) % capacity_;
+    if (count_ < capacity_) ++count_;
+  }
+  // Live-exposition pump rides the same due-threshold: each sample is also
+  // a scrape point when a dump file is armed.
+  exposition_pump().poll();
 }
 
 std::size_t TimeSeries::size() const {

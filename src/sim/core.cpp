@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/counters.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/bits.h"
@@ -364,7 +365,9 @@ Core::WalkOutcome Core::walk_translation(VirtAddr va, u64 vpage) const {
 std::optional<mem::TlbEntry> Core::translate_slow(VirtAddr va, u64 vpage,
                                                   Translation* out,
                                                   u64* gen_out) {
+  const u64 self_t0 = selfprof_on_ ? obs::host_ticks() : 0;
   auto w = walk_translation(va, vpage);
+  if (self_t0 != 0) self_ticks_walker_ += obs::host_ticks() - self_t0;
   account_.charge(CostKind::kTlb, w.table_loads * plat_.tlb_walk_per_level);
   if (!w.entry) {
     out->fault_level = w.fault_level;
@@ -464,6 +467,12 @@ Core::Translation Core::translate(VirtAddr va, AccessType type,
 // (or the refill cached the wrong attributes) — exactly the class of bug
 // an ASID/VMID scoping mistake produces.
 void Core::check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit) {
+  const u64 self_t0 = selfprof_on_ ? obs::host_ticks() : 0;
+  check_tlb_hit_inner(va, hit);
+  if (self_t0 != 0) self_ticks_oracle_ += obs::host_ticks() - self_t0;
+}
+
+void Core::check_tlb_hit_inner(VirtAddr va, const mem::TlbEntry& hit) {
   // Only compare within the translation context the entry came from. After
   // software rewrites TTBR/VTTBR (or toggles HCR_EL2.VM) without a TLBI,
   // using a still-matching entry is architecturally allowed — the
@@ -628,13 +637,28 @@ RunResult Core::run(u64 max_steps) {
   // only the outermost exit — and every exit back into C++ — flushes.
   const bool outer = !in_run_;
   in_run_ = true;
-  if (outer) refresh_profiler();  // arm/disarm takes effect at run entry
+  if (outer) {
+    refresh_profiler();  // arm/disarm takes effect at run entry
+    selfprof_on_ = obs::selfprof().enabled();
+  }
+  const u64 self_run_start = (outer && selfprof_on_) ? obs::host_ticks() : 0;
   for (u64 i = 0; i < max_steps;) {
     // Trace tier first: executes a whole superblock when a valid trace is
     // cached at pc_ (and builds one when the block has proven hot).
     // Returns 0 — interpret one instruction — whenever anything needs the
     // per-instruction path.
-    u64 k = trace_tier_on_ ? try_trace(max_steps - i) : 0;
+    u64 k;
+    if (trace_tier_on_) {
+      if (selfprof_on_) {
+        const u64 t0 = obs::host_ticks();
+        k = try_trace(max_steps - i);
+        self_ticks_trace_ += obs::host_ticks() - t0;
+      } else {
+        k = try_trace(max_steps - i);
+      }
+    } else {
+      k = 0;
+    }
     if (k == 0) {
       step();
       k = 1;
@@ -650,7 +674,19 @@ RunResult Core::run(u64 max_steps) {
   in_run_ = !outer;
   flush_pending();
   if (outer && trace_tier_on_) trace_publish_stats();
+  if (self_run_start != 0) selfprof_publish(obs::host_ticks() - self_run_start);
   return result;
+}
+
+void Core::selfprof_publish(u64 run_ticks) {
+  auto& prof = obs::selfprof();
+  prof.add(obs::SelfTier::kRun, run_ticks);
+  prof.add(obs::SelfTier::kTraceExec, self_ticks_trace_);
+  prof.add(obs::SelfTier::kWalker, self_ticks_walker_);
+  prof.add(obs::SelfTier::kOracle, self_ticks_oracle_);
+  self_ticks_trace_ = 0;
+  self_ticks_walker_ = 0;
+  self_ticks_oracle_ = 0;
 }
 
 void Core::step() {

@@ -247,6 +247,7 @@ class Core {
   bool trace_ldst(Trace& t, const TraceOp& op, unsigned i);
   void trace_publish_stats();
   void check_tlb_hit(VirtAddr va, const mem::TlbEntry& hit);
+  void check_tlb_hit_inner(VirtAddr va, const mem::TlbEntry& hit);
   Cycles sysreg_write_cost(SysReg r) const;
   void refresh_translation_context();
   void refresh_watchpoints();
@@ -407,6 +408,21 @@ class Core {
   u64 prof_epoch_ = 0;
   Cycles prof_next_ = 0;
   u32 obs_core_id_ = 0;
+
+  // --- Host-side self-profiling (obs::selfprof(), DESIGN.md §17) ------------
+  // Attributes *host* wall-clock to engine tiers via TSC brackets: the
+  // outer run() (kRun), the trace-tier dispatch (kTraceExec, includes
+  // lookup/build/execute), the page-table walker (kWalker) and the
+  // LZ_CONF_CHECK oracle (kOracle). Armed state is cached at run() entry
+  // like `prof_on_`, so the disabled path pays one predictable branch per
+  // bracket site — never a tick read. Ticks batch in plain per-core
+  // scalars and publish to the global selfprof() atomics once, at outer
+  // run() exit (the same boundary trace_publish_stats uses).
+  void selfprof_publish(u64 run_ticks);
+  bool selfprof_on_ = false;
+  u64 self_ticks_trace_ = 0;
+  u64 self_ticks_walker_ = 0;
+  u64 self_ticks_oracle_ = 0;
 
   std::array<TrapHandler, 3> handlers_{};
   bool stop_requested_ = false;

@@ -6,11 +6,36 @@
 #include <string>
 
 #include "lightzone/api.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "support/rng.h"
 #include "workloads/crypto/aes.h"
 
 namespace lz::workload {
+
+namespace {
+
+// Per-tenant request instruments (metrics plane, DESIGN.md §17). Handles
+// are resolved once per worker before its request loop — the loop itself
+// records through cached pointers (one relaxed add each), and when the
+// plane is off the pointers stay null and the loop pays one branch.
+struct TenantRequestMetrics {
+  obs::Counter* requests = nullptr;
+  obs::Histogram* request_cycles = nullptr;
+
+  static TenantRequestMetrics resolve(const std::string& tenant) {
+    TenantRequestMetrics m;
+    if (!obs::metrics().enabled()) return m;
+    obs::LabelSet labels;
+    labels.set(obs::LabelKey::kTenant, tenant);
+    m.requests = &obs::metrics().counter_family("httpd.requests").with(labels);
+    m.request_cycles =
+        &obs::metrics().histogram_family("httpd.request_cycles").with(labels);
+    return m;
+  }
+};
+
+}  // namespace
 
 HttpdParams HttpdParams::defaults(const arch::Platform& platform) {
   HttpdParams p;
@@ -52,8 +77,10 @@ HttpdResult run_httpd(const AppConfig& config, const HttpdParams& params) {
   const u16 span_vmid = driver.lz() ? driver.lz()->ctx().vmid : 0;
   const u16 span_asid = driver.proc().asid();
   obs::set_domain_label(span_vmid, span_asid, "httpd-worker");
+  const auto tenant_metrics = TenantRequestMetrics::resolve("httpd-worker");
 
   const Cycles start = machine.cycles();
+  Cycles req_start = start;
   for (int r = 0; r < params.requests; ++r) {
     const obs::SpanScope request_span(obs::SpanKind::kRequest,
                                       static_cast<u64>(r), span_vmid,
@@ -95,6 +122,12 @@ HttpdResult run_httpd(const AppConfig& config, const HttpdParams& params) {
 
     driver.charge_tlb_misses(params.tlb_misses_per_request);
     driver.charge_app(params.app_cycles_per_request);
+    if (tenant_metrics.requests != nullptr) {
+      const Cycles req_end = machine.cycles();
+      tenant_metrics.requests->add();
+      tenant_metrics.request_cycles->record(req_end - req_start);
+      req_start = req_end;
+    }
   }
 
   HttpdResult result;
@@ -266,8 +299,11 @@ HttpdSmpResult run_httpd_smp(const AppConfig& config,
 
       const u16 span_vmid = lzs[w] ? lzs[w]->ctx().vmid : 0;
       const u16 span_asid = proc.asid();
+      const auto tenant_metrics =
+          TenantRequestMetrics::resolve("httpd-worker" + std::to_string(w));
 
       const Cycles start = machine.account(core_id).total();
+      Cycles req_start = start;
       for (int r = 0; r < params.requests; ++r) {
         const obs::SpanScope request_span(obs::SpanKind::kRequest,
                                           static_cast<u64>(r), span_vmid,
@@ -304,6 +340,12 @@ HttpdSmpResult run_httpd_smp(const AppConfig& config,
         machine.charge(sim::CostKind::kWorkload,
                        params.app_cycles_per_request);
         LZ_CHECK(proc.alive());
+        if (tenant_metrics.requests != nullptr) {
+          const Cycles req_end = machine.account(core_id).total();
+          tenant_metrics.requests->add();
+          tenant_metrics.request_cycles->record(req_end - req_start);
+          req_start = req_end;
+        }
       }
 
       HttpdResult& res = result.per_core[core_id];
@@ -322,8 +364,21 @@ HttpdSmpResult run_httpd_smp(const AppConfig& config,
   // Clients split evenly across workers; each worker is an independent
   // closed-loop server.
   const int share = std::max(1, concurrency / static_cast<int>(cores));
-  for (const auto& res : result.per_core) {
-    result.total_rps += httpd_throughput_rps(res, params, config, share);
+  for (unsigned w = 0; w < cores; ++w) {
+    const double rps =
+        httpd_throughput_rps(result.per_core[w], params, config, share);
+    result.total_rps += rps;
+    // Per-tenant rps distribution: one sample per worker per run, so a
+    // fig3 sweep accumulates the per-tenant throughput spread across its
+    // combo/mechanism grid.
+    if (obs::metrics().enabled()) {
+      obs::LabelSet labels;
+      labels.set(obs::LabelKey::kTenant, "httpd-worker" + std::to_string(w));
+      obs::metrics()
+          .histogram_family("httpd.rps")
+          .with(labels)
+          .record(static_cast<u64>(rps));
+    }
   }
   return result;
 }
